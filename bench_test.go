@@ -1,0 +1,434 @@
+// Benchmarks reproducing the paper's evaluation (Section 4). Each benchmark
+// corresponds to a table or figure; EXPERIMENTS.md maps the results back to
+// the paper. The venues used here are the small-scale presets so that
+// `go test -bench=.` completes in minutes; cmd/experiments reproduces the
+// full-scale sweep.
+package viptree_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"viptree"
+	"viptree/internal/bench"
+	"viptree/internal/iptree"
+	"viptree/internal/model"
+)
+
+// benchVenueSpecs lists the venues used by the benchmarks: the paper's MC and
+// Men venues at small scale and the campus CL at tiny scale (the replicated
+// -2 variants and the full-scale venues are exercised by cmd/experiments).
+var benchVenueSpecs = []struct {
+	name  string
+	build func() *viptree.Venue
+}{
+	{"MC", func() *viptree.Venue { return viptree.MelbourneCentral(viptree.ScaleSmall) }},
+	{"Men", func() *viptree.Venue { return viptree.Menzies(viptree.ScaleSmall) }},
+	{"CL", func() *viptree.Venue { return viptree.Clayton(viptree.ScaleTiny) }},
+}
+
+var (
+	venueCache   = map[string]*viptree.Venue{}
+	venueCacheMu sync.Mutex
+)
+
+func benchVenue(name string) *viptree.Venue {
+	venueCacheMu.Lock()
+	defer venueCacheMu.Unlock()
+	if v, ok := venueCache[name]; ok {
+		return v
+	}
+	for _, spec := range benchVenueSpecs {
+		if spec.name == name {
+			v := spec.build()
+			venueCache[name] = v
+			return v
+		}
+	}
+	panic("unknown bench venue " + name)
+}
+
+// competitors builds the distance-query competitors over a venue, cached per
+// venue so that repeated benchmarks do not rebuild the indexes.
+type builtIndexes struct {
+	ip     *viptree.IPTree
+	vip    *viptree.VIPTree
+	distAw *viptree.DistAware
+	distMx *viptree.DistanceMatrix
+	gtree  *viptree.GTree
+	road   *viptree.Road
+}
+
+var (
+	indexCache   = map[string]*builtIndexes{}
+	indexCacheMu sync.Mutex
+)
+
+func benchIndexes(name string) *builtIndexes {
+	indexCacheMu.Lock()
+	defer indexCacheMu.Unlock()
+	if b, ok := indexCache[name]; ok {
+		return b
+	}
+	v := benchVenue(name)
+	ip := viptree.MustBuildIPTree(v)
+	b := &builtIndexes{
+		ip:     ip,
+		vip:    iptree.NewVIPTree(ip),
+		distAw: viptree.NewDistAware(v),
+		distMx: viptree.BuildDistanceMatrix(v),
+		gtree:  viptree.BuildGTree(v, viptree.GTreeOptions{}),
+		road:   viptree.BuildRoad(v, viptree.RoadOptions{}),
+	}
+	indexCache[name] = b
+	return b
+}
+
+type distCompetitor struct {
+	name string
+	dist func(s, t viptree.Location) float64
+	path func(s, t viptree.Location) (float64, []viptree.DoorID)
+}
+
+func distCompetitors(b *builtIndexes) []distCompetitor {
+	return []distCompetitor{
+		{"VIP-Tree", b.vip.Distance, b.vip.Path},
+		{"IP-Tree", b.ip.Distance, b.ip.Path},
+		{"DistMx", b.distMx.Distance, b.distMx.Path},
+		{"DistAw", b.distAw.Distance, b.distAw.Path},
+		{"G-tree", b.gtree.Distance, b.gtree.Path},
+		{"ROAD", b.road.Distance, b.road.Path},
+	}
+}
+
+// BenchmarkTable1Stats measures IP-Tree construction plus the structural
+// statistics (ρ, f, M) reported in Table 1.
+func BenchmarkTable1Stats(b *testing.B) {
+	v := benchVenue("Men")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := viptree.MustBuildIPTree(v)
+		s := t.Stats()
+		if s.Leaves == 0 {
+			b.Fatal("no leaves")
+		}
+	}
+}
+
+// BenchmarkTable2VenueGeneration measures synthetic venue generation and the
+// Table 2 statistics computation.
+func BenchmarkTable2VenueGeneration(b *testing.B) {
+	for _, spec := range benchVenueSpecs {
+		b.Run(spec.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := spec.build()
+				if v.ComputeStats().Doors == 0 {
+					b.Fatal("empty venue")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7MinDegree measures VIP-Tree construction for the minimum
+// degrees evaluated in Fig 7a.
+func BenchmarkFig7MinDegree(b *testing.B) {
+	v := benchVenue("CL")
+	for _, t := range []int{2, 10, 20, 60, 100} {
+		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				viptree.MustBuildVIPTreeWithDegree(v, t)
+			}
+		})
+	}
+}
+
+// BenchmarkFig7QueryVsMinDegree measures shortest-distance and kNN query time
+// for varying minimum degree (Fig 7b).
+func BenchmarkFig7QueryVsMinDegree(b *testing.B) {
+	v := benchVenue("CL")
+	pairs := bench.Pairs(toModelVenue(v), 256, 1)
+	points := bench.Points(toModelVenue(v), 64, 2)
+	objs := bench.Objects(toModelVenue(v), 50, 3)
+	for _, t := range []int{2, 20, 100} {
+		vip := viptree.MustBuildVIPTreeWithDegree(v, t)
+		oi := vip.IndexObjects(objs)
+		b.Run(fmt.Sprintf("distance/t=%d", t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				vip.Distance(p.S, p.T)
+			}
+		})
+		b.Run(fmt.Sprintf("knn/t=%d", t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				oi.KNN(points[i%len(points)], 5)
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Construction measures index construction time for every index
+// (Fig 8a); allocation statistics stand in for the index sizes of Fig 8b
+// (exact sizes are reported by cmd/experiments -exp fig8).
+func BenchmarkFig8Construction(b *testing.B) {
+	v := benchVenue("MC")
+	b.Run("IP-Tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			viptree.MustBuildIPTree(v)
+		}
+	})
+	b.Run("VIP-Tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			viptree.MustBuildVIPTree(v)
+		}
+	})
+	b.Run("DistMx", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			viptree.BuildDistanceMatrix(v)
+		}
+	})
+	b.Run("G-tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			viptree.BuildGTree(v, viptree.GTreeOptions{})
+		}
+	})
+	b.Run("ROAD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			viptree.BuildRoad(v, viptree.RoadOptions{})
+		}
+	})
+}
+
+// BenchmarkFig9aPairs measures the DistMx query with and without the
+// no-through-door optimisation (Fig 9a compares the pairs considered).
+func BenchmarkFig9aPairs(b *testing.B) {
+	v := benchVenue("Men")
+	pairs := bench.Pairs(toModelVenue(v), 512, 4)
+	withOpt := viptree.BuildDistanceMatrix(v)
+	noOpt := viptree.BuildDistanceMatrixNoOpt(v)
+	b.Run("DistMx", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			withOpt.Distance(p.S, p.T)
+		}
+	})
+	b.Run("DistMx--", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			noOpt.Distance(p.S, p.T)
+		}
+	})
+}
+
+// BenchmarkFig9bShortestDistance measures shortest-distance query time for
+// every algorithm and venue (Fig 9b).
+func BenchmarkFig9bShortestDistance(b *testing.B) {
+	for _, spec := range benchVenueSpecs {
+		idx := benchIndexes(spec.name)
+		pairs := bench.Pairs(toModelVenue(benchVenue(spec.name)), 512, 5)
+		for _, comp := range distCompetitors(idx) {
+			b.Run(spec.name+"/"+comp.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p := pairs[i%len(pairs)]
+					comp.dist(p.S, p.T)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig10aShortestPath measures shortest-path query time for every
+// algorithm and venue (Fig 10a).
+func BenchmarkFig10aShortestPath(b *testing.B) {
+	for _, spec := range benchVenueSpecs {
+		idx := benchIndexes(spec.name)
+		pairs := bench.Pairs(toModelVenue(benchVenue(spec.name)), 512, 6)
+		for _, comp := range distCompetitors(idx) {
+			b.Run(spec.name+"/"+comp.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p := pairs[i%len(pairs)]
+					comp.path(p.S, p.T)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig10bDistanceEffect measures shortest-path query time per
+// source-target distance bucket Q1..Q5 (Fig 10b) for VIP-Tree, IP-Tree and
+// the expansion baseline.
+func BenchmarkFig10bDistanceEffect(b *testing.B) {
+	idx := benchIndexes("Men")
+	buckets := bench.BucketedPairs(toModelVenue(benchVenue("Men")), 5, 64, 7)
+	comps := []distCompetitor{
+		{"VIP-Tree", idx.vip.Distance, idx.vip.Path},
+		{"IP-Tree", idx.ip.Distance, idx.ip.Path},
+		{"DistAw", idx.distAw.Distance, idx.distAw.Path},
+	}
+	for bi, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		for _, comp := range comps {
+			b.Run(fmt.Sprintf("Q%d/%s", bi+1, comp.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p := bucket[i%len(bucket)]
+					comp.path(p.S, p.T)
+				}
+			})
+		}
+	}
+}
+
+// objectCompetitors builds kNN/range query functions per index.
+func objectCompetitors(name string, objs []model.Location) []struct {
+	name string
+	knn  func(q viptree.Location, k int) int
+	rng  func(q viptree.Location, r float64) int
+} {
+	idx := benchIndexes(name)
+	ipOI := idx.ip.IndexObjects(objs)
+	vipOI := idx.vip.IndexObjects(objs)
+	daOI := viptree.NewDistAware(benchVenue(name)).IndexObjects(objs)
+	dmOI := idx.distMx.IndexObjects(objs)
+	gtOI := idx.gtree.IndexObjects(objs)
+	rdOI := idx.road.IndexObjects(objs)
+	return []struct {
+		name string
+		knn  func(q viptree.Location, k int) int
+		rng  func(q viptree.Location, r float64) int
+	}{
+		{"VIP-Tree", func(q viptree.Location, k int) int { return len(vipOI.KNN(q, k)) }, func(q viptree.Location, r float64) int { return len(vipOI.Range(q, r)) }},
+		{"IP-Tree", func(q viptree.Location, k int) int { return len(ipOI.KNN(q, k)) }, func(q viptree.Location, r float64) int { return len(ipOI.Range(q, r)) }},
+		{"DistAw", func(q viptree.Location, k int) int { return len(daOI.KNN(q, k)) }, func(q viptree.Location, r float64) int { return len(daOI.Range(q, r)) }},
+		{"DistAw++", func(q viptree.Location, k int) int { return len(dmOI.KNN(q, k)) }, func(q viptree.Location, r float64) int { return len(dmOI.Range(q, r)) }},
+		{"G-tree", func(q viptree.Location, k int) int { return len(gtOI.KNN(q, k)) }, func(q viptree.Location, r float64) int { return len(gtOI.Range(q, r)) }},
+		{"ROAD", func(q viptree.Location, k int) int { return len(rdOI.KNN(q, k)) }, func(q viptree.Location, r float64) int { return len(rdOI.Range(q, r)) }},
+	}
+}
+
+// BenchmarkFig11akNN measures kNN query time for k in {1, 5, 10} (Fig 11a).
+func BenchmarkFig11akNN(b *testing.B) {
+	v := benchVenue("Men")
+	points := bench.Points(toModelVenue(v), 128, 8)
+	objs := bench.Objects(toModelVenue(v), 50, 9)
+	comps := objectCompetitors("Men", objs)
+	for _, k := range []int{1, 5, 10} {
+		for _, comp := range comps {
+			b.Run(fmt.Sprintf("k=%d/%s", k, comp.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					comp.knn(points[i%len(points)], k)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig11bObjects measures kNN query time for object sets of 10 to 500
+// objects (Fig 11b), for the tree indexes and the expansion baseline.
+func BenchmarkFig11bObjects(b *testing.B) {
+	v := benchVenue("Men")
+	points := bench.Points(toModelVenue(v), 128, 10)
+	for _, n := range []int{10, 50, 100, 500} {
+		objs := bench.Objects(toModelVenue(v), n, int64(100+n))
+		idx := benchIndexes("Men")
+		vipOI := idx.vip.IndexObjects(objs)
+		daOI := viptree.NewDistAware(v).IndexObjects(objs)
+		b.Run(fmt.Sprintf("n=%d/VIP-Tree", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				vipOI.KNN(points[i%len(points)], 5)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/DistAw", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				daOI.KNN(points[i%len(points)], 5)
+			}
+		})
+	}
+}
+
+// BenchmarkFig11cVenues measures kNN query time across venues (Fig 11c).
+func BenchmarkFig11cVenues(b *testing.B) {
+	for _, spec := range benchVenueSpecs {
+		v := benchVenue(spec.name)
+		points := bench.Points(toModelVenue(v), 128, 11)
+		objs := bench.Objects(toModelVenue(v), 50, 12)
+		for _, comp := range objectCompetitors(spec.name, objs) {
+			b.Run(spec.name+"/"+comp.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					comp.knn(points[i%len(points)], 5)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig11dRange measures range query time across venues (Fig 11d).
+func BenchmarkFig11dRange(b *testing.B) {
+	for _, spec := range benchVenueSpecs {
+		v := benchVenue(spec.name)
+		points := bench.Points(toModelVenue(v), 128, 13)
+		objs := bench.Objects(toModelVenue(v), 50, 14)
+		for _, comp := range objectCompetitors(spec.name, objs) {
+			b.Run(spec.name+"/"+comp.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					comp.rng(points[i%len(points)], 100)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSuperiorDoors compares shortest-distance queries with and
+// without the superior-door restriction of Definition 2.
+func BenchmarkAblationSuperiorDoors(b *testing.B) {
+	v := benchVenue("Men")
+	pairs := bench.Pairs(toModelVenue(v), 512, 15)
+	full := viptree.MustBuildVIPTree(v)
+	noSup, err := viptree.BuildVIPTreeWithOptions(v, viptree.TreeOptions{DisableSuperiorDoors: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("superior-doors", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			full.Distance(p.S, p.T)
+		}
+	})
+	b.Run("all-doors", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			noSup.Distance(p.S, p.T)
+		}
+	})
+}
+
+// BenchmarkAblationMergeHeuristic compares the access-door-minimising merge
+// of Algorithm 1 against a naive merge, both at construction and query time.
+func BenchmarkAblationMergeHeuristic(b *testing.B) {
+	v := benchVenue("Men")
+	pairs := bench.Pairs(toModelVenue(v), 512, 16)
+	smart := viptree.MustBuildVIPTree(v)
+	naive, err := viptree.BuildVIPTreeWithOptions(v, viptree.TreeOptions{NaiveMerge: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("algorithm1-merge/query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			smart.Distance(p.S, p.T)
+		}
+	})
+	b.Run("naive-merge/query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			naive.Distance(p.S, p.T)
+		}
+	})
+}
+
+// toModelVenue converts the public alias back to the internal type expected
+// by the bench package (they are the same type; the helper only documents
+// the intent).
+func toModelVenue(v *viptree.Venue) *model.Venue { return v }

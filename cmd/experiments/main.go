@@ -1,0 +1,104 @@
+// Command experiments reproduces the tables and figures of the paper's
+// evaluation (Section 4). Each experiment prints a text table whose rows
+// mirror the series plotted in the paper.
+//
+// Usage:
+//
+//	experiments -exp fig9b -scale small
+//	experiments -exp all -scale tiny
+//	experiments -list
+//
+// Scales: tiny (unit-test sized venues), small (default; hundreds of rooms),
+// full (Table 2 sized venues; the DistMx and G-tree baselines take a long
+// time to build at this scale, mirroring the paper's observations — use
+// -skip-distmx / -skip-slow to exclude them).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"viptree/internal/bench"
+	"viptree/internal/venuegen"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment to run (table1, table2, fig7, fig8, fig9a, fig9b, fig10a, fig10b, fig11a, fig11b, fig11c, fig11d, ablations, all)")
+		scale      = flag.String("scale", "small", "venue scale: tiny, small or full")
+		pairs      = flag.Int("pairs", 0, "override the number of distance/path queries per data point")
+		points     = flag.Int("points", 0, "override the number of kNN/range query points per data point")
+		venues     = flag.String("venues", "", "comma-separated venue subset (MC, MC-2, Men, Men-2, CL, CL-2)")
+		skipDistMx = flag.Bool("skip-distmx", false, "skip the DistMx baseline (O(D^2) construction)")
+		skipSlow   = flag.Bool("skip-slow", false, "skip the G-tree and ROAD baselines")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		seed       = flag.Int64("seed", 1, "workload random seed")
+	)
+	flag.Parse()
+
+	all := bench.All()
+	if *list {
+		names := make([]string, 0, len(all))
+		for n := range all {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+
+	var sc venuegen.Scale
+	switch *scale {
+	case "tiny":
+		sc = venuegen.ScaleTiny
+	case "small":
+		sc = venuegen.ScaleSmall
+	case "full":
+		sc = venuegen.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want tiny, small or full)\n", *scale)
+		os.Exit(2)
+	}
+	cfg := bench.DefaultConfig(sc)
+	cfg.Seed = *seed
+	cfg.SkipDistMx = *skipDistMx
+	cfg.SkipSlow = *skipSlow
+	if *pairs > 0 {
+		cfg.Pairs = *pairs
+	}
+	if *points > 0 {
+		cfg.Points = *points
+	}
+	if *venues != "" {
+		cfg.VenueNames = strings.Split(*venues, ",")
+	}
+	if sc == venuegen.ScaleFull && !*skipDistMx {
+		fmt.Fprintln(os.Stderr, "warning: DistMx at full scale materialises D^2 distances; pass -skip-distmx to exclude it")
+	}
+
+	run := func(name string) {
+		fn, ok := all[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", name)
+			os.Exit(2)
+		}
+		fmt.Println(fn(cfg).String())
+	}
+	if *exp == "all" {
+		names := make([]string, 0, len(all))
+		for n := range all {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			run(n)
+		}
+		return
+	}
+	for _, name := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(name))
+	}
+}

@@ -1,0 +1,85 @@
+// Command indexbuild builds a chosen index over a chosen venue and reports
+// its construction time, memory footprint and structural statistics — the
+// quantities compared in Fig 8 of the paper.
+//
+// Usage:
+//
+//	indexbuild -venue Men-2 -index vip -scale small
+//	indexbuild -venue CL -index gtree -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"viptree/internal/baseline/distaware"
+	"viptree/internal/baseline/distmatrix"
+	"viptree/internal/baseline/gtree"
+	"viptree/internal/baseline/road"
+	"viptree/internal/bench"
+	"viptree/internal/iptree"
+	"viptree/internal/venuegen"
+)
+
+func main() {
+	var (
+		venue     = flag.String("venue", "Men", "venue: MC, MC-2, Men, Men-2, CL or CL-2")
+		indexName = flag.String("index", "vip", "index: ip, vip, distmx, distaw, gtree or road")
+		scale     = flag.String("scale", "small", "venue scale: tiny, small or full")
+		minDegree = flag.Int("t", 2, "minimum degree t for IP-Tree/VIP-Tree")
+	)
+	flag.Parse()
+
+	var sc venuegen.Scale
+	switch *scale {
+	case "tiny":
+		sc = venuegen.ScaleTiny
+	case "small":
+		sc = venuegen.ScaleSmall
+	case "full":
+		sc = venuegen.ScaleFull
+	default:
+		fmt.Fprintln(os.Stderr, "unknown scale; want tiny, small or full")
+		os.Exit(2)
+	}
+	cfg := bench.DefaultConfig(sc)
+	cfg.VenueNames = []string{*venue}
+	nv := cfg.Venues()[0]
+	vs := nv.Venue.ComputeStats()
+	fmt.Printf("venue %s: %d doors, %d partitions, %d D2D edges, %d floors\n",
+		nv.Name, vs.Doors, vs.Partitions, vs.D2DEdges, vs.Floors)
+
+	start := time.Now()
+	var memory int64
+	switch *indexName {
+	case "ip":
+		t := iptree.MustBuildIPTree(nv.Venue, iptree.Options{MinDegree: *minDegree})
+		memory = t.MemoryBytes()
+		printTreeStats(t.Stats())
+	case "vip":
+		t := iptree.MustBuildVIPTree(nv.Venue, iptree.Options{MinDegree: *minDegree})
+		memory = t.MemoryBytes()
+		printTreeStats(t.Stats())
+	case "distmx":
+		m := distmatrix.Build(nv.Venue, true)
+		memory = m.MemoryBytes()
+	case "distaw":
+		memory = distaware.New(nv.Venue).MemoryBytes()
+	case "gtree":
+		memory = gtree.Build(nv.Venue, gtree.Options{}).MemoryBytes()
+	case "road":
+		memory = road.Build(nv.Venue, road.Options{}).MemoryBytes()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown index %q\n", *indexName)
+		os.Exit(2)
+	}
+	fmt.Printf("index %s: construction %v, memory %.2f MB\n",
+		*indexName, time.Since(start).Round(time.Millisecond), float64(memory)/(1<<20))
+}
+
+func printTreeStats(s iptree.Stats) {
+	fmt.Printf("tree: %d nodes, %d leaves, height %d, rho %.2f (max %d), fanout %.2f, superior doors %.2f (max %d)\n",
+		s.Nodes, s.Leaves, s.Height, s.AvgAccessDoors, s.MaxAccessDoors, s.AvgFanout, s.AvgSuperiorDoors, s.MaxSuperiorDoors)
+}

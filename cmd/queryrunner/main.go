@@ -1,0 +1,133 @@
+// Command queryrunner runs a query workload (shortest distance, shortest
+// path, kNN or range) against a chosen index on a chosen venue and reports
+// the average per-query latency — a command-line counterpart to the Go
+// benchmarks in bench_test.go.
+//
+// Usage:
+//
+//	queryrunner -venue Men-2 -index vip -query distance -n 10000
+//	queryrunner -venue CL -index distaw -query knn -k 5 -objects 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viptree/internal/baseline/distaware"
+	"viptree/internal/baseline/distmatrix"
+	"viptree/internal/baseline/gtree"
+	"viptree/internal/baseline/road"
+	"viptree/internal/bench"
+	"viptree/internal/iptree"
+	"viptree/internal/model"
+	"viptree/internal/venuegen"
+)
+
+func main() {
+	var (
+		venue     = flag.String("venue", "Men", "venue: MC, MC-2, Men, Men-2, CL or CL-2")
+		indexName = flag.String("index", "vip", "index: ip, vip, distmx, distaw, gtree or road")
+		scale     = flag.String("scale", "small", "venue scale: tiny, small or full")
+		query     = flag.String("query", "distance", "query type: distance, path, knn or range")
+		n         = flag.Int("n", 1000, "number of queries")
+		k         = flag.Int("k", 5, "k for kNN queries")
+		objects   = flag.Int("objects", 50, "number of indexed objects for kNN/range queries")
+		radius    = flag.Float64("r", 100, "radius in metres for range queries")
+		seed      = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	var sc venuegen.Scale
+	switch *scale {
+	case "tiny":
+		sc = venuegen.ScaleTiny
+	case "small":
+		sc = venuegen.ScaleSmall
+	case "full":
+		sc = venuegen.ScaleFull
+	default:
+		fmt.Fprintln(os.Stderr, "unknown scale; want tiny, small or full")
+		os.Exit(2)
+	}
+	cfg := bench.DefaultConfig(sc)
+	cfg.VenueNames = []string{*venue}
+	v := cfg.Venues()[0].Venue
+
+	type queriers struct {
+		distance func(s, t model.Location) float64
+		path     func(s, t model.Location) (float64, []model.DoorID)
+		knn      func(q model.Location, k int) int
+		rangeQ   func(q model.Location, r float64) int
+	}
+	objs := bench.Objects(v, *objects, *seed+7)
+	var q queriers
+	switch *indexName {
+	case "ip":
+		t := iptree.MustBuildIPTree(v, iptree.Options{})
+		oi := t.IndexObjects(objs)
+		q = queriers{t.Distance, t.Path,
+			func(p model.Location, k int) int { return len(oi.KNN(p, k)) },
+			func(p model.Location, r float64) int { return len(oi.Range(p, r)) }}
+	case "vip":
+		t := iptree.MustBuildVIPTree(v, iptree.Options{})
+		oi := t.IndexObjects(objs)
+		q = queriers{t.Distance, t.Path,
+			func(p model.Location, k int) int { return len(oi.KNN(p, k)) },
+			func(p model.Location, r float64) int { return len(oi.Range(p, r)) }}
+	case "distmx":
+		m := distmatrix.Build(v, true)
+		oi := m.IndexObjects(objs)
+		q = queriers{m.Distance, m.Path,
+			func(p model.Location, k int) int { return len(oi.KNN(p, k)) },
+			func(p model.Location, r float64) int { return len(oi.Range(p, r)) }}
+	case "distaw":
+		ix := distaware.New(v).IndexObjects(objs)
+		q = queriers{ix.Distance, ix.Path,
+			func(p model.Location, k int) int { return len(ix.KNN(p, k)) },
+			func(p model.Location, r float64) int { return len(ix.Range(p, r)) }}
+	case "gtree":
+		t := gtree.Build(v, gtree.Options{})
+		oi := t.IndexObjects(objs)
+		q = queriers{t.Distance, t.Path,
+			func(p model.Location, k int) int { return len(oi.KNN(p, k)) },
+			func(p model.Location, r float64) int { return len(oi.Range(p, r)) }}
+	case "road":
+		ix := road.Build(v, road.Options{}).IndexObjects(objs)
+		q = queriers{ix.Distance, ix.Path,
+			func(p model.Location, k int) int { return len(ix.KNN(p, k)) },
+			func(p model.Location, r float64) int { return len(ix.Range(p, r)) }}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown index %q\n", *indexName)
+		os.Exit(2)
+	}
+
+	var m bench.Measurement
+	switch *query {
+	case "distance":
+		pairs := bench.Pairs(v, *n, *seed)
+		m = bench.MeasureDistance(distanceAdapter(q.distance), pairs)
+	case "path":
+		pairs := bench.Pairs(v, *n, *seed)
+		m = bench.MeasurePath(pathAdapter(q.path), pairs)
+	case "knn":
+		points := bench.Points(v, *n, *seed)
+		m = bench.MeasureKNN(q.knn, points, *k)
+	case "range":
+		points := bench.Points(v, *n, *seed)
+		m = bench.MeasureRange(q.rangeQ, points, *radius)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown query type %q\n", *query)
+		os.Exit(2)
+	}
+	fmt.Printf("%s %s %s: %d queries, %.2f us/query (total %v)\n",
+		*venue, *indexName, *query, m.Queries, m.PerQueryMicros(), m.Total)
+}
+
+type distanceAdapter func(s, t model.Location) float64
+
+func (f distanceAdapter) Distance(s, t model.Location) float64 { return f(s, t) }
+
+type pathAdapter func(s, t model.Location) (float64, []model.DoorID)
+
+func (f pathAdapter) Path(s, t model.Location) (float64, []model.DoorID) { return f(s, t) }

@@ -1,0 +1,98 @@
+// Command venuegen generates the synthetic indoor venues used throughout the
+// evaluation and prints their Table-2-style statistics.
+//
+// Usage:
+//
+//	venuegen -all -scale full        # every paper venue
+//	venuegen -venue Men -scale small
+//	venuegen -floors 10 -rooms 60    # a custom office building
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"viptree/internal/bench"
+	"viptree/internal/model"
+	"viptree/internal/venuegen"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "generate all six paper venues (MC, MC-2, Men, Men-2, CL, CL-2)")
+		venue     = flag.String("venue", "", "one of MC, MC-2, Men, Men-2, CL, CL-2")
+		scale     = flag.String("scale", "small", "venue scale: tiny, small or full")
+		floors    = flag.Int("floors", 0, "custom building: number of floors")
+		rooms     = flag.Int("rooms", 0, "custom building: rooms per hallway")
+		hallways  = flag.Int("hallways", 1, "custom building: hallways per floor")
+		buildings = flag.Int("buildings", 0, "custom campus: number of buildings (implies a campus)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	var sc venuegen.Scale
+	switch *scale {
+	case "tiny":
+		sc = venuegen.ScaleTiny
+	case "small":
+		sc = venuegen.ScaleSmall
+	case "full":
+		sc = venuegen.ScaleFull
+	default:
+		fmt.Fprintln(os.Stderr, "unknown scale; want tiny, small or full")
+		os.Exit(2)
+	}
+
+	report := func(v *model.Venue) { fmt.Println(v.ComputeStats().String()) }
+
+	switch {
+	case *all:
+		cfg := bench.DefaultConfig(sc)
+		for _, nv := range cfg.Venues() {
+			s := nv.Venue.ComputeStats()
+			s.Name = nv.Name
+			fmt.Println(s.String())
+		}
+	case *venue != "":
+		cfg := bench.DefaultConfig(sc)
+		cfg.VenueNames = []string{*venue}
+		for _, nv := range cfg.Venues() {
+			s := nv.Venue.ComputeStats()
+			s.Name = nv.Name
+			fmt.Println(s.String())
+		}
+	case *buildings > 0:
+		v := venuegen.MustCampus(venuegen.CampusConfig{
+			Name:      "custom-campus",
+			Buildings: *buildings,
+			Building: venuegen.BuildingConfig{
+				Floors:           max(*floors, 1),
+				RoomsPerHallway:  max(*rooms, 10),
+				HallwaysPerFloor: *hallways,
+			},
+			Jitter: true,
+			Seed:   *seed,
+		})
+		report(v)
+	case *floors > 0 || *rooms > 0:
+		v := venuegen.MustBuilding(venuegen.BuildingConfig{
+			Name:             "custom-building",
+			Floors:           max(*floors, 1),
+			RoomsPerHallway:  max(*rooms, 10),
+			HallwaysPerFloor: *hallways,
+			Seed:             *seed,
+		})
+		report(v)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+// Shopping-centre navigation: a visitor at a shopping centre asks for the
+// walking route to a specific shop and for all amenities within a given
+// walking range — the paper's in-store navigation and "accessible toilets
+// within 100 metres" scenarios.
+//
+// Run with:
+//
+//	go run ./examples/mallnav
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"viptree"
+)
+
+func main() {
+	mall := viptree.MelbourneCentral(viptree.ScaleSmall)
+	fmt.Println("venue:", mall.ComputeStats())
+
+	tree, err := viptree.BuildVIPTree(mall)
+	if err != nil {
+		log.Fatalf("building VIP-Tree: %v", err)
+	}
+
+	// The visitor stands near the ground-floor entrance.
+	entrance := viptree.Location{Partition: 0, Point: mall.Partition(0).Bounds.Center()}
+
+	// A shop on an upper floor: pick the partition with the highest floor.
+	var shop viptree.Location
+	bestFloor := -1
+	for i := range mall.Partitions {
+		p := &mall.Partitions[i]
+		if p.Class == viptree.Room && p.Bounds.Floor > bestFloor {
+			bestFloor = p.Bounds.Floor
+			shop = viptree.Location{Partition: p.ID, Point: p.Bounds.Center()}
+		}
+	}
+	dist, doors := tree.Path(entrance, shop)
+	fmt.Printf("route to %s (floor %d): %.0f m, %d doors\n",
+		mall.Partition(shop.Partition).Name, bestFloor, dist, len(doors))
+	crossFloor := 0
+	for _, d := range doors {
+		for _, pid := range mall.Door(d).Partitions {
+			if c := mall.Partition(pid).Class; c == viptree.Staircase || c == viptree.Lift {
+				crossFloor++
+				break
+			}
+		}
+	}
+	fmt.Printf("the route uses %d staircase/lift doors\n", crossFloor)
+
+	// Amenities (washrooms, ATMs, charging kiosks) are scattered over the
+	// centre; list everything within 100 m of the visitor.
+	rng := rand.New(rand.NewSource(21))
+	var amenities []viptree.Location
+	for i := 0; i < 25; i++ {
+		amenities = append(amenities, mall.RandomLocation(rng))
+	}
+	amenityIndex := tree.IndexObjects(amenities)
+	const walkingRange = 100.0
+	within := amenityIndex.Range(entrance, walkingRange)
+	fmt.Printf("%d of %d amenities are within %.0f m of the entrance:\n", len(within), len(amenities), walkingRange)
+	for _, res := range within {
+		loc := amenities[res.ObjectID]
+		fmt.Printf("  amenity #%d in %-20s at %.0f m\n", res.ObjectID, mall.Partition(loc.Partition).Name, res.Dist)
+	}
+
+	// The 3 nearest amenities, regardless of range.
+	for _, res := range amenityIndex.KNN(entrance, 3) {
+		fmt.Printf("top-3 nearest amenity: #%d at %.0f m\n", res.ObjectID, res.Dist)
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a small indoor venue by hand, index it with a VIP-Tree
+// and answer a shortest-distance, shortest-path and nearest-neighbour query.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"viptree"
+)
+
+func main() {
+	// A one-floor office: a hallway with four rooms and an exit door.
+	//
+	//	+------+------+------+------+
+	//	| R0   | R1   | R2   | R3   |
+	//	+--d0--+--d1--+--d2--+--d3--+
+	//	|          hallway          |--exit
+	//	+---------------------------+
+	b := viptree.NewVenueBuilder("quickstart-office")
+	hall := b.AddPartition("hallway", viptree.Hallway, viptree.Rect{MinX: 0, MinY: 0, MaxX: 40, MaxY: 4}, 0)
+	for i := 0; i < 4; i++ {
+		x0 := float64(i) * 10
+		room := b.AddPartition(fmt.Sprintf("room %d", i), viptree.Room,
+			viptree.Rect{MinX: x0, MinY: 4, MaxX: x0 + 10, MaxY: 12}, 0)
+		b.AddDoor(fmt.Sprintf("d%d", i), viptree.Point{X: x0 + 5, Y: 4}, room, hall)
+	}
+	exit := b.AddDoor("exit", viptree.Point{X: 40, Y: 2}, hall, viptree.NoPartition)
+	venue, err := b.Build()
+	if err != nil {
+		log.Fatalf("building venue: %v", err)
+	}
+	fmt.Println(venue.ComputeStats())
+
+	tree, err := viptree.BuildVIPTree(venue)
+	if err != nil {
+		log.Fatalf("building VIP-Tree: %v", err)
+	}
+
+	// A visitor standing in room 0 wants to reach a meeting in room 3.
+	visitor := viptree.Location{Partition: 1, Point: viptree.Point{X: 2, Y: 10}}
+	meeting := viptree.Location{Partition: 4, Point: viptree.Point{X: 38, Y: 10}}
+	dist, doors := tree.Path(visitor, meeting)
+	fmt.Printf("room 0 -> room 3: %.1f m through %d doors\n", dist, len(doors))
+	for _, d := range doors {
+		fmt.Printf("  via %s\n", venue.Door(d).Name)
+	}
+
+	// How far is the exit?
+	exitLoc := viptree.Location{Partition: hall, Point: venue.Door(exit).Loc}
+	fmt.Printf("distance to the exit: %.1f m\n", tree.Distance(visitor, exitLoc))
+
+	// Nearest printer: printers sit in rooms 1 and 3.
+	printers := []viptree.Location{
+		{Partition: 2, Point: viptree.Point{X: 15, Y: 8}},
+		{Partition: 4, Point: viptree.Point{X: 35, Y: 8}},
+	}
+	objects := tree.IndexObjects(printers)
+	for _, res := range objects.KNN(visitor, 1) {
+		fmt.Printf("nearest printer: #%d at %.1f m\n", res.ObjectID, res.Dist)
+	}
+}

@@ -1,0 +1,125 @@
+package distaware
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"viptree/internal/model"
+	"viptree/internal/venuegen"
+)
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6 || math.Abs(a-b) <= 1e-6*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestDistanceAndPathMatchGroundTruth(t *testing.T) {
+	v := venuegen.Menzies(venuegen.ScaleTiny)
+	ix := New(v)
+	if ix.Name() != "DistAw" {
+		t.Errorf("name = %q", ix.Name())
+	}
+	d2d := v.D2D()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 80; i++ {
+		s := v.RandomLocation(rng)
+		d := v.RandomLocation(rng)
+		want := d2d.LocationDist(s, d)
+		if got := ix.Distance(s, d); !approx(got, want) {
+			t.Fatalf("Distance = %v, want %v", got, want)
+		}
+		if got, _ := ix.Path(s, d); !approx(got, want) {
+			t.Fatalf("Path distance = %v, want %v", got, want)
+		}
+	}
+	if ix.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive")
+	}
+}
+
+func bruteForce(v *model.Venue, objs []model.Location, q model.Location) []float64 {
+	d2d := v.D2D()
+	out := make([]float64, len(objs))
+	for i, o := range objs {
+		out[i] = d2d.LocationDist(q, o)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	venues := []*model.Venue{
+		venuegen.PaperExample(),
+		venuegen.MelbourneCentral(venuegen.ScaleTiny),
+		venuegen.Clayton(venuegen.ScaleTiny),
+	}
+	for _, v := range venues {
+		rng := rand.New(rand.NewSource(5))
+		objs := make([]model.Location, 12)
+		for i := range objs {
+			objs[i] = v.RandomLocation(rng)
+		}
+		ix := New(v).IndexObjects(objs)
+		for i := 0; i < 30; i++ {
+			q := v.RandomLocation(rng)
+			want := bruteForce(v, objs, q)
+			for _, k := range []int{1, 4} {
+				got := ix.KNN(q, k)
+				if len(got) != k {
+					t.Fatalf("KNN(%d) returned %d results", k, len(got))
+				}
+				for j := 0; j < k; j++ {
+					if !approx(got[j].Dist, want[j]) {
+						t.Fatalf("KNN(%d)[%d] = %v, want %v", k, j, got[j].Dist, want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRangeMatchesBruteForce(t *testing.T) {
+	v := venuegen.Menzies(venuegen.ScaleTiny)
+	rng := rand.New(rand.NewSource(7))
+	objs := make([]model.Location, 15)
+	for i := range objs {
+		objs[i] = v.RandomLocation(rng)
+	}
+	ix := New(v).IndexObjects(objs)
+	for i := 0; i < 30; i++ {
+		q := v.RandomLocation(rng)
+		all := bruteForce(v, objs, q)
+		for _, r := range []float64{20, 80, 300} {
+			wantCount := 0
+			for _, d := range all {
+				if d <= r {
+					wantCount++
+				}
+			}
+			got := ix.Range(q, r)
+			if len(got) != wantCount {
+				t.Fatalf("Range(%v) = %d results, want %d", r, len(got), wantCount)
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	v := venuegen.PaperExample()
+	ix := New(v).IndexObjects(nil)
+	rng := rand.New(rand.NewSource(9))
+	q := v.RandomLocation(rng)
+	if got := ix.KNN(q, 3); len(got) != 0 {
+		t.Errorf("KNN over empty set = %v", got)
+	}
+	objs := []model.Location{q}
+	ix = New(v).IndexObjects(objs)
+	got := ix.KNN(q, 5)
+	if len(got) != 1 || !approx(got[0].Dist, 0) {
+		t.Errorf("KNN colocated = %v", got)
+	}
+	if got := ix.KNN(q, 0); len(got) != 0 {
+		t.Errorf("KNN k=0 = %v", got)
+	}
+}

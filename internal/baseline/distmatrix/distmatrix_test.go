@@ -1,0 +1,154 @@
+package distmatrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"viptree/internal/model"
+	"viptree/internal/venuegen"
+)
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6 || math.Abs(a-b) <= 1e-6*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestDoorDistMatchesDijkstra(t *testing.T) {
+	v := venuegen.PaperExample()
+	m := Build(v, true)
+	d2d := v.D2D()
+	for a := 0; a < v.NumDoors(); a++ {
+		for b := 0; b < v.NumDoors(); b++ {
+			got := m.DoorDist(model.DoorID(a), model.DoorID(b))
+			want := d2d.Dist(model.DoorID(a), model.DoorID(b))
+			if !approx(got, want) {
+				t.Fatalf("DoorDist(%d,%d) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestLocationDistanceMatchesGroundTruth(t *testing.T) {
+	for _, withOpt := range []bool{true, false} {
+		v := venuegen.Menzies(venuegen.ScaleTiny)
+		m := Build(v, withOpt)
+		d2d := v.D2D()
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 100; i++ {
+			s := v.RandomLocation(rng)
+			d := v.RandomLocation(rng)
+			got := m.Distance(s, d)
+			want := d2d.LocationDist(s, d)
+			if !approx(got, want) {
+				t.Fatalf("opt=%v query %d: Distance = %v, want %v (s=%v d=%v)", withOpt, i, got, want, s, d)
+			}
+		}
+	}
+}
+
+func TestOptimisationReducesPairs(t *testing.T) {
+	v := venuegen.Menzies(venuegen.ScaleTiny)
+	opt := Build(v, true)
+	noOpt := Build(v, false)
+	rng := rand.New(rand.NewSource(13))
+	queries := make([][2]model.Location, 200)
+	for i := range queries {
+		queries[i] = [2]model.Location{v.RandomLocation(rng), v.RandomLocation(rng)}
+	}
+	for _, q := range queries {
+		opt.Distance(q[0], q[1])
+		noOpt.Distance(q[0], q[1])
+	}
+	if opt.AvgPairsPerQuery() >= noOpt.AvgPairsPerQuery() {
+		t.Errorf("optimisation should reduce door pairs: %v vs %v", opt.AvgPairsPerQuery(), noOpt.AvgPairsPerQuery())
+	}
+	if opt.Name() != "DistMx" || noOpt.Name() != "DistMx--" {
+		t.Errorf("unexpected names %q %q", opt.Name(), noOpt.Name())
+	}
+	opt.ResetCounters()
+	if opt.AvgPairsPerQuery() != 0 {
+		t.Error("ResetCounters should clear the averages")
+	}
+}
+
+func TestPathIsWalkable(t *testing.T) {
+	v := venuegen.PaperExample()
+	m := Build(v, true)
+	g := v.D2D().Graph
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 60; i++ {
+		s := v.RandomLocation(rng)
+		d := v.RandomLocation(rng)
+		dist, doors := m.Path(s, d)
+		want := v.D2D().LocationDist(s, d)
+		if !approx(dist, want) {
+			t.Fatalf("Path distance = %v, want %v", dist, want)
+		}
+		if s.Partition == d.Partition {
+			continue
+		}
+		total := v.DistToDoor(s, doors[0])
+		for j := 1; j < len(doors); j++ {
+			w, ok := g.EdgeWeight(int(doors[j-1]), int(doors[j]))
+			if !ok {
+				t.Fatalf("non-adjacent doors %d -> %d in path %v", doors[j-1], doors[j], doors)
+			}
+			total += w
+		}
+		total += v.DistToDoor(d, doors[len(doors)-1])
+		if !approx(total, dist) {
+			t.Fatalf("path legs %v != distance %v", total, dist)
+		}
+	}
+}
+
+func TestKNNAndRange(t *testing.T) {
+	v := venuegen.MelbourneCentral(venuegen.ScaleTiny)
+	m := Build(v, true)
+	rng := rand.New(rand.NewSource(23))
+	objs := make([]model.Location, 10)
+	for i := range objs {
+		objs[i] = v.RandomLocation(rng)
+	}
+	oi := m.IndexObjects(objs)
+	if oi.Name() != "DistAw++" {
+		t.Errorf("object index name = %q", oi.Name())
+	}
+	d2d := v.D2D()
+	for i := 0; i < 30; i++ {
+		q := v.RandomLocation(rng)
+		got := oi.KNN(q, 3)
+		if len(got) != 3 {
+			t.Fatalf("KNN returned %d results", len(got))
+		}
+		// Compare distances with brute force.
+		bestDist := math.MaxFloat64
+		for _, o := range objs {
+			if d := d2d.LocationDist(q, o); d < bestDist {
+				bestDist = d
+			}
+		}
+		if !approx(got[0].Dist, bestDist) {
+			t.Fatalf("nearest = %v, want %v", got[0].Dist, bestDist)
+		}
+		r := got[2].Dist
+		within := oi.Range(q, r)
+		if len(within) < 3 {
+			t.Fatalf("Range(%v) returned %d results, want >= 3", r, len(within))
+		}
+		for _, res := range within {
+			if res.Dist > r+1e-9 {
+				t.Fatalf("range result %v beyond radius %v", res, r)
+			}
+		}
+	}
+}
+
+func TestMemoryBytesQuadratic(t *testing.T) {
+	v := venuegen.PaperExample()
+	m := Build(v, true)
+	want := int64(v.NumDoors()) * int64(v.NumDoors()) * 12
+	if m.MemoryBytes() < want {
+		t.Errorf("MemoryBytes = %d, want >= %d", m.MemoryBytes(), want)
+	}
+}

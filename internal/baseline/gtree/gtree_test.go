@@ -1,0 +1,115 @@
+package gtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"viptree/internal/model"
+	"viptree/internal/venuegen"
+)
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6 || math.Abs(a-b) <= 1e-6*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestDoorDistMatchesDijkstra(t *testing.T) {
+	venues := []*model.Venue{
+		venuegen.PaperExample(),
+		venuegen.Menzies(venuegen.ScaleTiny),
+	}
+	for _, v := range venues {
+		g := Build(v, Options{LeafSize: 8})
+		d2d := v.D2D()
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 300; i++ {
+			a := model.DoorID(rng.Intn(v.NumDoors()))
+			b := model.DoorID(rng.Intn(v.NumDoors()))
+			got := g.DoorDist(a, b)
+			want := d2d.Dist(a, b)
+			if !approx(got, want) {
+				t.Fatalf("%s: DoorDist(%d,%d) = %v, want %v", v.Name, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestLocationDistanceMatchesGroundTruth(t *testing.T) {
+	v := venuegen.MelbourneCentral(venuegen.ScaleTiny)
+	g := Build(v, Options{LeafSize: 16})
+	if g.Name() != "G-tree" {
+		t.Errorf("name = %q", g.Name())
+	}
+	d2d := v.D2D()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 80; i++ {
+		s := v.RandomLocation(rng)
+		d := v.RandomLocation(rng)
+		got := g.Distance(s, d)
+		want := d2d.LocationDist(s, d)
+		if !approx(got, want) {
+			t.Fatalf("Distance = %v, want %v (s=%v d=%v)", got, want, s, d)
+		}
+		pd, _ := g.Path(s, d)
+		if !approx(pd, want) {
+			t.Fatalf("Path distance = %v, want %v", pd, want)
+		}
+	}
+	if g.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive")
+	}
+}
+
+func TestLeafSizeVariants(t *testing.T) {
+	v := venuegen.PaperExample()
+	d2d := v.D2D()
+	for _, leaf := range []int{2, 4, 100} {
+		g := Build(v, Options{LeafSize: leaf})
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 60; i++ {
+			s := v.RandomLocation(rng)
+			d := v.RandomLocation(rng)
+			got := g.Distance(s, d)
+			want := d2d.LocationDist(s, d)
+			if !approx(got, want) {
+				t.Fatalf("leaf=%d: Distance = %v, want %v", leaf, got, want)
+			}
+		}
+	}
+}
+
+func TestKNNAndRange(t *testing.T) {
+	v := venuegen.PaperExample()
+	g := Build(v, Options{LeafSize: 8})
+	rng := rand.New(rand.NewSource(4))
+	objs := make([]model.Location, 8)
+	for i := range objs {
+		objs[i] = v.RandomLocation(rng)
+	}
+	oi := g.IndexObjects(objs)
+	if oi.Name() != "G-tree" {
+		t.Errorf("object index name = %q", oi.Name())
+	}
+	d2d := v.D2D()
+	for i := 0; i < 20; i++ {
+		q := v.RandomLocation(rng)
+		got := oi.KNN(q, 3)
+		if len(got) != 3 {
+			t.Fatalf("KNN returned %d results", len(got))
+		}
+		best := math.MaxFloat64
+		for _, o := range objs {
+			if dd := d2d.LocationDist(q, o); dd < best {
+				best = dd
+			}
+		}
+		if !approx(got[0].Dist, best) {
+			t.Fatalf("nearest = %v, want %v", got[0].Dist, best)
+		}
+		for _, res := range oi.Range(q, 50) {
+			if res.Dist > 50+1e-9 {
+				t.Fatalf("range result beyond radius: %v", res)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package road
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"viptree/internal/model"
+	"viptree/internal/venuegen"
+)
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6 || math.Abs(a-b) <= 1e-6*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestDistanceMatchesGroundTruth(t *testing.T) {
+	venues := []*model.Venue{
+		venuegen.PaperExample(),
+		venuegen.MelbourneCentral(venuegen.ScaleTiny),
+		venuegen.Menzies(venuegen.ScaleTiny),
+	}
+	for _, v := range venues {
+		for _, rnet := range []int{4, 16, 1000} {
+			ix := Build(v, Options{RnetSize: rnet})
+			d2d := v.D2D()
+			rng := rand.New(rand.NewSource(int64(rnet)))
+			for i := 0; i < 60; i++ {
+				s := v.RandomLocation(rng)
+				d := v.RandomLocation(rng)
+				got := ix.Distance(s, d)
+				want := d2d.LocationDist(s, d)
+				if !approx(got, want) {
+					t.Fatalf("%s rnet=%d: Distance = %v, want %v (s=%v d=%v)", v.Name, rnet, got, want, s, d)
+				}
+			}
+		}
+	}
+}
+
+func TestPathDistanceConsistent(t *testing.T) {
+	v := venuegen.PaperExample()
+	ix := Build(v, Options{RnetSize: 8})
+	if ix.Name() != "ROAD" {
+		t.Errorf("name = %q", ix.Name())
+	}
+	if ix.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive")
+	}
+	d2d := v.D2D()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 40; i++ {
+		s := v.RandomLocation(rng)
+		d := v.RandomLocation(rng)
+		got, doors := ix.Path(s, d)
+		want := d2d.LocationDist(s, d)
+		if !approx(got, want) {
+			t.Fatalf("Path distance = %v, want %v", got, want)
+		}
+		if s.Partition != d.Partition && len(doors) == 0 {
+			t.Fatal("expected a door sequence for a cross-partition path")
+		}
+	}
+}
+
+func TestKNNAndRange(t *testing.T) {
+	v := venuegen.MelbourneCentral(venuegen.ScaleTiny)
+	ix := Build(v, Options{RnetSize: 16})
+	rng := rand.New(rand.NewSource(8))
+	objs := make([]model.Location, 10)
+	for i := range objs {
+		objs[i] = v.RandomLocation(rng)
+	}
+	ix.IndexObjects(objs)
+	d2d := v.D2D()
+	for i := 0; i < 20; i++ {
+		q := v.RandomLocation(rng)
+		got := ix.KNN(q, 3)
+		if len(got) != 3 {
+			t.Fatalf("KNN returned %d results", len(got))
+		}
+		best := math.MaxFloat64
+		for _, o := range objs {
+			if dd := d2d.LocationDist(q, o); dd < best {
+				best = dd
+			}
+		}
+		if !approx(got[0].Dist, best) {
+			t.Fatalf("nearest = %v, want %v", got[0].Dist, best)
+		}
+		for _, res := range ix.Range(q, 60) {
+			if res.Dist > 60+1e-9 {
+				t.Fatalf("range result beyond radius: %v", res)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package bench provides the workload generators, measurement helpers and
+// experiment drivers that regenerate the tables and figures of the paper's
+// evaluation (Section 4). It is shared by the root-level Go benchmarks and
+// by cmd/experiments.
+package bench
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"viptree/internal/model"
+)
+
+// QueryPair is one shortest-distance / shortest-path query.
+type QueryPair struct {
+	S, T model.Location
+}
+
+// Pairs generates n uniformly random source/target pairs (the paper uses
+// 10,000 random pairs; benchmarks use fewer per iteration).
+func Pairs(v *model.Venue, n int, seed int64) []QueryPair {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]QueryPair, n)
+	for i := range out {
+		out[i] = QueryPair{S: v.RandomLocation(rng), T: v.RandomLocation(rng)}
+	}
+	return out
+}
+
+// Points generates n uniformly random query points for kNN/range workloads.
+func Points(v *model.Venue, n int, seed int64) []model.Location {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]model.Location, n)
+	for i := range out {
+		out[i] = v.RandomLocation(rng)
+	}
+	return out
+}
+
+// Objects generates n uniformly random objects (the paper places washrooms
+// and synthetic object sets of 10–500 objects).
+func Objects(v *model.Venue, n int, seed int64) []model.Location {
+	return Points(v, n, seed)
+}
+
+// BucketedPairs generates query pairs grouped into `buckets` distance
+// quintiles Q1..Qb (Fig 10b): pairs are drawn at random, their exact distance
+// is computed with the D2D graph, and each pair is assigned to the bucket
+// covering its distance. Generation stops when every bucket has perBucket
+// pairs or the attempt budget is exhausted.
+func BucketedPairs(v *model.Venue, buckets, perBucket int, seed int64) [][]QueryPair {
+	rng := rand.New(rand.NewSource(seed))
+	// Estimate dmax by sampling random pairs.
+	dmax := 0.0
+	for i := 0; i < 200; i++ {
+		s, t := v.RandomLocation(rng), v.RandomLocation(rng)
+		if d := v.D2D().LocationDist(s, t); d < 1e17 && d > dmax {
+			dmax = d
+		}
+	}
+	if dmax == 0 {
+		dmax = 1
+	}
+	out := make([][]QueryPair, buckets)
+	attempts := buckets * perBucket * 50
+	for i := 0; i < attempts; i++ {
+		full := true
+		for _, b := range out {
+			if len(b) < perBucket {
+				full = false
+				break
+			}
+		}
+		if full {
+			break
+		}
+		s, t := v.RandomLocation(rng), v.RandomLocation(rng)
+		d := v.D2D().LocationDist(s, t)
+		if d >= 1e17 {
+			continue
+		}
+		b := int(float64(buckets) * d / (dmax * 1.0001))
+		if b >= buckets {
+			b = buckets - 1
+		}
+		if len(out[b]) < perBucket {
+			out[b] = append(out[b], QueryPair{S: s, T: t})
+		}
+	}
+	return out
+}
+
+// Measurement is the timing result of running a query workload.
+type Measurement struct {
+	Queries int
+	Total   time.Duration
+}
+
+// PerQueryMicros returns the average query latency in microseconds, the unit
+// the paper's figures use.
+func (m Measurement) PerQueryMicros() float64 {
+	if m.Queries == 0 {
+		return 0
+	}
+	return float64(m.Total.Microseconds()) / float64(m.Queries)
+}
+
+// MeasureDistance times shortest-distance queries over the pairs.
+func MeasureDistance(q interface {
+	Distance(s, t model.Location) float64
+}, pairs []QueryPair) Measurement {
+	start := time.Now()
+	for _, p := range pairs {
+		q.Distance(p.S, p.T)
+	}
+	return Measurement{Queries: len(pairs), Total: time.Since(start)}
+}
+
+// MeasurePath times shortest-path queries over the pairs.
+func MeasurePath(q interface {
+	Path(s, t model.Location) (float64, []model.DoorID)
+}, pairs []QueryPair) Measurement {
+	start := time.Now()
+	for _, p := range pairs {
+		q.Path(p.S, p.T)
+	}
+	return Measurement{Queries: len(pairs), Total: time.Since(start)}
+}
+
+// KNNFunc is a kNN query function.
+type KNNFunc func(q model.Location, k int) int
+
+// MeasureKNN times kNN queries over the query points.
+func MeasureKNN(knn KNNFunc, points []model.Location, k int) Measurement {
+	start := time.Now()
+	for _, p := range points {
+		knn(p, k)
+	}
+	return Measurement{Queries: len(points), Total: time.Since(start)}
+}
+
+// RangeFunc is a range query function.
+type RangeFunc func(q model.Location, r float64) int
+
+// MeasureRange times range queries over the query points.
+func MeasureRange(rangeQ RangeFunc, points []model.Location, r float64) Measurement {
+	start := time.Now()
+	for _, p := range points {
+		rangeQ(p, r)
+	}
+	return Measurement{Queries: len(points), Total: time.Since(start)}
+}
+
+// SortedDistances is a test helper: it returns the exact distances from q to
+// every object, ascending, computed on the D2D graph.
+func SortedDistances(v *model.Venue, objects []model.Location, q model.Location) []float64 {
+	out := make([]float64, len(objects))
+	for i, o := range objects {
+		out[i] = v.D2D().LocationDist(q, o)
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,226 @@
+package graph
+
+// This file implements the Dijkstra variants used across the repository:
+//
+//   - ShortestDist / ShortestPath: point-to-point with early termination,
+//     used as ground truth in tests and by the DistAw baseline.
+//   - FromSource: single-source all-distances, used to build the full
+//     distance matrix (DistMx baseline).
+//   - ToTargets: single-source terminated once a given target set is
+//     settled, used to build IP-Tree leaf and non-leaf distance matrices
+//     ("issue a Dijkstra's search until all doors in the node N are
+//     reached", Section 2.1.2).
+//   - Bounded: single-source limited to a distance radius, used by range
+//     queries in expansion-based baselines.
+
+// searchState holds the reusable arrays of a Dijkstra run.
+type searchState struct {
+	dist    []float64
+	prev    []int
+	settled []bool
+}
+
+func newSearchState(n int) *searchState {
+	s := &searchState{
+		dist:    make([]float64, n),
+		prev:    make([]int, n),
+		settled: make([]bool, n),
+	}
+	for i := range s.dist {
+		s.dist[i] = Infinity
+		s.prev[i] = -1
+	}
+	return s
+}
+
+// ShortestDist returns the length of the shortest path from s to t, or
+// Infinity if t is unreachable. The search terminates as soon as t is
+// settled.
+func (g *Graph) ShortestDist(s, t int) float64 {
+	d, _ := g.shortestPathInternal(s, t, false)
+	return d
+}
+
+// ShortestPath returns the length of the shortest path from s to t and the
+// sequence of vertices on it (starting with s and ending with t). If t is
+// unreachable it returns Infinity and a nil path.
+func (g *Graph) ShortestPath(s, t int) (float64, []int) {
+	return g.shortestPathInternal(s, t, true)
+}
+
+func (g *Graph) shortestPathInternal(s, t int, wantPath bool) (float64, []int) {
+	n := len(g.adj)
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return Infinity, nil
+	}
+	if s == t {
+		if wantPath {
+			return 0, []int{s}
+		}
+		return 0, nil
+	}
+	st := newSearchState(n)
+	st.dist[s] = 0
+	h := newMinHeap(64)
+	h.Push(s, 0)
+	for h.Len() > 0 {
+		u, d := h.PopMin()
+		if st.settled[u] {
+			continue
+		}
+		st.settled[u] = true
+		if u == t {
+			break
+		}
+		for _, e := range g.adj[u] {
+			if nd := d + e.Weight; nd < st.dist[e.To] {
+				st.dist[e.To] = nd
+				st.prev[e.To] = u
+				h.Push(e.To, nd)
+			}
+		}
+	}
+	if st.dist[t] == Infinity {
+		return Infinity, nil
+	}
+	if !wantPath {
+		return st.dist[t], nil
+	}
+	return st.dist[t], reconstruct(st.prev, s, t)
+}
+
+func reconstruct(prev []int, s, t int) []int {
+	var rev []int
+	for v := t; v != -1; v = prev[v] {
+		rev = append(rev, v)
+		if v == s {
+			break
+		}
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// FromSource runs a full single-source Dijkstra from s and returns the
+// distance to every vertex (Infinity for unreachable vertices) and the
+// predecessor array for path reconstruction (-1 for s and unreachable
+// vertices).
+func (g *Graph) FromSource(s int) (dist []float64, prev []int) {
+	n := len(g.adj)
+	st := newSearchState(n)
+	if s < 0 || s >= n {
+		return st.dist, st.prev
+	}
+	st.dist[s] = 0
+	h := newMinHeap(64)
+	h.Push(s, 0)
+	for h.Len() > 0 {
+		u, d := h.PopMin()
+		if st.settled[u] {
+			continue
+		}
+		st.settled[u] = true
+		for _, e := range g.adj[u] {
+			if nd := d + e.Weight; nd < st.dist[e.To] {
+				st.dist[e.To] = nd
+				st.prev[e.To] = u
+				h.Push(e.To, nd)
+			}
+		}
+	}
+	return st.dist, st.prev
+}
+
+// ToTargets runs Dijkstra from s and stops as soon as every vertex in
+// targets has been settled (or the graph is exhausted). It returns the
+// distances and predecessors restricted to what was explored: vertices that
+// were not reached have distance Infinity.
+//
+// This is the primitive used to build IP-Tree distance matrices: the doors of
+// a node are close to each other, so the expansion settles quickly without
+// touching the rest of the graph.
+func (g *Graph) ToTargets(s int, targets []int) (dist []float64, prev []int) {
+	n := len(g.adj)
+	st := newSearchState(n)
+	if s < 0 || s >= n {
+		return st.dist, st.prev
+	}
+	pending := make(map[int]struct{}, len(targets))
+	for _, t := range targets {
+		if t >= 0 && t < n {
+			pending[t] = struct{}{}
+		}
+	}
+	st.dist[s] = 0
+	h := newMinHeap(64)
+	h.Push(s, 0)
+	for h.Len() > 0 && len(pending) > 0 {
+		u, d := h.PopMin()
+		if st.settled[u] {
+			continue
+		}
+		st.settled[u] = true
+		delete(pending, u)
+		for _, e := range g.adj[u] {
+			if nd := d + e.Weight; nd < st.dist[e.To] {
+				st.dist[e.To] = nd
+				st.prev[e.To] = u
+				h.Push(e.To, nd)
+			}
+		}
+	}
+	return st.dist, st.prev
+}
+
+// Bounded runs Dijkstra from s and settles only vertices whose distance is
+// at most radius. It returns a map from settled vertex to its distance.
+func (g *Graph) Bounded(s int, radius float64) map[int]float64 {
+	n := len(g.adj)
+	result := make(map[int]float64)
+	if s < 0 || s >= n {
+		return result
+	}
+	dist := make(map[int]float64, 64)
+	dist[s] = 0
+	h := newMinHeap(64)
+	h.Push(s, 0)
+	for h.Len() > 0 {
+		u, d := h.PopMin()
+		if _, done := result[u]; done {
+			continue
+		}
+		if d > radius {
+			break
+		}
+		result[u] = d
+		for _, e := range g.adj[u] {
+			nd := d + e.Weight
+			if nd > radius {
+				continue
+			}
+			if old, ok := dist[e.To]; !ok || nd < old {
+				dist[e.To] = nd
+				h.Push(e.To, nd)
+			}
+		}
+	}
+	return result
+}
+
+// PathOnPrev reconstructs the path from s to t given a predecessor array
+// produced by FromSource or ToTargets. It returns nil if t was not reached.
+func PathOnPrev(prev []int, s, t int) []int {
+	if t < 0 || t >= len(prev) {
+		return nil
+	}
+	if s == t {
+		return []int{s}
+	}
+	if prev[t] == -1 {
+		return nil
+	}
+	return reconstruct(prev, s, t)
+}

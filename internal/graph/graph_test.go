@@ -1,0 +1,314 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func buildDiamond() *Graph {
+	// 0 --1-- 1 --1-- 3
+	//  \             /
+	//   --2-- 2 --1--
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(2, 3, 1)
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := buildDiamond()
+	if got := g.NumVertices(); got != 4 {
+		t.Errorf("NumVertices = %d, want 4", got)
+	}
+	if got := g.NumEdges(); got != 4 {
+		t.Errorf("NumEdges = %d, want 4", got)
+	}
+	if got := g.NumArcs(); got != 8 {
+		t.Errorf("NumArcs = %d, want 8", got)
+	}
+	if got := g.OutDegree(0); got != 2 {
+		t.Errorf("OutDegree(0) = %d, want 2", got)
+	}
+	if got := g.MaxOutDegree(); got != 2 {
+		t.Errorf("MaxOutDegree = %d, want 2", got)
+	}
+	if got := g.AvgOutDegree(); got != 2 {
+		t.Errorf("AvgOutDegree = %v, want 2", got)
+	}
+	if w, ok := g.EdgeWeight(0, 2); !ok || w != 2 {
+		t.Errorf("EdgeWeight(0,2) = %v,%v want 2,true", w, ok)
+	}
+	if _, ok := g.EdgeWeight(1, 2); ok {
+		t.Error("EdgeWeight(1,2) should not exist")
+	}
+}
+
+func TestAddArcPanicsOnNegativeWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddArc with negative weight should panic")
+		}
+	}()
+	g := New(2)
+	g.AddArc(0, 1, -1)
+}
+
+func TestEnsureVertexGrowsGraph(t *testing.T) {
+	g := New(0)
+	g.AddEdge(5, 7, 1.5)
+	if g.NumVertices() != 8 {
+		t.Errorf("NumVertices = %d, want 8", g.NumVertices())
+	}
+	if w, ok := g.EdgeWeight(5, 7); !ok || w != 1.5 {
+		t.Errorf("EdgeWeight(5,7) = %v,%v", w, ok)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := buildDiamond()
+	if !g.Connected() {
+		t.Error("diamond graph should be connected")
+	}
+	g.EnsureVertex(10)
+	if g.Connected() {
+		t.Error("graph with isolated vertex should not be connected")
+	}
+	if New(0).Connected() != true {
+		t.Error("empty graph is trivially connected")
+	}
+	if New(1).Connected() != true {
+		t.Error("single-vertex graph is trivially connected")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("Components count = %d, want 3", len(comps))
+	}
+	if len(comps[0]) != 3 {
+		t.Errorf("largest component size = %d, want 3", len(comps[0]))
+	}
+	if comps[0][0] != 0 || comps[0][1] != 1 || comps[0][2] != 2 {
+		t.Errorf("largest component = %v, want [0 1 2]", comps[0])
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := buildDiamond()
+	c := g.Clone()
+	c.AddEdge(0, 3, 0.1)
+	if d := g.ShortestDist(0, 3); math.Abs(d-2) > 1e-9 {
+		t.Errorf("original graph modified by clone edit: dist = %v", d)
+	}
+	if d := c.ShortestDist(0, 3); math.Abs(d-0.1) > 1e-9 {
+		t.Errorf("clone dist = %v, want 0.1", d)
+	}
+}
+
+func TestShortestDistAndPath(t *testing.T) {
+	g := buildDiamond()
+	if d := g.ShortestDist(0, 3); d != 2 {
+		t.Errorf("ShortestDist(0,3) = %v, want 2", d)
+	}
+	d, path := g.ShortestPath(0, 3)
+	if d != 2 {
+		t.Errorf("ShortestPath dist = %v, want 2", d)
+	}
+	want := []int{0, 1, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestShortestPathSameVertex(t *testing.T) {
+	g := buildDiamond()
+	d, path := g.ShortestPath(2, 2)
+	if d != 0 || len(path) != 1 || path[0] != 2 {
+		t.Errorf("ShortestPath(2,2) = %v, %v", d, path)
+	}
+	if d := g.ShortestDist(2, 2); d != 0 {
+		t.Errorf("ShortestDist(2,2) = %v", d)
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	g := buildDiamond()
+	g.EnsureVertex(9)
+	if d := g.ShortestDist(0, 9); d != Infinity {
+		t.Errorf("unreachable dist = %v, want Infinity", d)
+	}
+	d, path := g.ShortestPath(0, 9)
+	if d != Infinity || path != nil {
+		t.Errorf("unreachable path = %v, %v", d, path)
+	}
+	if d := g.ShortestDist(-1, 2); d != Infinity {
+		t.Errorf("invalid source dist = %v", d)
+	}
+}
+
+func TestFromSource(t *testing.T) {
+	g := buildDiamond()
+	dist, prev := g.FromSource(0)
+	wantDist := []float64{0, 1, 2, 2}
+	for v, want := range wantDist {
+		if dist[v] != want {
+			t.Errorf("dist[%d] = %v, want %v", v, dist[v], want)
+		}
+	}
+	if p := PathOnPrev(prev, 0, 3); len(p) != 3 || p[0] != 0 || p[2] != 3 {
+		t.Errorf("PathOnPrev = %v", p)
+	}
+	if p := PathOnPrev(prev, 0, 0); len(p) != 1 || p[0] != 0 {
+		t.Errorf("PathOnPrev to source = %v", p)
+	}
+}
+
+func TestToTargets(t *testing.T) {
+	// A path graph 0-1-2-3-4-5; asking only for targets {1,2} must not
+	// require settling 5.
+	g := New(6)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	dist, _ := g.ToTargets(0, []int{1, 2})
+	if dist[1] != 1 || dist[2] != 2 {
+		t.Errorf("target dists = %v, %v", dist[1], dist[2])
+	}
+	// The search stops once targets are settled, so far vertices stay at
+	// Infinity.
+	if dist[5] != Infinity {
+		t.Errorf("dist[5] = %v, expected Infinity (not explored)", dist[5])
+	}
+	// Out-of-range targets are ignored.
+	dist, _ = g.ToTargets(0, []int{99, 3})
+	if dist[3] != 3 {
+		t.Errorf("dist[3] = %v, want 3", dist[3])
+	}
+}
+
+func TestBounded(t *testing.T) {
+	g := New(6)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	got := g.Bounded(0, 2.5)
+	if len(got) != 3 {
+		t.Fatalf("Bounded settled %d vertices, want 3: %v", len(got), got)
+	}
+	for v, want := range map[int]float64{0: 0, 1: 1, 2: 2} {
+		if got[v] != want {
+			t.Errorf("Bounded[%d] = %v, want %v", v, got[v], want)
+		}
+	}
+	if len(g.Bounded(-1, 10)) != 0 {
+		t.Error("Bounded with invalid source should return empty map")
+	}
+}
+
+func TestDijkstraAgainstFloydWarshallRandom(t *testing.T) {
+	// Property test: on random graphs Dijkstra's point-to-point distance
+	// must equal the Floyd–Warshall all-pairs answer.
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 20; iter++ {
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		// random connected-ish graph: spanning chain plus random extras
+		for i := 1; i < n; i++ {
+			g.AddEdge(i-1, i, 1+rng.Float64()*10)
+		}
+		extra := rng.Intn(3 * n)
+		for i := 0; i < extra; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, 1+rng.Float64()*10)
+			}
+		}
+		// Floyd–Warshall
+		fw := make([][]float64, n)
+		for i := range fw {
+			fw[i] = make([]float64, n)
+			for j := range fw[i] {
+				if i == j {
+					fw[i][j] = 0
+				} else {
+					fw[i][j] = Infinity
+				}
+			}
+		}
+		for u := 0; u < n; u++ {
+			for _, e := range g.Neighbors(u) {
+				if e.Weight < fw[u][e.To] {
+					fw[u][e.To] = e.Weight
+				}
+			}
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if fw[i][k]+fw[k][j] < fw[i][j] {
+						fw[i][j] = fw[i][k] + fw[k][j]
+					}
+				}
+			}
+		}
+		for trial := 0; trial < 10; trial++ {
+			s, d := rng.Intn(n), rng.Intn(n)
+			got := g.ShortestDist(s, d)
+			if math.Abs(got-fw[s][d]) > 1e-6 {
+				t.Fatalf("iter %d: dist(%d,%d) = %v, Floyd–Warshall = %v", iter, s, d, got, fw[s][d])
+			}
+			// Path length must equal the distance.
+			gd, path := g.ShortestPath(s, d)
+			if gd == Infinity {
+				continue
+			}
+			var sum float64
+			for i := 1; i < len(path); i++ {
+				w, ok := g.EdgeWeight(path[i-1], path[i])
+				if !ok {
+					t.Fatalf("path %v contains non-edge %d-%d", path, path[i-1], path[i])
+				}
+				sum += w
+			}
+			if math.Abs(sum-gd) > 1e-6 {
+				t.Fatalf("path weight %v != dist %v", sum, gd)
+			}
+		}
+	}
+}
+
+func TestMinHeapOrdering(t *testing.T) {
+	h := newMinHeap(4)
+	values := []float64{5, 3, 8, 1, 9, 2, 7}
+	for i, v := range values {
+		h.Push(i, v)
+	}
+	prev := -1.0
+	for h.Len() > 0 {
+		_, d := h.PopMin()
+		if d < prev {
+			t.Fatalf("heap returned %v after %v", d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestMemoryBytesPositive(t *testing.T) {
+	g := buildDiamond()
+	if g.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive for a non-empty graph")
+	}
+}

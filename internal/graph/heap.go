@@ -1,0 +1,72 @@
+package graph
+
+// heapItem is an entry in the distance priority queue.
+type heapItem struct {
+	vertex int
+	dist   float64
+}
+
+// minHeap is a binary min-heap of (vertex, distance) pairs ordered by
+// distance. It is intentionally simpler than container/heap: Dijkstra only
+// needs Push and PopMin and we use lazy deletion for decrease-key, so a
+// specialised implementation avoids the interface overhead on the hot path.
+type minHeap struct {
+	items []heapItem
+}
+
+// newMinHeap returns a heap with capacity for n items.
+func newMinHeap(n int) *minHeap {
+	return &minHeap{items: make([]heapItem, 0, n)}
+}
+
+// Len returns the number of items currently in the heap.
+func (h *minHeap) Len() int { return len(h.items) }
+
+// Push adds a (vertex, dist) entry.
+func (h *minHeap) Push(vertex int, dist float64) {
+	h.items = append(h.items, heapItem{vertex: vertex, dist: dist})
+	h.up(len(h.items) - 1)
+}
+
+// PopMin removes and returns the entry with the smallest distance. It panics
+// if the heap is empty.
+func (h *minHeap) PopMin() (int, float64) {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top.vertex, top.dist
+}
+
+func (h *minHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].dist <= h.items[i].dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *minHeap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.items[right].dist < h.items[left].dist {
+			smallest = right
+		}
+		if h.items[i].dist <= h.items[smallest].dist {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

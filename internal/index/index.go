@@ -1,0 +1,50 @@
+// Package index defines the query interfaces implemented by every indoor
+// index in this repository (IP-Tree, VIP-Tree, the distance matrix, the
+// distance-aware model, G-tree and ROAD), so that the benchmark harness and
+// the experiment driver can treat them uniformly.
+package index
+
+import "viptree/internal/model"
+
+// DistanceQuerier answers shortest-distance and shortest-path queries
+// between two indoor locations.
+type DistanceQuerier interface {
+	// Name identifies the index in benchmark output (e.g. "VIP-Tree").
+	Name() string
+	// Distance returns the length of the shortest indoor path from s to t.
+	Distance(s, t model.Location) float64
+	// Path returns the length of the shortest indoor path from s to t and
+	// the sequence of doors it passes through (possibly empty when s and t
+	// are in the same partition).
+	Path(s, t model.Location) (float64, []model.DoorID)
+}
+
+// ObjectResult is one object returned by a kNN or range query.
+type ObjectResult struct {
+	// ObjectID is the position of the object in the object set passed to
+	// the index.
+	ObjectID int
+	// Dist is the indoor distance from the query point to the object.
+	Dist float64
+}
+
+// ObjectQuerier answers k-nearest-neighbour and range queries over a set of
+// indexed objects.
+type ObjectQuerier interface {
+	// Name identifies the index in benchmark output.
+	Name() string
+	// KNN returns the k objects nearest to q in ascending distance order.
+	KNN(q model.Location, k int) []ObjectResult
+	// Range returns every object within distance r of q in ascending
+	// distance order.
+	Range(q model.Location, r float64) []ObjectResult
+}
+
+// Index is the full set of capabilities: construction metadata plus distance
+// and object queries.
+type Index interface {
+	DistanceQuerier
+	// MemoryBytes estimates the memory footprint of the index structures
+	// (used for the Fig 8b index-size comparison).
+	MemoryBytes() int64
+}

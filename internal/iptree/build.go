@@ -1,0 +1,742 @@
+package iptree
+
+import (
+	"sort"
+
+	"viptree/internal/graph"
+	"viptree/internal/model"
+)
+
+// This file implements tree construction (Section 2.1.2):
+//
+//  1. buildLeaves groups adjacent indoor partitions into leaf nodes, keeping
+//     every hallway partition in a distinct leaf (rules i and ii).
+//  2. buildHierarchy merges nodes level by level with Algorithm 1, choosing
+//     merges that maximise the number of shared access doors, and computes
+//     the access doors of every node bottom-up.
+//  3. buildLeafMatrices runs a Dijkstra search on the D2D graph from every
+//     access door of every leaf to populate the leaf distance matrices
+//     (distance plus next-hop door), and derives the superior doors of each
+//     partition (Definition 2).
+//  4. buildNonLeafMatrices builds the level-l graphs G_l and populates the
+//     distance matrices of non-leaf nodes bottom-up.
+
+// buildLeaves implements step 1: creating leaf nodes.
+func (t *Tree) buildLeaves() {
+	v := t.venue
+	numParts := v.NumPartitions()
+	groupOf := make([]int, numParts)
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	var groups [][]model.PartitionID
+
+	// Every hallway partition seeds its own group (rule ii keeps hallways in
+	// distinct leaves).
+	for p := 0; p < numParts; p++ {
+		pid := model.PartitionID(p)
+		if v.Kind(pid) == model.KindHallway {
+			groupOf[p] = len(groups)
+			groups = append(groups, []model.PartitionID{pid})
+		}
+	}
+
+	// Iteratively attach the remaining partitions to adjacent groups. A
+	// partition joins the adjacent group with which it shares the most
+	// doors (rule i), preferring groups whose hallway lies on the same
+	// floor. Merging a non-hallway partition never creates a second hallway
+	// in a group, so rule ii holds by construction.
+	hallwayFloor := make([]int, len(groups))
+	for gi, g := range groups {
+		hallwayFloor[gi] = v.Partition(g[0]).Bounds.Floor
+	}
+	for changed := true; changed; {
+		changed = false
+		for p := 0; p < numParts; p++ {
+			if groupOf[p] != -1 {
+				continue
+			}
+			pid := model.PartitionID(p)
+			bestGroup, bestScore, bestSameFloor := -1, -1, false
+			for _, adj := range v.AdjacentPartitions(pid) {
+				g := groupOf[adj]
+				if g == -1 {
+					continue
+				}
+				score := len(v.CommonDoors(pid, adj))
+				sameFloor := g < len(hallwayFloor) && hallwayFloor[g] == v.Partition(pid).Bounds.Floor
+				if score > bestScore || (score == bestScore && sameFloor && !bestSameFloor) {
+					bestGroup, bestScore, bestSameFloor = g, score, sameFloor
+				}
+			}
+			if bestGroup >= 0 {
+				groupOf[p] = bestGroup
+				groups[bestGroup] = append(groups[bestGroup], pid)
+				changed = true
+			}
+		}
+	}
+
+	// Any partitions still unassigned belong to connected components with no
+	// hallway (or disconnected from every hallway); each such component
+	// becomes its own leaf, which matches the paper's termination rule
+	// (merging continues as long as it does not create a two-hallway leaf).
+	for p := 0; p < numParts; p++ {
+		if groupOf[p] != -1 {
+			continue
+		}
+		gi := len(groups)
+		groups = append(groups, nil)
+		stack := []model.PartitionID{model.PartitionID(p)}
+		groupOf[p] = gi
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			groups[gi] = append(groups[gi], cur)
+			for _, adj := range v.AdjacentPartitions(cur) {
+				if groupOf[adj] == -1 {
+					groupOf[adj] = gi
+					stack = append(stack, adj)
+				}
+			}
+		}
+	}
+
+	// Materialise the leaf nodes.
+	t.leafOfPartition = make([]NodeID, numParts)
+	t.doorsOfLeaf = make(map[NodeID][]model.DoorID, len(groups))
+	for _, parts := range groups {
+		id := NodeID(len(t.nodes))
+		sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+		t.nodes = append(t.nodes, Node{ID: id, Parent: invalidNode, Level: 1, Partitions: parts})
+		doorSet := make(map[model.DoorID]bool)
+		for _, pid := range parts {
+			t.leafOfPartition[pid] = id
+			for _, d := range v.Partition(pid).Doors {
+				doorSet[d] = true
+			}
+		}
+		doors := make([]model.DoorID, 0, len(doorSet))
+		for d := range doorSet {
+			doors = append(doors, d)
+		}
+		sort.Slice(doors, func(i, j int) bool { return doors[i] < doors[j] })
+		t.doorsOfLeaf[id] = doors
+	}
+
+	// Per-door bookkeeping: the leaves containing each door.
+	t.leavesOfDoor = make([][]NodeID, v.NumDoors())
+	for leaf, doors := range t.doorsOfLeaf {
+		for _, d := range doors {
+			t.leavesOfDoor[d] = append(t.leavesOfDoor[d], leaf)
+		}
+	}
+	for d := range t.leavesOfDoor {
+		sort.Slice(t.leavesOfDoor[d], func(i, j int) bool { return t.leavesOfDoor[d][i] < t.leavesOfDoor[d][j] })
+	}
+}
+
+// accessDoorsOfLeaf computes AD(N) for a leaf: the doors connecting it to
+// partitions outside the leaf, to the exterior of the venue, or to other
+// buildings via outdoor edges.
+func (t *Tree) accessDoorsOfLeaf(leaf NodeID) []model.DoorID {
+	inLeaf := make(map[model.PartitionID]bool)
+	for _, p := range t.nodes[leaf].Partitions {
+		inLeaf[p] = true
+	}
+	var out []model.DoorID
+	for _, d := range t.doorsOfLeaf[leaf] {
+		if t.doorLeadsOutside(d, func(p model.PartitionID) bool { return inLeaf[p] }) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// doorLeadsOutside reports whether door d connects to the space outside the
+// region described by inside (a predicate over partitions): it is an
+// exterior door, connects to a partition outside the region, or has an
+// outdoor edge to a door attached to a partition outside the region.
+func (t *Tree) doorLeadsOutside(d model.DoorID, inside func(model.PartitionID) bool) bool {
+	v := t.venue
+	door := v.Door(d)
+	if len(door.Partitions) < 2 {
+		return true // exterior door
+	}
+	for _, p := range door.Partitions {
+		if !inside(p) {
+			return true
+		}
+	}
+	for _, e := range v.OutdoorEdges {
+		var other model.DoorID
+		switch d {
+		case e.From:
+			other = e.To
+		case e.To:
+			other = e.From
+		default:
+			continue
+		}
+		for _, p := range v.Door(other).Partitions {
+			if !inside(p) {
+				return true
+			}
+		}
+		if len(v.Door(other).Partitions) < 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// buildHierarchy implements step 2 (Algorithm 1): merging nodes level by
+// level until a single root remains, computing access doors bottom-up.
+func (t *Tree) buildHierarchy() {
+	minDegree := t.opts.minDegree()
+
+	// curNodeOf maps each partition to its current-level node.
+	curNodeOf := make([]NodeID, t.venue.NumPartitions())
+	current := make([]NodeID, 0, len(t.nodes))
+	for i := range t.nodes {
+		leaf := &t.nodes[i]
+		leaf.AccessDoors = t.accessDoorsOfLeaf(leaf.ID)
+		current = append(current, leaf.ID)
+		for _, p := range leaf.Partitions {
+			curNodeOf[p] = leaf.ID
+		}
+	}
+
+	level := 1
+	for len(current) > minDegree {
+		next := t.createNextLevel(current, minDegree, level+1, curNodeOf)
+		if len(next) >= len(current) {
+			break // no merging possible; avoid an infinite loop
+		}
+		t.updateCurrentNodes(next, curNodeOf)
+		current = next
+		level++
+	}
+	// Merge whatever remains into the root.
+	if len(current) == 1 {
+		t.root = current[0]
+	} else {
+		t.root = t.newInternalNode(current, level+1, curNodeOf)
+		t.updateCurrentNodes([]NodeID{t.root}, curNodeOf)
+	}
+
+	// Per-door access bookkeeping used by path decomposition and VIP
+	// materialisation.
+	t.isLeafAccessDoor = make([]bool, t.venue.NumDoors())
+	t.accessNodesOfDoor = make([][]NodeID, t.venue.NumDoors())
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		for _, d := range n.AccessDoors {
+			if n.IsLeaf() {
+				t.isLeafAccessDoor[d] = true
+			}
+			t.accessNodesOfDoor[d] = append(t.accessNodesOfDoor[d], n.ID)
+		}
+	}
+}
+
+// createNextLevel is Algorithm 1: merge the nodes of the current level so
+// that every new node contains at least minDegree current-level nodes,
+// preferring merges that maximise the number of shared access doors.
+func (t *Tree) createNextLevel(current []NodeID, minDegree, newLevel int, curNodeOf []NodeID) []NodeID {
+	type entry struct {
+		node     NodeID
+		degree   int
+		children []NodeID
+	}
+	entries := make(map[NodeID]*entry, len(current))
+	for _, id := range current {
+		entries[id] = &entry{node: id, degree: 1, children: []NodeID{id}}
+	}
+	adjacentCount := func(id NodeID) int {
+		count := 0
+		for other := range entries {
+			if other != id && t.commonAccessDoors(entries[id].children, entries[other].children) > 0 {
+				count++
+			}
+		}
+		return count
+	}
+	// A simple ordered scan stands in for the min-heap of Algorithm 1: at
+	// every step pick the unmerged entry with the smallest degree (ties
+	// broken by fewest adjacent entries, then by ID for determinism).
+	pickMin := func() *entry {
+		var best *entry
+		bestAdj := 0
+		for _, e := range entries {
+			if best == nil || e.degree < best.degree ||
+				(e.degree == best.degree && adjacentCount(e.node) < bestAdj) ||
+				(e.degree == best.degree && adjacentCount(e.node) == bestAdj && e.node < best.node) {
+				best = e
+				bestAdj = adjacentCount(e.node)
+			}
+		}
+		return best
+	}
+	for {
+		minEntry := pickMin()
+		if minEntry == nil || minEntry.degree >= minDegree || len(entries) <= 1 {
+			break
+		}
+		// Find the partner with the largest number of common access doors;
+		// fall back to any entry whose doors are connected to ours in the
+		// D2D graph (covers buildings linked only by outdoor edges), then
+		// to an arbitrary entry.
+		var best *entry
+		bestScore := -1
+		for _, e := range entries {
+			if e.node == minEntry.node {
+				continue
+			}
+			score := 2 * t.commonAccessDoors(minEntry.children, e.children)
+			if score == 0 && t.connectedViaD2D(minEntry.children, e.children) {
+				score = 1 // connected (e.g. via an outdoor path) but sharing no door
+			}
+			if t.opts.NaiveMerge {
+				// Ablation: ignore the access-door heuristic; any connected
+				// neighbour is as good as any other.
+				if score > 0 {
+					score = 1
+				}
+			}
+			if score > bestScore || (score == bestScore && (best == nil || e.node < best.node)) {
+				best, bestScore = e, score
+			}
+		}
+		if best == nil {
+			break
+		}
+		delete(entries, minEntry.node)
+		delete(entries, best.node)
+		merged := &entry{
+			node:     minEntry.node, // temporary key; the real node is created below
+			degree:   minEntry.degree + best.degree,
+			children: append(append([]NodeID(nil), minEntry.children...), best.children...),
+		}
+		entries[merged.node] = merged
+	}
+	// Materialise the next-level nodes.
+	keys := make([]NodeID, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var next []NodeID
+	for _, k := range keys {
+		e := entries[k]
+		if len(e.children) == 1 {
+			// Unmerged node: it is promoted to the next level unchanged and
+			// keeps participating in later merges.
+			next = append(next, e.children[0])
+			continue
+		}
+		next = append(next, t.newInternalNode(e.children, newLevel, curNodeOf))
+	}
+	return next
+}
+
+// newInternalNode creates a non-leaf node with the given children and
+// computes its access doors.
+func (t *Tree) newInternalNode(children []NodeID, level int, curNodeOf []NodeID) NodeID {
+	id := NodeID(len(t.nodes))
+	childSet := make(map[NodeID]bool, len(children))
+	for _, c := range children {
+		childSet[c] = true
+	}
+	inside := func(p model.PartitionID) bool { return childSet[curNodeOf[p]] }
+	doorSeen := make(map[model.DoorID]bool)
+	var access []model.DoorID
+	for _, c := range children {
+		for _, d := range t.nodes[c].AccessDoors {
+			if doorSeen[d] {
+				continue
+			}
+			doorSeen[d] = true
+			if t.doorLeadsOutside(d, inside) {
+				access = append(access, d)
+			}
+		}
+	}
+	sort.Slice(access, func(i, j int) bool { return access[i] < access[j] })
+	t.nodes = append(t.nodes, Node{ID: id, Parent: invalidNode, Children: children, Level: level, AccessDoors: access})
+	for _, c := range children {
+		t.nodes[c].Parent = id
+		// Promoted nodes may sit at a lower level than their siblings; the
+		// level recorded at creation time is kept (levels only need to be
+		// monotone along root paths for LCA computation).
+	}
+	return id
+}
+
+// updateCurrentNodes repoints curNodeOf at the nodes of the new level.
+func (t *Tree) updateCurrentNodes(level []NodeID, curNodeOf []NodeID) {
+	for _, id := range level {
+		t.forEachLeafUnder(id, func(leaf NodeID) {
+			for _, p := range t.nodes[leaf].Partitions {
+				curNodeOf[p] = id
+			}
+		})
+	}
+}
+
+// forEachLeafUnder visits every leaf in the subtree rooted at id.
+func (t *Tree) forEachLeafUnder(id NodeID, fn func(NodeID)) {
+	if t.nodes[id].IsLeaf() {
+		fn(id)
+		return
+	}
+	for _, c := range t.nodes[id].Children {
+		t.forEachLeafUnder(c, fn)
+	}
+}
+
+// commonAccessDoors counts the access doors shared between the unions of two
+// groups of nodes.
+func (t *Tree) commonAccessDoors(a, b []NodeID) int {
+	doors := make(map[model.DoorID]bool)
+	for _, n := range a {
+		for _, d := range t.nodes[n].AccessDoors {
+			doors[d] = true
+		}
+	}
+	count := 0
+	seen := make(map[model.DoorID]bool)
+	for _, n := range b {
+		for _, d := range t.nodes[n].AccessDoors {
+			if doors[d] && !seen[d] {
+				seen[d] = true
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// connectedViaD2D reports whether any access door of group a has a direct
+// D2D edge to an access door of group b (this is how buildings linked only
+// by outdoor paths become mergeable).
+func (t *Tree) connectedViaD2D(a, b []NodeID) bool {
+	bDoors := make(map[int]bool)
+	for _, n := range b {
+		for _, d := range t.nodes[n].AccessDoors {
+			bDoors[int(d)] = true
+		}
+	}
+	g := t.venue.D2D().Graph
+	for _, n := range a {
+		for _, d := range t.nodes[n].AccessDoors {
+			for _, e := range g.Neighbors(int(d)) {
+				if bDoors[e.To] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// buildLeafMatrices implements step 3: for each access door of each leaf,
+// run a Dijkstra search on the D2D graph until every door of the leaf is
+// settled, then populate distances, next-hop doors and superior doors.
+func (t *Tree) buildLeafMatrices() {
+	v := t.venue
+	d2d := v.D2D().Graph
+	t.superiorDoors = make([][]model.DoorID, v.NumPartitions())
+
+	for i := range t.nodes {
+		leaf := &t.nodes[i]
+		if !leaf.IsLeaf() {
+			continue
+		}
+		doors := t.doorsOfLeaf[leaf.ID]
+		leaf.Matrix = newMatrix(doors, leaf.AccessDoors)
+		inLeaf := make(map[model.DoorID]bool, len(doors))
+		for _, d := range doors {
+			inLeaf[d] = true
+		}
+		// prevOf[access door] is the Dijkstra predecessor array rooted at
+		// that access door; it doubles as the path source for next-hop and
+		// superior-door computation.
+		prevOf := make(map[model.DoorID][]int, len(leaf.AccessDoors))
+		targets := make([]int, len(doors))
+		for j, d := range doors {
+			targets[j] = int(d)
+		}
+		for _, a := range leaf.AccessDoors {
+			dist, prev := d2d.ToTargets(int(a), targets)
+			prevOf[a] = prev
+			for _, d := range doors {
+				if dist[int(d)] == graph.Infinity {
+					continue
+				}
+				next := t.leafNextHop(d, a, prev, inLeaf)
+				leaf.Matrix.set(d, a, dist[int(d)], next)
+			}
+		}
+		t.computeSuperiorDoorsOfLeaf(leaf, inLeaf, prevOf)
+	}
+}
+
+// leafNextHop determines the next-hop door stored in a leaf matrix for the
+// entry (from row door d towards access door a), given the predecessor array
+// of the Dijkstra search rooted at a. If the shortest path stays inside the
+// leaf the next hop is the first door on it; if it leaves the leaf, the next
+// hop is the first door on the path that is an access door of at least one
+// leaf (Section 2.1.1 and Example 6); if there is no intermediate door the
+// entry is NULL.
+func (t *Tree) leafNextHop(d, a model.DoorID, prev []int, inLeaf map[model.DoorID]bool) model.DoorID {
+	if d == a {
+		return NoDoor
+	}
+	// Walk the path d -> ... -> a using the predecessor array rooted at a:
+	// prev[x] is the next door after x on the path from x to a.
+	var chain []model.DoorID
+	for cur := prev[int(d)]; cur != -1 && model.DoorID(cur) != a; cur = prev[cur] {
+		chain = append(chain, model.DoorID(cur))
+	}
+	if len(chain) == 0 {
+		return NoDoor
+	}
+	staysInside := true
+	for _, c := range chain {
+		if !inLeaf[c] {
+			staysInside = false
+			break
+		}
+	}
+	if staysInside {
+		return chain[0]
+	}
+	for _, c := range chain {
+		if t.isLeafAccessDoor[c] {
+			return c
+		}
+	}
+	return chain[0]
+}
+
+// computeSuperiorDoorsOfLeaf derives the superior doors (Definition 2) of
+// every partition in the leaf: the local access doors plus every door whose
+// shortest path to some global access door avoids all other doors of the
+// partition.
+func (t *Tree) computeSuperiorDoorsOfLeaf(leaf *Node, inLeaf map[model.DoorID]bool, prevOf map[model.DoorID][]int) {
+	v := t.venue
+	accessSet := make(map[model.DoorID]bool, len(leaf.AccessDoors))
+	for _, a := range leaf.AccessDoors {
+		accessSet[a] = true
+	}
+	for _, pid := range leaf.Partitions {
+		part := v.Partition(pid)
+		if t.opts.DisableSuperiorDoors {
+			t.superiorDoors[pid] = append([]model.DoorID(nil), part.Doors...)
+			continue
+		}
+		partDoors := make(map[model.DoorID]bool, len(part.Doors))
+		for _, d := range part.Doors {
+			partDoors[d] = true
+		}
+		var sup []model.DoorID
+		for _, d := range part.Doors {
+			if accessSet[d] {
+				sup = append(sup, d) // local access door
+				continue
+			}
+			if t.isSuperior(d, pid, leaf, partDoors, prevOf) {
+				sup = append(sup, d)
+			}
+		}
+		// Every partition needs at least one superior door for Eq. (1) to
+		// have candidates; degenerate cases (no access doors at all) keep
+		// all doors.
+		if len(sup) == 0 {
+			sup = append(sup, part.Doors...)
+		}
+		t.superiorDoors[pid] = sup
+	}
+}
+
+// isSuperior reports whether door d of partition pid is a superior door:
+// there exists a global access door a of the leaf such that the shortest
+// path from d to a passes through no other door of the partition.
+func (t *Tree) isSuperior(d model.DoorID, pid model.PartitionID, leaf *Node, partDoors map[model.DoorID]bool, prevOf map[model.DoorID][]int) bool {
+	for _, a := range leaf.AccessDoors {
+		if partDoors[a] {
+			continue // local access door, not a global one
+		}
+		prev := prevOf[a]
+		if prev == nil || prev[int(d)] == -1 && d != a {
+			continue
+		}
+		clean := true
+		for cur := prev[int(d)]; cur != -1 && model.DoorID(cur) != a; cur = prev[cur] {
+			if partDoors[model.DoorID(cur)] {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			return true
+		}
+	}
+	return false
+}
+
+// buildNonLeafMatrices implements step 4: distance matrices of non-leaf
+// nodes computed bottom-up on the level-l graphs.
+func (t *Tree) buildNonLeafMatrices() {
+	// Group nodes by level.
+	maxLevel := 0
+	for i := range t.nodes {
+		if t.nodes[i].Level > maxLevel {
+			maxLevel = t.nodes[i].Level
+		}
+	}
+	byLevel := make([][]NodeID, maxLevel+1)
+	for i := range t.nodes {
+		byLevel[t.nodes[i].Level] = append(byLevel[t.nodes[i].Level], t.nodes[i].ID)
+	}
+
+	for level := 2; level <= maxLevel; level++ {
+		nodesAt := byLevel[level]
+		if len(nodesAt) == 0 {
+			continue
+		}
+		gl, doorVertex, vertexDoor := t.buildLevelGraph(level)
+		for _, id := range nodesAt {
+			n := &t.nodes[id]
+			if n.IsLeaf() {
+				continue
+			}
+			t.buildNodeMatrix(n, gl, doorVertex, vertexDoor)
+		}
+	}
+}
+
+// buildLevelGraph constructs G_l: the vertices are the access doors of every
+// node whose parent sits at a level >= l (i.e. the nodes visible just below
+// level l), and an edge connects two doors when they are access doors of the
+// same such node, weighted by that node's matrix distance.
+func (t *Tree) buildLevelGraph(level int) (*graph.Graph, map[model.DoorID]int, []model.DoorID) {
+	doorVertex := make(map[model.DoorID]int)
+	var vertexDoor []model.DoorID
+	vertexOf := func(d model.DoorID) int {
+		if v, ok := doorVertex[d]; ok {
+			return v
+		}
+		v := len(vertexDoor)
+		doorVertex[d] = v
+		vertexDoor = append(vertexDoor, d)
+		return v
+	}
+	g := graph.New(0)
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		// A node contributes its access doors to G_l when it is the child
+		// of a node at level >= `level` (or promoted: its own level is
+		// below `level` but its parent's is at or above it). Nodes at or
+		// above `level` never contribute.
+		if n.Level >= level {
+			continue
+		}
+		parent := n.Parent
+		if parent == invalidNode || t.nodes[parent].Level < level {
+			continue
+		}
+		if n.Matrix == nil {
+			continue
+		}
+		for i1 := 0; i1 < len(n.AccessDoors); i1++ {
+			for i2 := i1 + 1; i2 < len(n.AccessDoors); i2++ {
+				a, b := n.AccessDoors[i1], n.AccessDoors[i2]
+				w := n.Matrix.Dist(a, b)
+				if w == Infinite {
+					continue
+				}
+				g.AddEdge(vertexOf(a), vertexOf(b), w)
+			}
+		}
+	}
+	// Outdoor edges between access doors (e.g. building entrances) must be
+	// present in every level graph, otherwise separate buildings would be
+	// unreachable from one another above the leaf level.
+	for _, e := range t.venue.OutdoorEdges {
+		if _, ok := doorVertex[e.From]; !ok {
+			continue
+		}
+		if _, ok := doorVertex[e.To]; !ok {
+			continue
+		}
+		g.AddEdge(doorVertex[e.From], doorVertex[e.To], e.Weight)
+	}
+	// Make sure every vertex exists in the graph even if isolated.
+	g.EnsureVertex(len(vertexDoor) - 1)
+	return g, doorVertex, vertexDoor
+}
+
+// buildNodeMatrix populates the distance matrix of a non-leaf node from the
+// level graph: rows and columns are the union of its children's access
+// doors, and the next-hop entry is the first door of that union on the
+// shortest path (Fig 3, node N7).
+func (t *Tree) buildNodeMatrix(n *Node, gl *graph.Graph, doorVertex map[model.DoorID]int, vertexDoor []model.DoorID) {
+	doorSet := make(map[model.DoorID]bool)
+	var doors []model.DoorID
+	for _, c := range n.Children {
+		for _, d := range t.nodes[c].AccessDoors {
+			if !doorSet[d] {
+				doorSet[d] = true
+				doors = append(doors, d)
+			}
+		}
+	}
+	sort.Slice(doors, func(i, j int) bool { return doors[i] < doors[j] })
+	n.Matrix = newMatrix(doors, doors)
+
+	targets := make([]int, 0, len(doors))
+	for _, d := range doors {
+		if v, ok := doorVertex[d]; ok {
+			targets = append(targets, v)
+		}
+	}
+	for _, from := range doors {
+		src, ok := doorVertex[from]
+		if !ok {
+			continue
+		}
+		dist, prev := gl.ToTargets(src, targets)
+		for _, to := range doors {
+			if to == from {
+				n.Matrix.set(from, from, 0, NoDoor)
+				continue
+			}
+			tv, ok := doorVertex[to]
+			if !ok || dist[tv] == graph.Infinity {
+				continue
+			}
+			// Reconstruct the path from `from` to `to` and pick the first
+			// intermediate door that belongs to the children's access
+			// doors.
+			path := graph.PathOnPrev(prev, src, tv)
+			next := NoDoor
+			for _, pv := range path[1 : len(path)-1] {
+				d := vertexDoor[pv]
+				if doorSet[d] {
+					next = d
+					break
+				}
+			}
+			// If intermediate vertices exist but none belongs to this
+			// node's children, keep the first one anyway so that path
+			// decomposition never silently drops doors; the decomposition
+			// routine falls back to a graph search for such edges.
+			if next == NoDoor && len(path) > 2 {
+				next = vertexDoor[path[1]]
+			}
+			n.Matrix.set(from, to, dist[tv], next)
+		}
+	}
+}

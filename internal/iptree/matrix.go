@@ -1,0 +1,117 @@
+package iptree
+
+import (
+	"math"
+
+	"viptree/internal/model"
+)
+
+// NoDoor marks the absence of a next-hop door in a distance matrix entry
+// (the NULL of Section 2.1.1): the corresponding edge is final, i.e. the
+// shortest path between the two doors contains no other door.
+const NoDoor model.DoorID = -1
+
+// Infinite is the distance stored for unreachable door pairs.
+const Infinite = math.MaxFloat64
+
+// Matrix is a distance matrix of an IP-Tree node. For leaf nodes the rows
+// are every door of the node and the columns its access doors; for non-leaf
+// nodes rows and columns are both the union of the children's access doors.
+// Each entry stores the shortest distance and the next-hop door on that
+// shortest path, oriented from the row door towards the column door.
+type Matrix struct {
+	rows   []model.DoorID
+	cols   []model.DoorID
+	rowIdx map[model.DoorID]int
+	colIdx map[model.DoorID]int
+	dist   []float64
+	next   []model.DoorID
+}
+
+// newMatrix allocates a matrix with the given row and column door sets. All
+// entries start as unreachable with no next hop.
+func newMatrix(rows, cols []model.DoorID) *Matrix {
+	m := &Matrix{
+		rows:   rows,
+		cols:   cols,
+		rowIdx: make(map[model.DoorID]int, len(rows)),
+		colIdx: make(map[model.DoorID]int, len(cols)),
+		dist:   make([]float64, len(rows)*len(cols)),
+		next:   make([]model.DoorID, len(rows)*len(cols)),
+	}
+	for i, d := range rows {
+		m.rowIdx[d] = i
+	}
+	for i, d := range cols {
+		m.colIdx[d] = i
+	}
+	for i := range m.dist {
+		m.dist[i] = Infinite
+		m.next[i] = NoDoor
+	}
+	return m
+}
+
+// Rows returns the row door IDs.
+func (m *Matrix) Rows() []model.DoorID { return m.rows }
+
+// Cols returns the column door IDs.
+func (m *Matrix) Cols() []model.DoorID { return m.cols }
+
+// HasRow reports whether door d is a row of the matrix.
+func (m *Matrix) HasRow(d model.DoorID) bool { _, ok := m.rowIdx[d]; return ok }
+
+// HasCol reports whether door d is a column of the matrix.
+func (m *Matrix) HasCol(d model.DoorID) bool { _, ok := m.colIdx[d]; return ok }
+
+// Has reports whether the matrix stores an entry from row door a to column
+// door b.
+func (m *Matrix) Has(a, b model.DoorID) bool { return m.HasRow(a) && m.HasCol(b) }
+
+func (m *Matrix) index(row, col model.DoorID) (int, bool) {
+	i, ok := m.rowIdx[row]
+	if !ok {
+		return 0, false
+	}
+	j, ok := m.colIdx[col]
+	if !ok {
+		return 0, false
+	}
+	return i*len(m.cols) + j, true
+}
+
+// set records the distance and next-hop door for the entry (row, col).
+func (m *Matrix) set(row, col model.DoorID, dist float64, next model.DoorID) {
+	idx, ok := m.index(row, col)
+	if !ok {
+		return
+	}
+	m.dist[idx] = dist
+	m.next[idx] = next
+}
+
+// Dist returns the stored distance from row door a to column door b, or
+// Infinite if the entry does not exist.
+func (m *Matrix) Dist(a, b model.DoorID) float64 {
+	idx, ok := m.index(a, b)
+	if !ok {
+		return Infinite
+	}
+	return m.dist[idx]
+}
+
+// Next returns the next-hop door on the shortest path from row door a to
+// column door b, or NoDoor if the edge is final or the entry does not exist.
+func (m *Matrix) Next(a, b model.DoorID) model.DoorID {
+	idx, ok := m.index(a, b)
+	if !ok {
+		return NoDoor
+	}
+	return m.next[idx]
+}
+
+// memoryBytes estimates the memory used by the matrix.
+func (m *Matrix) memoryBytes() int64 {
+	cells := int64(len(m.dist))
+	return cells*16 + int64(len(m.rows)+len(m.cols))*24 + 96
+}

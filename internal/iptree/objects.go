@@ -1,0 +1,361 @@
+package iptree
+
+import (
+	"sort"
+
+	"viptree/internal/index"
+	"viptree/internal/model"
+)
+
+// This file implements indexing of indoor objects and the k-nearest-
+// neighbour and range queries of Section 3.4 (Algorithm 5 with the mindist
+// optimisations of Lemmas 8 and 9).
+
+// objEntry is an object together with its distance from a specific access
+// door of the leaf containing it.
+type objEntry struct {
+	objectID int
+	dist     float64
+}
+
+// ObjectIndex embeds a set of objects into an IP-Tree (or VIP-Tree): each
+// object records the leaf that contains it, and every access door of a leaf
+// keeps the list of the leaf's objects sorted by distance from that door.
+type ObjectIndex struct {
+	tree    *Tree
+	objects []model.Location
+	// objectsInLeaf lists object IDs per leaf node.
+	objectsInLeaf map[NodeID][]int
+	// accessLists[leaf][door] lists the leaf's objects sorted by distance
+	// from the access door.
+	accessLists map[NodeID]map[model.DoorID][]objEntry
+	// subtreeHasObjects marks nodes whose subtree contains at least one
+	// object, letting Algorithm 5 skip empty branches.
+	subtreeHasObjects map[NodeID]bool
+}
+
+// IndexObjects embeds the object set into the tree and returns the object
+// index used by KNN and Range queries. Object IDs are the slice positions.
+func (t *Tree) IndexObjects(objects []model.Location) *ObjectIndex {
+	oi := &ObjectIndex{
+		tree:              t,
+		objects:           objects,
+		objectsInLeaf:     make(map[NodeID][]int),
+		accessLists:       make(map[NodeID]map[model.DoorID][]objEntry),
+		subtreeHasObjects: make(map[NodeID]bool),
+	}
+	v := t.venue
+	for id, o := range objects {
+		leaf := t.Leaf(o.Partition)
+		oi.objectsInLeaf[leaf] = append(oi.objectsInLeaf[leaf], id)
+		for n := leaf; n != invalidNode; n = t.nodes[n].Parent {
+			oi.subtreeHasObjects[n] = true
+		}
+	}
+	for leaf, ids := range oi.objectsInLeaf {
+		node := &t.nodes[leaf]
+		lists := make(map[model.DoorID][]objEntry, len(node.AccessDoors))
+		for _, a := range node.AccessDoors {
+			entries := make([]objEntry, 0, len(ids))
+			for _, id := range ids {
+				o := objects[id]
+				best := Infinite
+				for _, dp := range v.Partition(o.Partition).Doors {
+					md := node.Matrix.Dist(dp, a)
+					if md == Infinite {
+						continue
+					}
+					if d := v.DistToDoor(o, dp) + md; d < best {
+						best = d
+					}
+				}
+				entries = append(entries, objEntry{objectID: id, dist: best})
+			}
+			sort.Slice(entries, func(i, j int) bool { return entries[i].dist < entries[j].dist })
+			lists[a] = entries
+		}
+		oi.accessLists[leaf] = lists
+	}
+	return oi
+}
+
+// Objects returns the indexed object set.
+func (oi *ObjectIndex) Objects() []model.Location { return oi.objects }
+
+// Tree returns the tree the objects are embedded in.
+func (oi *ObjectIndex) Tree() *Tree { return oi.tree }
+
+// MemoryBytes estimates the memory used by the object lists.
+func (oi *ObjectIndex) MemoryBytes() int64 {
+	var total int64
+	for _, lists := range oi.accessLists {
+		for _, es := range lists {
+			total += int64(len(es))*16 + 48
+		}
+	}
+	for _, ids := range oi.objectsInLeaf {
+		total += int64(len(ids)) * 8
+	}
+	return total
+}
+
+// KNN returns the k objects nearest to q, sorted by ascending distance
+// (Algorithm 5). Fewer than k results are returned if the object set is
+// smaller than k or parts of it are unreachable.
+func (oi *ObjectIndex) KNN(q model.Location, k int) []index.ObjectResult {
+	if k <= 0 || len(oi.objects) == 0 {
+		return nil
+	}
+	return oi.branchAndBound(q, k, Infinite)
+}
+
+// Range returns every object within distance r of q, sorted by ascending
+// distance (Section 3.4).
+func (oi *ObjectIndex) Range(q model.Location, r float64) []index.ObjectResult {
+	if len(oi.objects) == 0 {
+		return nil
+	}
+	return oi.branchAndBound(q, 0, r)
+}
+
+// branchAndBound is the shared best-first traversal: with k > 0 it behaves as
+// a kNN search (radius ignored unless smaller); with k == 0 it collects every
+// object within the radius.
+func (oi *ObjectIndex) branchAndBound(q model.Location, k int, radius float64) []index.ObjectResult {
+	t := oi.tree
+	// Step 1 (line 2 of Algorithm 5): distances from q to the access doors
+	// of every ancestor of Leaf(q).
+	qLeaf := t.Leaf(q.Partition)
+	sd := t.distancesToNode(q, t.root)
+	// nodeDists caches dist(q, a) for the access doors of the nodes the
+	// traversal touches. Ancestors of Leaf(q) come from the Algorithm 2 run.
+	nodeDists := make(map[NodeID]map[model.DoorID]float64)
+	for _, n := range sd.nodeOrder {
+		m := make(map[model.DoorID]float64, len(t.nodes[n].AccessDoors))
+		for _, a := range t.nodes[n].AccessDoors {
+			if dv, ok := sd.dist[a]; ok {
+				m[a] = dv
+			}
+		}
+		nodeDists[n] = m
+	}
+
+	results := newResultCollector(k, radius)
+	// Priority queue over (node, mindist).
+	type queued struct {
+		node    NodeID
+		mindist float64
+	}
+	heap := []queued{}
+	push := func(it queued) {
+		heap = append(heap, it)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if heap[p].mindist <= heap[i].mindist {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() queued {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l := 2*i + 1
+			if l >= len(heap) {
+				break
+			}
+			small := l
+			if r := l + 1; r < len(heap) && heap[r].mindist < heap[l].mindist {
+				small = r
+			}
+			if heap[i].mindist <= heap[small].mindist {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return top
+	}
+
+	if oi.subtreeHasObjects[t.root] {
+		push(queued{node: t.root, mindist: 0})
+	}
+	for len(heap) > 0 {
+		cur := pop()
+		if cur.mindist > results.bound() {
+			break
+		}
+		node := &t.nodes[cur.node]
+		if node.IsLeaf() {
+			oi.scanLeaf(q, qLeaf, cur.node, nodeDists, results)
+			continue
+		}
+		for _, c := range node.Children {
+			if !oi.subtreeHasObjects[c] {
+				continue
+			}
+			md := oi.childMinDist(q, qLeaf, cur.node, c, nodeDists)
+			if md <= results.bound() {
+				push(queued{node: c, mindist: md})
+			}
+		}
+	}
+	return results.sorted()
+}
+
+// childMinDist computes mindist(q, child) and caches the access-door
+// distances of the child for use further down the tree (Lemmas 8 and 9).
+func (oi *ObjectIndex) childMinDist(q model.Location, qLeaf NodeID, parent, child NodeID, nodeDists map[NodeID]map[model.DoorID]float64) float64 {
+	t := oi.tree
+	if t.IsAncestor(child, qLeaf) {
+		return 0
+	}
+	if d, ok := nodeDists[child]; ok {
+		return minOf(d)
+	}
+	mat := t.nodes[parent].Matrix
+	var baseDists map[model.DoorID]float64
+	if t.IsAncestor(parent, qLeaf) {
+		// Lemma 8: q lies in a sibling of child; combine the sibling's
+		// access-door distances with the parent matrix.
+		sibling := t.ChildToward(parent, qLeaf)
+		baseDists = nodeDists[sibling]
+	} else {
+		// Lemma 9: q lies outside the parent; combine the parent's
+		// access-door distances with the parent matrix.
+		baseDists = nodeDists[parent]
+	}
+	dists := make(map[model.DoorID]float64, len(t.nodes[child].AccessDoors))
+	for _, di := range t.nodes[child].AccessDoors {
+		best := Infinite
+		for dj, base := range baseDists {
+			md := mat.Dist(dj, di)
+			if md == Infinite {
+				continue
+			}
+			if base+md < best {
+				best = base + md
+			}
+		}
+		if best < Infinite {
+			dists[di] = best
+		}
+	}
+	nodeDists[child] = dists
+	return minOf(dists)
+}
+
+func minOf(m map[model.DoorID]float64) float64 {
+	best := Infinite
+	for _, v := range m {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// scanLeaf evaluates every object in the leaf and updates the result set.
+func (oi *ObjectIndex) scanLeaf(q model.Location, qLeaf, leaf NodeID, nodeDists map[NodeID]map[model.DoorID]float64, results *resultCollector) {
+	t := oi.tree
+	if leaf == qLeaf {
+		// Objects co-located with the query in the same leaf: compute the
+		// exact local distance on the D2D graph (cheap: the doors involved
+		// are close together).
+		for _, id := range oi.objectsInLeaf[leaf] {
+			o := oi.objects[id]
+			var d float64
+			if o.Partition == q.Partition {
+				d = directIntraPartition(t.venue, q, o)
+			} else {
+				d = t.venue.D2D().LocationDist(q, o)
+			}
+			results.add(id, d)
+		}
+		return
+	}
+	accessDist := nodeDists[leaf]
+	lists := oi.accessLists[leaf]
+	best := make(map[int]float64)
+	for a, qd := range accessDist {
+		for _, e := range lists[a] {
+			total := qd + e.dist
+			if cur, ok := best[e.objectID]; !ok || total < cur {
+				best[e.objectID] = total
+			}
+		}
+	}
+	for id, d := range best {
+		results.add(id, d)
+	}
+}
+
+// resultCollector accumulates query results for kNN (bounded size) or range
+// (bounded radius) queries.
+type resultCollector struct {
+	k       int
+	radius  float64
+	results []index.ObjectResult
+}
+
+func newResultCollector(k int, radius float64) *resultCollector {
+	return &resultCollector{k: k, radius: radius}
+}
+
+// bound returns the pruning distance: the current k-th best distance for kNN
+// queries, or the radius for range queries.
+func (rc *resultCollector) bound() float64 {
+	if rc.k <= 0 {
+		return rc.radius
+	}
+	if len(rc.results) < rc.k {
+		return rc.radius
+	}
+	worst := 0.0
+	for _, r := range rc.results {
+		if r.Dist > worst {
+			worst = r.Dist
+		}
+	}
+	return worst
+}
+
+func (rc *resultCollector) add(objectID int, dist float64) {
+	if dist > rc.radius {
+		return
+	}
+	// Replace an existing entry for the same object if this one is closer.
+	for i := range rc.results {
+		if rc.results[i].ObjectID == objectID {
+			if dist < rc.results[i].Dist {
+				rc.results[i].Dist = dist
+			}
+			return
+		}
+	}
+	rc.results = append(rc.results, index.ObjectResult{ObjectID: objectID, Dist: dist})
+	if rc.k > 0 && len(rc.results) > rc.k {
+		// Drop the current worst.
+		worstIdx := 0
+		for i := range rc.results {
+			if rc.results[i].Dist > rc.results[worstIdx].Dist {
+				worstIdx = i
+			}
+		}
+		rc.results = append(rc.results[:worstIdx], rc.results[worstIdx+1:]...)
+	}
+}
+
+func (rc *resultCollector) sorted() []index.ObjectResult {
+	sort.Slice(rc.results, func(i, j int) bool {
+		if rc.results[i].Dist != rc.results[j].Dist {
+			return rc.results[i].Dist < rc.results[j].Dist
+		}
+		return rc.results[i].ObjectID < rc.results[j].ObjectID
+	})
+	return rc.results
+}

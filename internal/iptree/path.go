@@ -1,0 +1,227 @@
+package iptree
+
+import (
+	"viptree/internal/model"
+)
+
+// This file implements shortest-path recovery (Section 3.2): the partial
+// shortest path is assembled from the via-doors recorded by Algorithm 2/3,
+// and each partial edge is decomposed into final edges with Algorithm 4
+// using the next-hop doors stored in the distance matrices.
+
+// maxDecompose bounds the recursion of edge decomposition; it is far larger
+// than any real path and only guards against pathological matrices.
+const maxDecompose = 1 << 14
+
+// Path returns the shortest distance between s and d together with the
+// sequence of doors on the shortest path. The sequence is empty when both
+// locations are in the same partition, and starts (ends) with the first
+// (last) door crossed.
+func (t *Tree) Path(s, d model.Location) (float64, []model.DoorID) {
+	dist, sdS, sdD, pair := t.distanceInternal(s, d)
+	if dist == Infinite {
+		return dist, nil
+	}
+	if sdS == nil {
+		// Same partition (no doors) or same leaf (recover via the D2D
+		// graph, exactly like the distance computation).
+		if s.Partition == d.Partition {
+			return dist, nil
+		}
+		pd, doors := t.venue.D2D().LocationPath(s, d)
+		return pd, doors
+	}
+	partial := t.partialPath(sdS, sdD, pair)
+	return dist, t.expandPartial(partial)
+}
+
+// partialPath unwinds the via chains of the two Algorithm-2 runs into the
+// partial shortest path: superior door of the source partition, access doors
+// climbing up to the LCA child on the source side, then down the target
+// side, ending at the superior door of the target partition.
+func (t *Tree) partialPath(sdS, sdD *sourceDists, pair [2]model.DoorID) []model.DoorID {
+	up := unwindVia(sdS, pair[0])
+	down := unwindVia(sdD, pair[1])
+	// up is ordered from the source outwards; down is ordered from the
+	// target outwards and must be reversed.
+	doors := make([]model.DoorID, 0, len(up)+len(down))
+	doors = append(doors, up...)
+	for i := len(down) - 1; i >= 0; i-- {
+		doors = append(doors, down[i])
+	}
+	return dedupConsecutive(doors)
+}
+
+// unwindVia returns the chain of doors from the source's partition to door
+// end, ordered source-first.
+func unwindVia(sd *sourceDists, end model.DoorID) []model.DoorID {
+	var rev []model.DoorID
+	cur := end
+	for cur != NoDoor {
+		rev = append(rev, cur)
+		next, ok := sd.via[cur]
+		if !ok {
+			break
+		}
+		cur = next
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func dedupConsecutive(doors []model.DoorID) []model.DoorID {
+	if len(doors) == 0 {
+		return doors
+	}
+	out := doors[:1]
+	for _, d := range doors[1:] {
+		if d != out[len(out)-1] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// expandPartial decomposes every edge of the partial path into final edges
+// and concatenates the results.
+func (t *Tree) expandPartial(partial []model.DoorID) []model.DoorID {
+	if len(partial) == 0 {
+		return nil
+	}
+	out := []model.DoorID{partial[0]}
+	for i := 1; i < len(partial); i++ {
+		seg := t.expandEdge(partial[i-1], partial[i])
+		out = append(out, seg[1:]...)
+	}
+	return out
+}
+
+// expandEdge returns the complete door sequence of the shortest path from a
+// to b (inclusive of both endpoints), implementing Algorithm 4 recursively.
+func (t *Tree) expandEdge(a, b model.DoorID) []model.DoorID {
+	budget := maxDecompose
+	seq, ok := t.decompose(a, b, &budget)
+	if !ok {
+		return t.fallbackPath(a, b)
+	}
+	return seq
+}
+
+// decompose is the recursive core of Algorithm 4. It reports failure when the
+// matrices cannot decompose the edge (a rare situation handled by a plain
+// graph search in the caller).
+func (t *Tree) decompose(a, b model.DoorID, budget *int) ([]model.DoorID, bool) {
+	if *budget <= 0 {
+		return nil, false
+	}
+	*budget--
+	if a == b {
+		return []model.DoorID{a}, true
+	}
+	aAccess := len(t.accessNodesOfDoor[a]) > 0
+	bAccess := len(t.accessNodesOfDoor[b]) > 0
+	// Lemmas 4 and 6: an edge between two non-access doors is final.
+	if !aAccess && !bAccess {
+		return []model.DoorID{a, b}, true
+	}
+	node, swap, ok := t.decompositionNode(a, b)
+	if !ok {
+		return nil, false
+	}
+	var next model.DoorID
+	if swap {
+		next = t.nodes[node].Matrix.Next(b, a)
+	} else {
+		next = t.nodes[node].Matrix.Next(a, b)
+	}
+	// Lemma 3: a NULL next hop means the edge is final.
+	if next == NoDoor {
+		return []model.DoorID{a, b}, true
+	}
+	if next == a || next == b {
+		return nil, false
+	}
+	left, ok := t.decompose(a, next, budget)
+	if !ok {
+		return nil, false
+	}
+	right, ok := t.decompose(next, b, budget)
+	if !ok {
+		return nil, false
+	}
+	return append(left, right[1:]...), true
+}
+
+// decompositionNode finds the lowest node whose distance matrix stores an
+// entry relating doors a and b. Leaf matrices are rectangular (rows are all
+// doors, columns only the access doors), so the entry may only exist in the
+// (b, a) orientation; the second return value reports that the caller must
+// look the entry up with the doors swapped. The door returned by that lookup
+// still lies on the shortest path between a and b, so the decomposition
+// remains valid in either orientation.
+func (t *Tree) decompositionNode(a, b model.DoorID) (NodeID, bool, bool) {
+	bestNode := invalidNode
+	bestLevel := int(^uint(0) >> 1)
+	bestSwap := false
+	consider := func(n NodeID, swap bool) {
+		lvl := t.nodes[n].Level
+		if lvl < bestLevel {
+			bestNode, bestLevel, bestSwap = n, lvl, swap
+		}
+	}
+	for _, n := range t.matrixNodesOfDoor(a) {
+		mat := t.nodes[n].Matrix
+		if mat == nil {
+			continue
+		}
+		if mat.Has(a, b) {
+			consider(n, false)
+		} else if mat.Has(b, a) {
+			consider(n, true)
+		}
+	}
+	for _, n := range t.matrixNodesOfDoor(b) {
+		mat := t.nodes[n].Matrix
+		if mat == nil {
+			continue
+		}
+		if mat.Has(a, b) {
+			consider(n, false)
+		} else if mat.Has(b, a) {
+			consider(n, true)
+		}
+	}
+	if bestNode == invalidNode {
+		return invalidNode, false, false
+	}
+	return bestNode, bestSwap, true
+}
+
+// matrixNodesOfDoor lists the nodes whose distance matrix mentions door d:
+// the leaves containing d (their matrices' rows are all of their doors) and
+// the parents of every node for which d is an access door (their matrices'
+// rows are the children's access doors).
+func (t *Tree) matrixNodesOfDoor(d model.DoorID) []NodeID {
+	var out []NodeID
+	out = append(out, t.leavesOfDoor[d]...)
+	for _, n := range t.accessNodesOfDoor[d] {
+		if p := t.nodes[n].Parent; p != invalidNode {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// fallbackPath recovers the door sequence between two doors with a plain
+// Dijkstra search on the D2D graph. It is used only for edges the matrices
+// cannot decompose (e.g. shortest paths that leave and re-enter a node),
+// guaranteeing a correct result at a small cost for those rare cases.
+func (t *Tree) fallbackPath(a, b model.DoorID) []model.DoorID {
+	_, doors := t.venue.D2D().Path(a, b)
+	if len(doors) == 0 {
+		return []model.DoorID{a, b}
+	}
+	return doors
+}

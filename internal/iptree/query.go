@@ -1,0 +1,187 @@
+package iptree
+
+import (
+	"viptree/internal/model"
+)
+
+// This file implements the shortest-distance machinery of Section 3.1:
+// Algorithm 2 (distances from a location to all access doors of an ancestor
+// node) and Algorithm 3 (shortest distance between two arbitrary locations).
+
+// sourceDists holds the result of Algorithm 2 for one query location: the
+// distance from the location to every access door encountered while climbing
+// from its leaf towards an ancestor node, plus the door through which each
+// distance was achieved (used to recover shortest paths).
+type sourceDists struct {
+	// dist maps a door to its shortest distance from the source.
+	dist map[model.DoorID]float64
+	// via maps a door d to the previous door on the shortest path from the
+	// source to d: an access door of the child level, or the superior door
+	// of the source partition, or NoDoor when the source reaches d without
+	// passing another recorded door.
+	via map[model.DoorID]model.DoorID
+	// nodeOrder lists the nodes climbed, from the leaf to the target.
+	nodeOrder []NodeID
+}
+
+// distTo returns the recorded distance to door d, or Infinite.
+func (s *sourceDists) distTo(d model.DoorID) float64 {
+	if v, ok := s.dist[d]; ok {
+		return v
+	}
+	return Infinite
+}
+
+// distancesToNode implements Algorithm 2: it computes dist(src, d) for every
+// access door d of the ancestor node target of Leaf(src), filling in the
+// distances to the access doors of every node on the way.
+func (t *Tree) distancesToNode(src model.Location, target NodeID) *sourceDists {
+	sd := &sourceDists{
+		dist: make(map[model.DoorID]float64),
+		via:  make(map[model.DoorID]model.DoorID),
+	}
+	leaf := t.Leaf(src.Partition)
+	t.seedLeafDistances(src, leaf, sd)
+	sd.nodeOrder = append(sd.nodeOrder, leaf)
+	child := leaf
+	for child != target {
+		parent := t.nodes[child].Parent
+		if parent == invalidNode {
+			break
+		}
+		t.propagateToParent(child, parent, sd)
+		sd.nodeOrder = append(sd.nodeOrder, parent)
+		child = parent
+	}
+	return sd
+}
+
+// seedLeafDistances computes dist(src, d) for every access door d of the
+// leaf containing src using the superior doors of the source partition
+// (Section 3.1.1, Eq. 1 restricted to superior doors).
+func (t *Tree) seedLeafDistances(src model.Location, leaf NodeID, sd *sourceDists) {
+	v := t.venue
+	mat := t.nodes[leaf].Matrix
+	sup := t.superiorDoors[src.Partition]
+	for _, a := range t.nodes[leaf].AccessDoors {
+		best := Infinite
+		bestVia := NoDoor
+		for _, s := range sup {
+			d := v.DistToDoor(src, s)
+			md := mat.Dist(s, a)
+			if md == Infinite {
+				continue
+			}
+			if d+md < best {
+				best = d + md
+				if s == a {
+					bestVia = NoDoor
+				} else {
+					bestVia = s
+				}
+			}
+		}
+		if best < Infinite {
+			sd.dist[a] = best
+			sd.via[a] = bestVia
+		}
+	}
+}
+
+// propagateToParent extends the distances from the access doors of child to
+// the access doors of parent using the parent's distance matrix (Lemma 1 and
+// Eq. 2). Doors whose distance is already known are not recomputed.
+func (t *Tree) propagateToParent(child, parent NodeID, sd *sourceDists) {
+	mat := t.nodes[parent].Matrix
+	childAD := t.nodes[child].AccessDoors
+	for _, d := range t.nodes[parent].AccessDoors {
+		if _, done := sd.dist[d]; done {
+			continue
+		}
+		best := Infinite
+		bestVia := NoDoor
+		for _, di := range childAD {
+			base, ok := sd.dist[di]
+			if !ok {
+				continue
+			}
+			md := mat.Dist(di, d)
+			if md == Infinite {
+				continue
+			}
+			if base+md < best {
+				best = base + md
+				bestVia = di
+			}
+		}
+		if best < Infinite {
+			sd.dist[d] = best
+			sd.via[d] = bestVia
+		}
+	}
+}
+
+// Distance implements Algorithm 3: the shortest indoor distance between two
+// arbitrary locations.
+func (t *Tree) Distance(s, d model.Location) float64 {
+	dist, _, _, _ := t.distanceInternal(s, d)
+	return dist
+}
+
+// distanceInternal computes the shortest distance between s and d and, when
+// the two locations are in different leaves, returns the source-side and
+// target-side Algorithm-2 results plus the pair of access doors of the LCA's
+// children realising the minimum (used by Path).
+func (t *Tree) distanceInternal(s, d model.Location) (float64, *sourceDists, *sourceDists, [2]model.DoorID) {
+	none := [2]model.DoorID{NoDoor, NoDoor}
+	if s.Partition == d.Partition {
+		return directIntraPartition(t.venue, s, d), nil, nil, none
+	}
+	leafS := t.Leaf(s.Partition)
+	leafD := t.Leaf(d.Partition)
+	if leafS == leafD {
+		// Both locations are in the same leaf: the paper falls back to a
+		// Dijkstra-style expansion on the D2D graph, which is cheap because
+		// the doors involved are close together.
+		return t.venue.D2D().LocationDist(s, d), nil, nil, none
+	}
+	lca := t.LCA(leafS, leafD)
+	ns := t.ChildToward(lca, leafS)
+	nt := t.ChildToward(lca, leafD)
+	sdS := t.distancesToNode(s, ns)
+	sdD := t.distancesToNode(d, nt)
+	mat := t.nodes[lca].Matrix
+	best := Infinite
+	bestPair := none
+	for _, di := range t.nodes[ns].AccessDoors {
+		ds, ok := sdS.dist[di]
+		if !ok {
+			continue
+		}
+		for _, dj := range t.nodes[nt].AccessDoors {
+			dd, ok := sdD.dist[dj]
+			if !ok {
+				continue
+			}
+			md := mat.Dist(di, dj)
+			if md == Infinite {
+				continue
+			}
+			if total := ds + md + dd; total < best {
+				best = total
+				bestPair = [2]model.DoorID{di, dj}
+			}
+		}
+	}
+	return best, sdS, sdD, bestPair
+}
+
+// directIntraPartition is the walking distance between two locations in the
+// same partition.
+func directIntraPartition(v *model.Venue, s, d model.Location) float64 {
+	p := v.Partition(s.Partition)
+	if p.TraversalCost > 0 {
+		return p.TraversalCost
+	}
+	return s.Point.PlanarDist(d.Point)
+}

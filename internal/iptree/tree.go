@@ -1,0 +1,285 @@
+// Package iptree implements the paper's primary contribution: the Indoor
+// Partitioning Tree (IP-Tree) and the Vivid IP-Tree (VIP-Tree), together
+// with the query algorithms of Section 3 — shortest distance (Algorithms 2
+// and 3), shortest path (Algorithm 4), k nearest neighbours (Algorithm 5)
+// and range queries.
+//
+// An IP-Tree groups adjacent indoor partitions into leaf nodes (keeping each
+// hallway in its own leaf), then merges nodes bottom-up while minimising the
+// number of access doors per node. Every node stores a small distance matrix
+// over its access doors, so shortest distances between far-apart locations
+// are assembled from O(height) matrix lookups instead of a graph expansion.
+// A VIP-Tree additionally materialises, for every door, the distances to the
+// access doors of all of its ancestors, reducing the distance query cost to
+// O(ρ²) where ρ is the (small) average number of access doors per node.
+package iptree
+
+import (
+	"fmt"
+
+	"viptree/internal/model"
+)
+
+// NodeID identifies a node of the tree. Nodes are stored densely; leaves are
+// created first, so leaf IDs are 0..M-1.
+type NodeID int
+
+// invalidNode marks the absence of a node (e.g. the root's parent).
+const invalidNode NodeID = -1
+
+// Node is a node of the IP-Tree. Leaf nodes cover a set of indoor
+// partitions; non-leaf nodes cover the union of their children.
+type Node struct {
+	ID       NodeID
+	Parent   NodeID
+	Children []NodeID
+	// Level is 1 for leaves and increases towards the root.
+	Level int
+	// Partitions is the set of indoor partitions covered by a leaf node;
+	// empty for non-leaf nodes.
+	Partitions []model.PartitionID
+	// AccessDoors is AD(N): the doors connecting the inside of the node to
+	// the outside (Definition 1).
+	AccessDoors []model.DoorID
+	// Matrix is the node's distance matrix. For a leaf node the rows are
+	// all doors of the node and the columns its access doors; for a
+	// non-leaf node it is a square matrix over the access doors of its
+	// children (Section 2.1.1).
+	Matrix *Matrix
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Options configures tree construction.
+type Options struct {
+	// MinDegree is the minimum number of children of each non-root node
+	// (the parameter t of Algorithm 1). The paper finds t=2 performs best;
+	// zero selects that default.
+	MinDegree int
+	// DisableSuperiorDoors is an ablation switch: when set, Eq. (1) uses
+	// every door of the source partition instead of only its superior doors
+	// (Definition 2), which the paper's design avoids.
+	DisableSuperiorDoors bool
+	// NaiveMerge is an ablation switch: when set, Algorithm 1 merges each
+	// node with an arbitrary neighbour instead of the one maximising the
+	// number of shared access doors.
+	NaiveMerge bool
+}
+
+func (o Options) minDegree() int {
+	if o.MinDegree < 2 {
+		return 2
+	}
+	return o.MinDegree
+}
+
+// Tree is an IP-Tree over a venue.
+type Tree struct {
+	venue *model.Venue
+	opts  Options
+
+	nodes []Node
+	root  NodeID
+
+	// leafOfPartition maps each partition to the leaf that contains it.
+	leafOfPartition []NodeID
+	// leavesOfDoor maps each door to the leaves containing it (one or two).
+	leavesOfDoor [][]NodeID
+	// doorsOfLeaf caches the set of doors of each leaf node.
+	doorsOfLeaf map[NodeID][]model.DoorID
+	// isLeafAccessDoor marks doors that are access doors of at least one
+	// leaf node; Algorithm 4 relies on this set when decomposing edges.
+	isLeafAccessDoor []bool
+	// accessNodesOfDoor lists, for each door d, the nodes N with d ∈ AD(N).
+	accessNodesOfDoor [][]NodeID
+	// superiorDoors maps each partition to its superior doors
+	// (Definition 2); the remaining doors of the partition are inferior.
+	superiorDoors [][]model.DoorID
+}
+
+// BuildIPTree constructs an IP-Tree over the venue.
+func BuildIPTree(v *model.Venue, opts Options) (*Tree, error) {
+	if v == nil || v.NumPartitions() == 0 {
+		return nil, fmt.Errorf("iptree: venue is empty")
+	}
+	t := &Tree{venue: v, opts: opts}
+	t.buildLeaves()
+	t.buildHierarchy()
+	t.buildLeafMatrices()
+	t.buildNonLeafMatrices()
+	return t, nil
+}
+
+// MustBuildIPTree is BuildIPTree but panics on error.
+func MustBuildIPTree(v *model.Venue, opts Options) *Tree {
+	t, err := BuildIPTree(v, opts)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name implements index.DistanceQuerier.
+func (t *Tree) Name() string { return "IP-Tree" }
+
+// Venue returns the venue the tree indexes.
+func (t *Tree) Venue() *model.Venue { return t.venue }
+
+// Root returns the root node ID.
+func (t *Tree) Root() NodeID { return t.root }
+
+// Node returns the node with the given ID.
+func (t *Tree) Node(id NodeID) *Node { return &t.nodes[id] }
+
+// NumNodes returns the total number of nodes in the tree.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// NumLeaves returns the number of leaf nodes (M in the paper's analysis).
+func (t *Tree) NumLeaves() int {
+	n := 0
+	for i := range t.nodes {
+		if t.nodes[i].IsLeaf() {
+			n++
+		}
+	}
+	return n
+}
+
+// Height returns the number of levels of the tree.
+func (t *Tree) Height() int { return t.nodes[t.root].Level }
+
+// Leaf returns the leaf node containing partition p.
+func (t *Tree) Leaf(p model.PartitionID) NodeID { return t.leafOfPartition[p] }
+
+// LeafOfLocation returns the leaf node containing the location's partition.
+func (t *Tree) LeafOfLocation(l model.Location) NodeID { return t.Leaf(l.Partition) }
+
+// LeavesOfDoor returns the leaves whose partitions include door d (one or
+// two leaves, since a door connects at most two partitions).
+func (t *Tree) LeavesOfDoor(d model.DoorID) []NodeID { return t.leavesOfDoor[d] }
+
+// DoorsOfLeaf returns all doors belonging to the partitions of leaf n.
+func (t *Tree) DoorsOfLeaf(n NodeID) []model.DoorID { return t.doorsOfLeaf[n] }
+
+// SuperiorDoors returns the superior doors of partition p (Definition 2).
+func (t *Tree) SuperiorDoors(p model.PartitionID) []model.DoorID { return t.superiorDoors[p] }
+
+// IsAncestor reports whether a is an ancestor of (or equal to) n.
+func (t *Tree) IsAncestor(a, n NodeID) bool {
+	for cur := n; cur != invalidNode; cur = t.nodes[cur].Parent {
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}
+
+// LCA returns the lowest common ancestor of nodes a and b.
+func (t *Tree) LCA(a, b NodeID) NodeID {
+	// Walk both nodes up to the same level, then in lockstep.
+	for t.nodes[a].Level < t.nodes[b].Level {
+		a = t.nodes[a].Parent
+	}
+	for t.nodes[b].Level < t.nodes[a].Level {
+		b = t.nodes[b].Parent
+	}
+	for a != b {
+		a = t.nodes[a].Parent
+		b = t.nodes[b].Parent
+	}
+	return a
+}
+
+// ChildToward returns the child of ancestor anc on the path towards the
+// descendant node n. It panics if anc is not a proper ancestor of n.
+func (t *Tree) ChildToward(anc, n NodeID) NodeID {
+	cur := n
+	for {
+		parent := t.nodes[cur].Parent
+		if parent == anc {
+			return cur
+		}
+		if parent == invalidNode {
+			panic(fmt.Sprintf("iptree: node %d is not a proper ancestor of %d", anc, n))
+		}
+		cur = parent
+	}
+}
+
+// Stats summarises the structural properties that drive the paper's
+// complexity analysis (Table 1): ρ (average access doors per node), f
+// (average children per non-leaf node), M (leaf count), plus height and an
+// estimate of the memory used by the distance matrices.
+type Stats struct {
+	Nodes            int
+	Leaves           int
+	Height           int
+	AvgAccessDoors   float64 // ρ
+	MaxAccessDoors   int
+	AvgFanout        float64 // f
+	AvgSuperiorDoors float64 // α
+	MaxSuperiorDoors int
+	MatrixBytes      int64
+}
+
+// Stats computes the tree statistics.
+func (t *Tree) Stats() Stats {
+	s := Stats{Nodes: len(t.nodes), Leaves: t.NumLeaves(), Height: t.Height()}
+	totalAD, nonLeaf, totalChildren := 0, 0, 0
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		totalAD += len(n.AccessDoors)
+		if len(n.AccessDoors) > s.MaxAccessDoors {
+			s.MaxAccessDoors = len(n.AccessDoors)
+		}
+		if !n.IsLeaf() {
+			nonLeaf++
+			totalChildren += len(n.Children)
+		}
+		if n.Matrix != nil {
+			s.MatrixBytes += n.Matrix.memoryBytes()
+		}
+	}
+	if len(t.nodes) > 0 {
+		s.AvgAccessDoors = float64(totalAD) / float64(len(t.nodes))
+	}
+	if nonLeaf > 0 {
+		s.AvgFanout = float64(totalChildren) / float64(nonLeaf)
+	}
+	totalSup := 0
+	for p := range t.superiorDoors {
+		n := len(t.superiorDoors[p])
+		totalSup += n
+		if n > s.MaxSuperiorDoors {
+			s.MaxSuperiorDoors = n
+		}
+	}
+	if len(t.superiorDoors) > 0 {
+		s.AvgSuperiorDoors = float64(totalSup) / float64(len(t.superiorDoors))
+	}
+	return s
+}
+
+// MemoryBytes estimates the memory consumed by the tree's structures
+// (distance matrices, access door lists and per-door bookkeeping). The D2D
+// graph is shared with the venue and not counted.
+func (t *Tree) MemoryBytes() int64 {
+	var total int64
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		total += int64(len(n.AccessDoors))*8 + int64(len(n.Children))*8 + int64(len(n.Partitions))*8 + 64
+		if n.Matrix != nil {
+			total += n.Matrix.memoryBytes()
+		}
+	}
+	for _, ds := range t.doorsOfLeaf {
+		total += int64(len(ds)) * 8
+	}
+	for p := range t.superiorDoors {
+		total += int64(len(t.superiorDoors[p])) * 8
+	}
+	total += int64(len(t.leafOfPartition)) * 8
+	total += int64(len(t.leavesOfDoor)) * 16
+	return total
+}

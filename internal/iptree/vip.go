@@ -1,0 +1,444 @@
+package iptree
+
+import (
+	"viptree/internal/model"
+)
+
+// This file implements the Vivid IP-Tree (Section 2.2 and Sections 3.1.2 and
+// 3.3): an IP-Tree that additionally materialises, for every door, the
+// distance and next-hop door to every access door of every ancestor of the
+// leaves containing that door. Shortest-distance queries then cost O(ρ²)
+// because the upward climb of Algorithm 2 is replaced by direct lookups.
+
+// vipEntry is the materialised information for one (door, ancestor access
+// door) pair: the shortest distance and the first door on that shortest path
+// (NoDoor if the path contains no other door).
+type vipEntry struct {
+	dist float64
+	next model.DoorID
+}
+
+// VIPTree is a VIP-Tree: an IP-Tree plus the per-door materialised distances.
+type VIPTree struct {
+	*Tree
+	// entries[d][node] holds one vipEntry per access door of `node`, aligned
+	// with Node.AccessDoors, for every node that is an ancestor of a leaf
+	// containing door d.
+	entries []map[NodeID][]vipEntry
+}
+
+// BuildVIPTree constructs a VIP-Tree over the venue.
+func BuildVIPTree(v *model.Venue, opts Options) (*VIPTree, error) {
+	t, err := BuildIPTree(v, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewVIPTree(t), nil
+}
+
+// MustBuildVIPTree is BuildVIPTree but panics on error.
+func MustBuildVIPTree(v *model.Venue, opts Options) *VIPTree {
+	vt, err := BuildVIPTree(v, opts)
+	if err != nil {
+		panic(err)
+	}
+	return vt
+}
+
+// NewVIPTree materialises the per-door ancestor distances on top of an
+// existing IP-Tree. The IP-Tree is shared, not copied.
+func NewVIPTree(t *Tree) *VIPTree {
+	vt := &VIPTree{Tree: t, entries: make([]map[NodeID][]vipEntry, t.venue.NumDoors())}
+	for d := 0; d < t.venue.NumDoors(); d++ {
+		vt.materialiseDoor(model.DoorID(d))
+	}
+	return vt
+}
+
+// Name implements index.DistanceQuerier.
+func (vt *VIPTree) Name() string { return "VIP-Tree" }
+
+// materialiseDoor computes the VIP entries of a single door by climbing the
+// tree from every leaf containing it, exactly like Algorithm 2 but with the
+// door itself as the source.
+func (vt *VIPTree) materialiseDoor(d model.DoorID) {
+	t := vt.Tree
+	vt.entries[d] = make(map[NodeID][]vipEntry)
+	dist := make(map[model.DoorID]float64)
+	via := make(map[model.DoorID]model.DoorID)
+
+	var climb []NodeID
+	for _, leaf := range t.leavesOfDoor[d] {
+		// Seed with the leaf matrix distances from d to the leaf's access
+		// doors (d is a row of every matrix of a leaf containing it).
+		mat := t.nodes[leaf].Matrix
+		for _, a := range t.nodes[leaf].AccessDoors {
+			md := mat.Dist(d, a)
+			if md == Infinite {
+				continue
+			}
+			if cur, ok := dist[a]; !ok || md < cur {
+				dist[a] = md
+				if a == d {
+					via[a] = NoDoor
+				} else {
+					via[a] = d
+				}
+			}
+		}
+		for cur := leaf; cur != invalidNode; cur = t.nodes[cur].Parent {
+			climb = append(climb, cur)
+		}
+	}
+	// Propagate upwards along every climb path (deduplicating nodes).
+	seen := make(map[NodeID]bool)
+	var order []NodeID
+	for _, n := range climb {
+		if !seen[n] {
+			seen[n] = true
+			order = append(order, n)
+		}
+	}
+	// Process in increasing level so children are handled before parents.
+	sortNodesByLevel(t, order)
+	for _, n := range order {
+		node := &t.nodes[n]
+		if node.IsLeaf() {
+			continue
+		}
+		// Propagate from whichever children already have distances.
+		for _, dAccess := range node.AccessDoors {
+			best, bestVia := Infinite, NoDoor
+			if cur, ok := dist[dAccess]; ok {
+				best = cur
+				bestVia = via[dAccess]
+			}
+			for _, c := range node.Children {
+				for _, di := range t.nodes[c].AccessDoors {
+					base, ok := dist[di]
+					if !ok {
+						continue
+					}
+					md := node.Matrix.Dist(di, dAccess)
+					if md == Infinite {
+						continue
+					}
+					if base+md < best {
+						best = base + md
+						if di == dAccess {
+							bestVia = via[di]
+						} else {
+							bestVia = di
+						}
+					}
+				}
+			}
+			if best < Infinite {
+				dist[dAccess] = best
+				via[dAccess] = bestVia
+			}
+		}
+	}
+	// Record entries for every ancestor node: distance plus the literal
+	// first door on the path (computed by decomposing the first hop of the
+	// via chain).
+	for _, n := range order {
+		node := &t.nodes[n]
+		es := make([]vipEntry, len(node.AccessDoors))
+		for i, a := range node.AccessDoors {
+			dv, ok := dist[a]
+			if !ok {
+				es[i] = vipEntry{dist: Infinite, next: NoDoor}
+				continue
+			}
+			es[i] = vipEntry{dist: dv, next: vt.firstDoorOnPath(d, a, via)}
+		}
+		vt.entries[d][n] = es
+	}
+}
+
+// sortNodesByLevel orders node IDs by increasing level (stable by ID).
+func sortNodesByLevel(t *Tree, nodes []NodeID) {
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0; j-- {
+			a, b := nodes[j-1], nodes[j]
+			if t.nodes[a].Level > t.nodes[b].Level ||
+				(t.nodes[a].Level == t.nodes[b].Level && a > b) {
+				nodes[j-1], nodes[j] = nodes[j], nodes[j-1]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// firstDoorOnPath returns the first door after src on the shortest path from
+// src to target, following the via chain recorded during materialisation and
+// decomposing the first partial edge with the distance matrices.
+func (vt *VIPTree) firstDoorOnPath(src, target model.DoorID, via map[model.DoorID]model.DoorID) model.DoorID {
+	if src == target {
+		return NoDoor
+	}
+	// Unwind the via chain from target back towards src; the element closest
+	// to src on the chain is the first partial hop.
+	first := target
+	for cur := target; cur != NoDoor; {
+		prev, ok := via[cur]
+		if !ok || prev == NoDoor || prev == src {
+			first = cur
+			break
+		}
+		first = cur
+		cur = prev
+	}
+	return vt.firstDoorOfEdge(src, first, maxDecompose)
+}
+
+// firstDoorOfEdge returns the first door after a on the shortest path from a
+// to b by repeatedly consulting the matrices' next-hop entries.
+func (vt *VIPTree) firstDoorOfEdge(a, b model.DoorID, budget int) model.DoorID {
+	t := vt.Tree
+	for budget > 0 {
+		budget--
+		if a == b {
+			return NoDoor
+		}
+		aAccess := len(t.accessNodesOfDoor[a]) > 0
+		bAccess := len(t.accessNodesOfDoor[b]) > 0
+		if !aAccess && !bAccess {
+			return b
+		}
+		node, swap, ok := t.decompositionNode(a, b)
+		if !ok {
+			break
+		}
+		var next model.DoorID
+		if swap {
+			next = t.nodes[node].Matrix.Next(b, a)
+		} else {
+			next = t.nodes[node].Matrix.Next(a, b)
+		}
+		if next == NoDoor {
+			return b
+		}
+		if next == a || next == b {
+			break
+		}
+		b = next
+	}
+	// Fallback: resolve with a plain graph search (rare).
+	_, doors := t.venue.D2D().Path(a, b)
+	if len(doors) >= 2 {
+		return doors[1]
+	}
+	return b
+}
+
+// entryFor returns the materialised entry for door d towards access door
+// `target` of `node`, if present.
+func (vt *VIPTree) entryFor(d model.DoorID, node NodeID, target model.DoorID) (vipEntry, bool) {
+	byNode, ok := vt.entries[d][node]
+	if !ok {
+		return vipEntry{}, false
+	}
+	for i, a := range vt.nodes[node].AccessDoors {
+		if a == target {
+			return byNode[i], true
+		}
+	}
+	return vipEntry{}, false
+}
+
+// Distance implements the VIP-Tree shortest-distance query (Section 3.1.2):
+// O(ρ²) lookups via the superior doors of the two partitions and the
+// materialised distances to the LCA children's access doors.
+func (vt *VIPTree) Distance(s, d model.Location) float64 {
+	dist, _, _ := vt.distanceInternalVIP(s, d)
+	return dist
+}
+
+// vipSide holds the per-side result of a VIP distance query: for each access
+// door of the LCA child on that side, the distance from the location and the
+// superior door through which it is achieved.
+type vipSide struct {
+	node NodeID
+	dist map[model.DoorID]float64
+	via  map[model.DoorID]model.DoorID
+}
+
+func (vt *VIPTree) distanceInternalVIP(s, d model.Location) (float64, *vipSide, *vipSide) {
+	t := vt.Tree
+	if s.Partition == d.Partition {
+		return directIntraPartition(t.venue, s, d), nil, nil
+	}
+	leafS := t.Leaf(s.Partition)
+	leafD := t.Leaf(d.Partition)
+	if leafS == leafD {
+		return t.venue.D2D().LocationDist(s, d), nil, nil
+	}
+	lca := t.LCA(leafS, leafD)
+	ns := t.ChildToward(lca, leafS)
+	nt := t.ChildToward(lca, leafD)
+	sideS := vt.sideDistances(s, ns)
+	sideD := vt.sideDistances(d, nt)
+	mat := t.nodes[lca].Matrix
+	best := Infinite
+	for di, ds := range sideS.dist {
+		for dj, dd := range sideD.dist {
+			md := mat.Dist(di, dj)
+			if md == Infinite {
+				continue
+			}
+			if total := ds + md + dd; total < best {
+				best = total
+			}
+		}
+	}
+	return best, sideS, sideD
+}
+
+// sideDistances computes dist(loc, a) for every access door a of `node` (an
+// ancestor of the location's leaf) using only the superior doors of the
+// location's partition and the materialised per-door distances — the
+// modified Algorithm 2 of Section 3.1.2.
+func (vt *VIPTree) sideDistances(loc model.Location, node NodeID) *vipSide {
+	t := vt.Tree
+	v := t.venue
+	side := &vipSide{
+		node: node,
+		dist: make(map[model.DoorID]float64),
+		via:  make(map[model.DoorID]model.DoorID),
+	}
+	sup := t.superiorDoors[loc.Partition]
+	for _, a := range t.nodes[node].AccessDoors {
+		best := Infinite
+		bestVia := NoDoor
+		for _, sdoor := range sup {
+			base := v.DistToDoor(loc, sdoor)
+			var md float64
+			if sdoor == a {
+				md = 0
+			} else if e, ok := vt.entryFor(sdoor, node, a); ok {
+				md = e.dist
+			} else {
+				md = Infinite
+			}
+			if md == Infinite {
+				continue
+			}
+			if base+md < best {
+				best = base + md
+				bestVia = sdoor
+			}
+		}
+		if best < Infinite {
+			side.dist[a] = best
+			side.via[a] = bestVia
+		}
+	}
+	return side
+}
+
+// Path implements the VIP-Tree shortest-path query (Section 3.3): the
+// distance computation identifies the superior doors and LCA access doors on
+// the optimal path, the materialised next-hop doors expand the segments
+// between a door and an ancestor access door, and Algorithm 4 expands the
+// segment across the LCA.
+func (vt *VIPTree) Path(s, d model.Location) (float64, []model.DoorID) {
+	t := vt.Tree
+	dist, sideS, sideD, pair := vt.pathSkeleton(s, d)
+	if dist == Infinite {
+		return dist, nil
+	}
+	if sideS == nil {
+		if s.Partition == d.Partition {
+			return dist, nil
+		}
+		pd, doors := t.venue.D2D().LocationPath(s, d)
+		return pd, doors
+	}
+	supS := sideS.via[pair[0]]
+	supD := sideD.via[pair[1]]
+	var doors []model.DoorID
+	doors = append(doors, vt.expandToAncestorDoor(supS, sideS.node, pair[0])...)
+	mid := t.expandEdge(pair[0], pair[1])
+	doors = append(doors, mid[1:]...)
+	back := vt.expandToAncestorDoor(supD, sideD.node, pair[1])
+	for i := len(back) - 2; i >= 0; i-- {
+		doors = append(doors, back[i])
+	}
+	return dist, dedupConsecutive(doors)
+}
+
+// pathSkeleton runs the VIP distance query and additionally returns the pair
+// of LCA-children access doors realising the minimum.
+func (vt *VIPTree) pathSkeleton(s, d model.Location) (float64, *vipSide, *vipSide, [2]model.DoorID) {
+	none := [2]model.DoorID{NoDoor, NoDoor}
+	dist, sideS, sideD := vt.distanceInternalVIP(s, d)
+	if sideS == nil || dist == Infinite {
+		return dist, sideS, sideD, none
+	}
+	t := vt.Tree
+	lca := t.LCA(t.Leaf(s.Partition), t.Leaf(d.Partition))
+	mat := t.nodes[lca].Matrix
+	best := Infinite
+	pair := none
+	for di, ds := range sideS.dist {
+		for dj, dd := range sideD.dist {
+			md := mat.Dist(di, dj)
+			if md == Infinite {
+				continue
+			}
+			if total := ds + md + dd; total < best {
+				best = total
+				pair = [2]model.DoorID{di, dj}
+			}
+		}
+	}
+	return best, sideS, sideD, pair
+}
+
+// expandToAncestorDoor returns the full door sequence from door `from` to
+// access door `target` of ancestor node `node`, by repeatedly following the
+// materialised next-hop doors. Missing entries fall back to Algorithm 4.
+func (vt *VIPTree) expandToAncestorDoor(from model.DoorID, node NodeID, target model.DoorID) []model.DoorID {
+	t := vt.Tree
+	doors := []model.DoorID{from}
+	cur := from
+	for step := 0; cur != target && step < maxDecompose; step++ {
+		e, ok := vt.entryFor(cur, node, target)
+		if !ok {
+			// The current door has no materialised entry for this ancestor
+			// (the path strayed outside the node); finish with Algorithm 4.
+			rest := t.expandEdge(cur, target)
+			doors = append(doors, rest[1:]...)
+			return doors
+		}
+		next := e.next
+		if next == NoDoor {
+			next = target
+		}
+		if next == cur {
+			break
+		}
+		doors = append(doors, next)
+		cur = next
+	}
+	if cur != target {
+		rest := t.expandEdge(cur, target)
+		doors = append(doors, rest[1:]...)
+	}
+	return dedupConsecutive(doors)
+}
+
+// MemoryBytes estimates the memory of the VIP-Tree: the underlying IP-Tree
+// plus the materialised per-door entries.
+func (vt *VIPTree) MemoryBytes() int64 {
+	total := vt.Tree.MemoryBytes()
+	for _, byNode := range vt.entries {
+		for _, es := range byNode {
+			total += int64(len(es))*16 + 48
+		}
+	}
+	return total
+}

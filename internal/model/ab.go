@@ -1,0 +1,54 @@
+package model
+
+import "viptree/internal/graph"
+
+// ABGraph is the accessibility base graph of a venue (Section 1.2.2): each
+// indoor partition is a vertex and each door that connects two partitions is
+// an edge between them labelled with the door. Parallel edges (two doors
+// connecting the same pair of partitions) are preserved.
+//
+// The AB graph captures connectivity (which partitions can be reached from
+// which) but not indoor distances; the weight of every edge is 1 so that
+// graph-level reachability and hop counts are available.
+type ABGraph struct {
+	Graph *graph.Graph
+	// EdgeDoors records, for each pair of directed arcs added for a door,
+	// the door that induced it. Indexed identically to the arcs returned by
+	// Graph.Neighbors.
+	venue *Venue
+}
+
+// AB builds and returns the accessibility base graph of the venue.
+func (v *Venue) AB() *ABGraph {
+	g := graph.New(len(v.Partitions))
+	for i := range v.Doors {
+		d := &v.Doors[i]
+		if len(d.Partitions) == 2 {
+			g.AddEdge(int(d.Partitions[0]), int(d.Partitions[1]), 1)
+		}
+	}
+	return &ABGraph{Graph: g, venue: v}
+}
+
+// ReachablePartitions returns all partitions reachable from p in the AB
+// graph, including p itself.
+func (a *ABGraph) ReachablePartitions(p PartitionID) []PartitionID {
+	dist, _ := a.Graph.FromSource(int(p))
+	var out []PartitionID
+	for v, d := range dist {
+		if d != graph.Infinity {
+			out = append(out, PartitionID(v))
+		}
+	}
+	return out
+}
+
+// HopCount returns the minimum number of doors to pass through to travel from
+// partition a to partition b, or -1 if b is unreachable.
+func (a *ABGraph) HopCount(from, to PartitionID) int {
+	d := a.Graph.ShortestDist(int(from), int(to))
+	if d == graph.Infinity {
+		return -1
+	}
+	return int(d)
+}

@@ -1,0 +1,143 @@
+package model
+
+import (
+	"fmt"
+
+	"viptree/internal/geom"
+)
+
+// Builder assembles a Venue incrementally. The typical sequence is:
+//
+//	b := model.NewBuilder("My Building")
+//	room := b.AddPartition("room 1", model.ClassRoom, bounds, 0)
+//	hall := b.AddPartition("hallway", model.ClassHallway, hallBounds, 0)
+//	b.AddDoor("d1", doorLoc, room, hall)
+//	v, err := b.Build()
+//
+// Build validates the topology (every partition has at least one door, door
+// partition references are valid, the D2D graph is connected unless
+// AllowDisconnected is set) and materialises the D2D graph.
+type Builder struct {
+	name              string
+	hallwayThreshold  int
+	doors             []Door
+	partitions        []Partition
+	outdoor           []OutdoorEdge
+	allowDisconnected bool
+}
+
+// NewBuilder returns a Builder for a venue with the given name and the
+// default hallway threshold β.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, hallwayThreshold: DefaultHallwayThreshold}
+}
+
+// SetHallwayThreshold overrides the paper's β parameter (default 4).
+func (b *Builder) SetHallwayThreshold(beta int) *Builder {
+	b.hallwayThreshold = beta
+	return b
+}
+
+// AllowDisconnected disables the connectivity check in Build. It is useful
+// for tests that deliberately construct partial venues.
+func (b *Builder) AllowDisconnected() *Builder {
+	b.allowDisconnected = true
+	return b
+}
+
+// AddPartition appends a partition and returns its ID. traversalCost may be
+// zero for ordinary partitions; a positive value overrides intra-partition
+// door-to-door distances (used for stairs, lifts, escalators).
+func (b *Builder) AddPartition(name string, class Class, bounds geom.Rect, traversalCost float64) PartitionID {
+	id := PartitionID(len(b.partitions))
+	b.partitions = append(b.partitions, Partition{
+		ID:            id,
+		Name:          name,
+		Class:         class,
+		Bounds:        bounds,
+		TraversalCost: traversalCost,
+	})
+	return id
+}
+
+// AddDoor appends a door connecting partitions p1 and p2 and returns its ID.
+// Pass NoPartition for p2 to create an exterior door (e.g. a building
+// entrance).
+func (b *Builder) AddDoor(name string, loc geom.Point, p1, p2 PartitionID) DoorID {
+	id := DoorID(len(b.doors))
+	parts := []PartitionID{p1}
+	if p2 != NoPartition {
+		parts = append(parts, p2)
+	}
+	b.doors = append(b.doors, Door{ID: id, Name: name, Loc: loc, Partitions: parts})
+	return id
+}
+
+// AddOutdoorEdge adds an explicit D2D edge between two doors with the given
+// weight, e.g. the outdoor footpath between two building entrances.
+func (b *Builder) AddOutdoorEdge(from, to DoorID, weight float64) {
+	b.outdoor = append(b.outdoor, OutdoorEdge{From: from, To: to, Weight: weight})
+}
+
+// NumDoors returns the number of doors added so far.
+func (b *Builder) NumDoors() int { return len(b.doors) }
+
+// NumPartitions returns the number of partitions added so far.
+func (b *Builder) NumPartitions() int { return len(b.partitions) }
+
+// Build validates the venue and materialises its D2D graph.
+func (b *Builder) Build() (*Venue, error) {
+	v := &Venue{
+		Name:             b.name,
+		HallwayThreshold: b.hallwayThreshold,
+		Doors:            b.doors,
+		Partitions:       b.partitions,
+		OutdoorEdges:     b.outdoor,
+	}
+	// Populate partition door lists from the doors.
+	for i := range v.Doors {
+		d := &v.Doors[i]
+		if len(d.Partitions) == 0 {
+			return nil, fmt.Errorf("model: door %d (%s) connects no partition", d.ID, d.Name)
+		}
+		seen := make(map[PartitionID]bool, 2)
+		for _, pid := range d.Partitions {
+			if pid < 0 || int(pid) >= len(v.Partitions) {
+				return nil, fmt.Errorf("model: door %d (%s) references unknown partition %d", d.ID, d.Name, pid)
+			}
+			if seen[pid] {
+				return nil, fmt.Errorf("model: door %d (%s) references partition %d twice", d.ID, d.Name, pid)
+			}
+			seen[pid] = true
+			v.Partitions[pid].Doors = append(v.Partitions[pid].Doors, d.ID)
+		}
+	}
+	for i := range v.Partitions {
+		if len(v.Partitions[i].Doors) == 0 {
+			return nil, fmt.Errorf("model: partition %d (%s) has no doors", i, v.Partitions[i].Name)
+		}
+	}
+	for _, e := range v.OutdoorEdges {
+		if int(e.From) >= len(v.Doors) || int(e.To) >= len(v.Doors) || e.From < 0 || e.To < 0 {
+			return nil, fmt.Errorf("model: outdoor edge references unknown door (%d-%d)", e.From, e.To)
+		}
+		if e.Weight < 0 {
+			return nil, fmt.Errorf("model: outdoor edge %d-%d has negative weight %v", e.From, e.To, e.Weight)
+		}
+	}
+	v.d2d = buildD2D(v)
+	if !b.allowDisconnected && len(v.Doors) > 1 && !v.d2d.Graph.Connected() {
+		return nil, fmt.Errorf("model: venue %q has a disconnected door-to-door graph", v.Name)
+	}
+	return v, nil
+}
+
+// MustBuild is like Build but panics on error. It is intended for tests and
+// hard-coded example venues.
+func (b *Builder) MustBuild() *Venue {
+	v, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

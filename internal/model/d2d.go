@@ -1,0 +1,229 @@
+package model
+
+import (
+	"viptree/internal/graph"
+)
+
+// D2DGraph is the door-to-door graph of a venue (Section 1.2.2): each door is
+// a vertex, and a weighted edge connects two doors if they belong to the same
+// indoor partition, with the weight being the indoor distance between them.
+// Outdoor edges (e.g. between building entrances) are added verbatim.
+//
+// The vertex identifier of door d is int(d).
+type D2DGraph struct {
+	Graph *graph.Graph
+	venue *Venue
+}
+
+// buildD2D materialises the D2D graph for v.
+func buildD2D(v *Venue) *D2DGraph {
+	g := graph.New(len(v.Doors))
+	for pi := range v.Partitions {
+		p := &v.Partitions[pi]
+		for i := 0; i < len(p.Doors); i++ {
+			for j := i + 1; j < len(p.Doors); j++ {
+				a, b := p.Doors[i], p.Doors[j]
+				w := v.IntraPartitionDist(p.ID, a, b)
+				g.AddEdge(int(a), int(b), w)
+			}
+		}
+	}
+	for _, e := range v.OutdoorEdges {
+		g.AddEdge(int(e.From), int(e.To), e.Weight)
+	}
+	return &D2DGraph{Graph: g, venue: v}
+}
+
+// D2D returns the door-to-door graph of the venue. The graph is built once by
+// the Builder and shared by all indexes.
+func (v *Venue) D2D() *D2DGraph { return v.d2d }
+
+// Dist returns the shortest door-to-door distance between doors a and b using
+// Dijkstra's algorithm on the D2D graph. It is the ground-truth distance used
+// in tests and by the expansion-based DistAw baseline.
+func (d *D2DGraph) Dist(a, b DoorID) float64 {
+	return d.Graph.ShortestDist(int(a), int(b))
+}
+
+// Path returns the shortest door-to-door path between doors a and b (as door
+// IDs) and its length. It returns a nil path if b is unreachable from a.
+func (d *D2DGraph) Path(a, b DoorID) (float64, []DoorID) {
+	dist, p := d.Graph.ShortestPath(int(a), int(b))
+	if p == nil {
+		return dist, nil
+	}
+	doors := make([]DoorID, len(p))
+	for i, v := range p {
+		doors[i] = DoorID(v)
+	}
+	return dist, doors
+}
+
+// LocationDist computes the exact shortest indoor distance between two
+// arbitrary locations by Dijkstra expansion over the D2D graph. It is the
+// ground truth against which all indexes are verified, and also the engine
+// of the DistAw baseline.
+//
+// If s and t are in the same partition the distance is the direct
+// intra-partition distance (possibly beaten by a path leaving and re-entering
+// through doors, which cannot happen with convex partitions, so the direct
+// distance is used).
+func (d *D2DGraph) LocationDist(s, t Location) float64 {
+	v := d.venue
+	if s.Partition == t.Partition {
+		return directIntraDist(v, s, t)
+	}
+	// Temporary virtual vertices would complicate the graph; instead run a
+	// multi-source expansion seeded with the distances from s to the doors
+	// of its partition, and finish at the doors of t's partition.
+	sp := v.Partition(s.Partition)
+	tp := v.Partition(t.Partition)
+	best := graph.Infinity
+	// dist from s to each door of Partition(s)
+	seed := make(map[DoorID]float64, len(sp.Doors))
+	for _, did := range sp.Doors {
+		seed[did] = v.DistToDoor(s, did)
+	}
+	// single Dijkstra from a virtual source: implement by running Dijkstra
+	// on the D2D graph with multiple seeded sources.
+	dist := d.multiSourceToTargets(seed, tp.Doors)
+	for _, did := range tp.Doors {
+		if dv, ok := dist[did]; ok {
+			total := dv + v.DistToDoor(t, did)
+			if total < best {
+				best = total
+			}
+		}
+	}
+	return best
+}
+
+// LocationPath computes the exact shortest path between two locations as the
+// sequence of doors traversed, along with its total length.
+func (d *D2DGraph) LocationPath(s, t Location) (float64, []DoorID) {
+	v := d.venue
+	if s.Partition == t.Partition {
+		return directIntraDist(v, s, t), nil
+	}
+	sp := v.Partition(s.Partition)
+	tp := v.Partition(t.Partition)
+	best := graph.Infinity
+	var bestPath []DoorID
+	for _, sd := range sp.Doors {
+		dists, prev := d.Graph.ToTargets(int(sd), doorsToInts(tp.Doors))
+		for _, td := range tp.Doors {
+			dv := dists[int(td)]
+			if dv == graph.Infinity {
+				continue
+			}
+			total := v.DistToDoor(s, sd) + dv + v.DistToDoor(t, td)
+			if total < best {
+				best = total
+				p := graph.PathOnPrev(prev, int(sd), int(td))
+				bestPath = intsToDoors(p)
+			}
+		}
+	}
+	return best, bestPath
+}
+
+// multiSourceToTargets runs a Dijkstra expansion seeded with several source
+// doors at given initial distances, stopping when all targets are settled.
+func (d *D2DGraph) multiSourceToTargets(seeds map[DoorID]float64, targets []DoorID) map[DoorID]float64 {
+	type qitem struct {
+		door DoorID
+		dist float64
+	}
+	// Simple lazy-deletion heap reusing the graph package would need an
+	// exported multi-source API; a local slice-based heap keeps the model
+	// package self-contained.
+	settled := make(map[DoorID]float64)
+	pendingTargets := make(map[DoorID]bool, len(targets))
+	for _, t := range targets {
+		pendingTargets[t] = true
+	}
+	bestKnown := make(map[DoorID]float64, len(seeds))
+	heap := make([]qitem, 0, len(seeds))
+	push := func(it qitem) {
+		heap = append(heap, it)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p].dist <= heap[i].dist {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() qitem {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= len(heap) {
+				break
+			}
+			small := l
+			if r := l + 1; r < len(heap) && heap[r].dist < heap[l].dist {
+				small = r
+			}
+			if heap[i].dist <= heap[small].dist {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return top
+	}
+	for door, dist := range seeds {
+		bestKnown[door] = dist
+		push(qitem{door: door, dist: dist})
+	}
+	for len(heap) > 0 && len(pendingTargets) > 0 {
+		it := pop()
+		if _, done := settled[it.door]; done {
+			continue
+		}
+		settled[it.door] = it.dist
+		delete(pendingTargets, it.door)
+		for _, e := range d.Graph.Neighbors(int(it.door)) {
+			nd := it.dist + e.Weight
+			to := DoorID(e.To)
+			if old, ok := bestKnown[to]; !ok || nd < old {
+				bestKnown[to] = nd
+				push(qitem{door: to, dist: nd})
+			}
+		}
+	}
+	return settled
+}
+
+// directIntraDist is the walking distance between two locations in the same
+// partition.
+func directIntraDist(v *Venue, s, t Location) float64 {
+	p := v.Partition(s.Partition)
+	if p.TraversalCost > 0 {
+		return p.TraversalCost
+	}
+	return s.Point.PlanarDist(t.Point)
+}
+
+func doorsToInts(ds []DoorID) []int {
+	out := make([]int, len(ds))
+	for i, d := range ds {
+		out[i] = int(d)
+	}
+	return out
+}
+
+func intsToDoors(vs []int) []DoorID {
+	out := make([]DoorID, len(vs))
+	for i, v := range vs {
+		out[i] = DoorID(v)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Stats summarises a venue in the terms of Table 2 of the paper: number of
+// doors, rooms (partitions) and D2D edges, plus a few derived figures that
+// explain index behaviour (floors, maximum and average out-degree of the D2D
+// graph).
+type Stats struct {
+	Name          string
+	Doors         int
+	Partitions    int
+	D2DEdges      int
+	Floors        int
+	MaxOutDegree  int
+	AvgOutDegree  float64
+	Hallways      int
+	NoThrough     int
+	General       int
+	OutdoorEdges  int
+	StairOrLifts  int
+	HallwayDoors  int // doors attached to at least one hallway partition
+	LargestDegree int // doors of the largest hallway
+}
+
+// ComputeStats returns the statistics of the venue.
+func (v *Venue) ComputeStats() Stats {
+	s := Stats{
+		Name:         v.Name,
+		Doors:        len(v.Doors),
+		Partitions:   len(v.Partitions),
+		D2DEdges:     v.d2d.Graph.NumEdges(),
+		Floors:       v.Floors(),
+		MaxOutDegree: v.d2d.Graph.MaxOutDegree(),
+		AvgOutDegree: v.d2d.Graph.AvgOutDegree(),
+		OutdoorEdges: len(v.OutdoorEdges),
+	}
+	hallwayDoorSeen := make(map[DoorID]bool)
+	for i := range v.Partitions {
+		p := &v.Partitions[i]
+		switch v.Kind(p.ID) {
+		case KindHallway:
+			s.Hallways++
+			if len(p.Doors) > s.LargestDegree {
+				s.LargestDegree = len(p.Doors)
+			}
+			for _, d := range p.Doors {
+				hallwayDoorSeen[d] = true
+			}
+		case KindNoThrough:
+			s.NoThrough++
+		default:
+			s.General++
+		}
+		if p.Class == ClassStaircase || p.Class == ClassLift || p.Class == ClassEscalator {
+			s.StairOrLifts++
+		}
+	}
+	s.HallwayDoors = len(hallwayDoorSeen)
+	return s
+}
+
+// String renders the statistics as a single Table-2-style row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-14s doors=%-7d rooms=%-7d edges=%-9d floors=%-3d maxdeg=%-4d avgdeg=%.1f",
+		s.Name, s.Doors, s.Partitions, s.D2DEdges, s.Floors, s.MaxOutDegree, s.AvgOutDegree)
+}
+
+// RandomLocation returns a uniformly random location in the venue: a random
+// partition and a random point inside its bounds. Staircase/lift partitions
+// use their bounds centre because arbitrary points inside them are not
+// meaningful walking positions.
+func (v *Venue) RandomLocation(rng *rand.Rand) Location {
+	pid := PartitionID(rng.Intn(len(v.Partitions)))
+	return v.RandomLocationIn(pid, rng)
+}
+
+// RandomLocationIn returns a random location inside the given partition.
+func (v *Venue) RandomLocationIn(pid PartitionID, rng *rand.Rand) Location {
+	p := v.Partition(pid)
+	if p.TraversalCost > 0 || p.Bounds.Area() == 0 {
+		return Location{Partition: pid, Point: p.Bounds.Center()}
+	}
+	pt := p.Bounds.Center()
+	pt.X = p.Bounds.MinX + rng.Float64()*p.Bounds.Width()
+	pt.Y = p.Bounds.MinY + rng.Float64()*p.Bounds.Height()
+	return Location{Partition: pid, Point: pt}
+}
+
+// Centroid returns the location at the centre of partition pid.
+func (v *Venue) Centroid(pid PartitionID) Location {
+	return Location{Partition: pid, Point: v.Partition(pid).Bounds.Center()}
+}

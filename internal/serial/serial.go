@@ -1,0 +1,137 @@
+// Package serial persists venues to disk and loads them back, so that large
+// synthetic venues (or venues digitised from real floor plans) can be
+// generated once and reused across experiment runs. The format is
+// encoding/gob over a stable, versioned data-transfer structure; the
+// derived structures (the D2D graph) are rebuilt on load through the normal
+// Builder validation path.
+package serial
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"viptree/internal/geom"
+	"viptree/internal/model"
+)
+
+// formatVersion guards against loading files written by an incompatible
+// release.
+const formatVersion = 1
+
+// venueDTO is the on-disk representation of a venue.
+type venueDTO struct {
+	Version          int
+	Name             string
+	HallwayThreshold int
+	Partitions       []partitionDTO
+	Doors            []doorDTO
+	OutdoorEdges     []outdoorEdgeDTO
+}
+
+type partitionDTO struct {
+	Name          string
+	Class         int
+	Bounds        geom.Rect
+	TraversalCost float64
+}
+
+type doorDTO struct {
+	Name       string
+	Loc        geom.Point
+	Partitions []int
+}
+
+type outdoorEdgeDTO struct {
+	From, To int
+	Weight   float64
+}
+
+// Write encodes the venue to w.
+func Write(w io.Writer, v *model.Venue) error {
+	dto := venueDTO{
+		Version:          formatVersion,
+		Name:             v.Name,
+		HallwayThreshold: v.HallwayThreshold,
+	}
+	for i := range v.Partitions {
+		p := &v.Partitions[i]
+		dto.Partitions = append(dto.Partitions, partitionDTO{
+			Name:          p.Name,
+			Class:         int(p.Class),
+			Bounds:        p.Bounds,
+			TraversalCost: p.TraversalCost,
+		})
+	}
+	for i := range v.Doors {
+		d := &v.Doors[i]
+		parts := make([]int, len(d.Partitions))
+		for j, pid := range d.Partitions {
+			parts[j] = int(pid)
+		}
+		dto.Doors = append(dto.Doors, doorDTO{Name: d.Name, Loc: d.Loc, Partitions: parts})
+	}
+	for _, e := range v.OutdoorEdges {
+		dto.OutdoorEdges = append(dto.OutdoorEdges, outdoorEdgeDTO{From: int(e.From), To: int(e.To), Weight: e.Weight})
+	}
+	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// Read decodes a venue from r and rebuilds it through the Builder (re-running
+// validation and re-deriving the D2D graph).
+func Read(r io.Reader) (*model.Venue, error) {
+	var dto venueDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("serial: decoding venue: %w", err)
+	}
+	if dto.Version != formatVersion {
+		return nil, fmt.Errorf("serial: unsupported format version %d (want %d)", dto.Version, formatVersion)
+	}
+	b := model.NewBuilder(dto.Name)
+	if dto.HallwayThreshold > 0 {
+		b.SetHallwayThreshold(dto.HallwayThreshold)
+	}
+	for _, p := range dto.Partitions {
+		b.AddPartition(p.Name, model.Class(p.Class), p.Bounds, p.TraversalCost)
+	}
+	for _, d := range dto.Doors {
+		if len(d.Partitions) == 0 {
+			return nil, fmt.Errorf("serial: door %q connects no partition", d.Name)
+		}
+		p1 := model.PartitionID(d.Partitions[0])
+		p2 := model.NoPartition
+		if len(d.Partitions) > 1 {
+			p2 = model.PartitionID(d.Partitions[1])
+		}
+		b.AddDoor(d.Name, d.Loc, p1, p2)
+	}
+	for _, e := range dto.OutdoorEdges {
+		b.AddOutdoorEdge(model.DoorID(e.From), model.DoorID(e.To), e.Weight)
+	}
+	return b.Build()
+}
+
+// Save writes the venue to a file, creating or truncating it.
+func Save(path string, v *model.Venue) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("serial: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("serial: closing %s: %w", path, cerr)
+		}
+	}()
+	return Write(f, v)
+}
+
+// Load reads a venue from a file.
+func Load(path string) (*model.Venue, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serial: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,99 @@
+package serial
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"viptree/internal/iptree"
+	"viptree/internal/model"
+	"viptree/internal/venuegen"
+)
+
+func buildVenueFor(name string) *model.Venue {
+	switch name {
+	case "paper":
+		return venuegen.PaperExample()
+	case "building":
+		return venuegen.MustBuilding(venuegen.BuildingConfig{Name: "serial-b", Floors: 2, RoomsPerHallway: 8, Staircases: 1, Seed: 1})
+	default:
+		return venuegen.MustCampus(venuegen.CampusConfig{Name: "serial-c", Buildings: 2, Building: venuegen.BuildingConfig{Floors: 1, RoomsPerHallway: 5}, Seed: 2})
+	}
+}
+
+func TestRoundTripPreservesVenue(t *testing.T) {
+	for _, name := range []string{"paper", "building", "campus"} {
+		t.Run(name, func(t *testing.T) {
+			orig := buildVenueFor(name)
+			var buf bytes.Buffer
+			if err := Write(&buf, orig); err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			got, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			if got.NumDoors() != orig.NumDoors() || got.NumPartitions() != orig.NumPartitions() {
+				t.Fatalf("size mismatch: %d/%d vs %d/%d",
+					got.NumDoors(), got.NumPartitions(), orig.NumDoors(), orig.NumPartitions())
+			}
+			if got.Name != orig.Name || got.HallwayThreshold != orig.HallwayThreshold {
+				t.Errorf("metadata mismatch: %q/%d vs %q/%d",
+					got.Name, got.HallwayThreshold, orig.Name, orig.HallwayThreshold)
+			}
+			if got.D2D().Graph.NumEdges() != orig.D2D().Graph.NumEdges() {
+				t.Errorf("D2D edges differ: %d vs %d",
+					got.D2D().Graph.NumEdges(), orig.D2D().Graph.NumEdges())
+			}
+			// Distances computed on the reloaded venue agree with the
+			// original (the index is rebuilt from the reloaded topology).
+			rng := rand.New(rand.NewSource(5))
+			origTree := iptree.MustBuildVIPTree(orig, iptree.Options{})
+			gotTree := iptree.MustBuildVIPTree(got, iptree.Options{})
+			for i := 0; i < 30; i++ {
+				s := orig.RandomLocation(rng)
+				d := orig.RandomLocation(rng)
+				a := origTree.Distance(s, d)
+				b := gotTree.Distance(s, d)
+				if diff := a - b; diff > 1e-6 || diff < -1e-6 {
+					t.Fatalf("distance mismatch after round trip: %v vs %v", a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestSaveAndLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "venue.gob")
+	orig := venuegen.PaperExample()
+	if err := Save(path, orig); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.NumDoors() != orig.NumDoors() {
+		t.Errorf("door count mismatch after file round trip")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.gob")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestReadRejectsGarbageAndTruncatedInput(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("expected an error for a non-gob stream")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, venuegen.PaperExample()); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("expected an error for truncated input")
+	}
+}

@@ -1,0 +1,125 @@
+package venuegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"viptree/internal/model"
+)
+
+// CampusConfig parameterises a multi-building campus (Clayton-like).
+// Buildings are placed on a grid and their ground-floor entrances are linked
+// by outdoor edges whose weights are the planar distances between the
+// entrance doors, following the paper's construction of the Clayton data set
+// ("the D2D graph also contains edges between the entry/exit doors of
+// different buildings where the weight corresponds to the outdoor distance").
+type CampusConfig struct {
+	// Name of the venue.
+	Name string
+	// Buildings is the number of buildings on the campus.
+	Buildings int
+	// Building is the template configuration of each building. Seed, Floors
+	// and RoomsPerHallway are jittered per building when Jitter is true so
+	// buildings are not identical.
+	Building BuildingConfig
+	// Jitter varies building sizes around the template.
+	Jitter bool
+	// GridColumns is the number of buildings per campus row; building
+	// spacing follows from the building footprint.
+	GridColumns int
+	// Seed drives the deterministic pseudo-random choices.
+	Seed int64
+}
+
+func (c *CampusConfig) applyDefaults() {
+	if c.Buildings <= 0 {
+		c.Buildings = 4
+	}
+	if c.GridColumns <= 0 {
+		c.GridColumns = 8
+	}
+	c.Building.applyDefaults()
+}
+
+// Campus generates a multi-building campus venue according to cfg.
+func Campus(cfg CampusConfig) (*model.Venue, error) {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := model.NewBuilder(cfg.Name)
+
+	type placedBuilding struct {
+		entrances []model.DoorID
+		row, col  int
+	}
+	var placed []placedBuilding
+
+	for i := 0; i < cfg.Buildings; i++ {
+		bc := cfg.Building
+		bc.Name = fmt.Sprintf("%s/B%02d", cfg.Name, i)
+		bc.Seed = cfg.Seed + int64(i)
+		if cfg.Jitter {
+			// Vary floors and rooms by up to ±30%.
+			bc.Floors = jitterInt(rng, bc.Floors, 0.3)
+			bc.RoomsPerHallway = jitterInt(rng, bc.RoomsPerHallway, 0.3)
+		}
+		g := newBuildingGeometry(&bc)
+		row := i / cfg.GridColumns
+		col := i % cfg.GridColumns
+		spacingX := g.floorWidth + 40
+		spacingY := float64(bc.HallwaysPerFloor)*g.hallwayPitch + 40
+		offsetX := float64(col) * spacingX
+		offsetY := float64(row) * spacingY
+		entrances, err := emitBuildingEntrances(b, &bc, g, rng, offsetX, offsetY)
+		if err != nil {
+			return nil, err
+		}
+		placed = append(placed, placedBuilding{entrances: entrances, row: row, col: col})
+	}
+
+	// Link each building to its left and upper neighbour on the grid with
+	// outdoor edges between their first entrance doors, producing a
+	// connected campus without a quadratic number of outdoor paths.
+	doorsOf := func(pb placedBuilding) model.DoorID { return pb.entrances[0] }
+	byPos := make(map[[2]int]int)
+	for i, pb := range placed {
+		byPos[[2]int{pb.row, pb.col}] = i
+	}
+	outdoor := func(a, b2 model.DoorID) float64 {
+		// Use a pseudo walking distance: 40m between adjacent buildings
+		// with a little noise, which is the grid spacing margin above.
+		return 40 + rng.Float64()*20
+	}
+	for i, pb := range placed {
+		if j, ok := byPos[[2]int{pb.row, pb.col - 1}]; ok {
+			b.AddOutdoorEdge(doorsOf(placed[i]), doorsOf(placed[j]), outdoor(doorsOf(placed[i]), doorsOf(placed[j])))
+		}
+		if j, ok := byPos[[2]int{pb.row - 1, pb.col}]; ok {
+			b.AddOutdoorEdge(doorsOf(placed[i]), doorsOf(placed[j]), outdoor(doorsOf(placed[i]), doorsOf(placed[j])))
+		}
+	}
+	return b.Build()
+}
+
+// MustCampus is Campus but panics on error.
+func MustCampus(cfg CampusConfig) *model.Venue {
+	v, err := Campus(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func jitterInt(rng *rand.Rand, v int, frac float64) int {
+	if v <= 1 {
+		return v
+	}
+	delta := int(float64(v) * frac)
+	if delta == 0 {
+		return v
+	}
+	out := v - delta + rng.Intn(2*delta+1)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package venuegen
+
+import (
+	"fmt"
+
+	"viptree/internal/geom"
+	"viptree/internal/model"
+)
+
+// Replicate returns a venue consisting of `copies` vertically stacked copies
+// of v, with consecutive copies connected by staircases, following the
+// paper's construction of the MC-2, Men-2 and CL-2 data sets ("a replica of
+// Melbourne Central is placed on top of the original building... the replicas
+// are connected with the original buildings by stairs").
+//
+// stairCost is the traversal cost of each connecting staircase; a
+// non-positive value uses 8 metres.
+func Replicate(v *model.Venue, copies int, stairCost float64) (*model.Venue, error) {
+	if copies < 1 {
+		return nil, fmt.Errorf("venuegen: copies must be >= 1, got %d", copies)
+	}
+	if stairCost <= 0 {
+		stairCost = 8
+	}
+	minFloor, maxFloor := floorRange(v)
+	floorSpan := maxFloor - minFloor + 1
+
+	b := model.NewBuilder(fmt.Sprintf("%s-x%d", v.Name, copies))
+	b.SetHallwayThreshold(v.HallwayThreshold)
+
+	// partitionOf[c][p] is the partition ID of partition p in copy c.
+	partitionOf := make([][]model.PartitionID, copies)
+	doorOf := make([][]model.DoorID, copies)
+
+	for c := 0; c < copies; c++ {
+		df := c * floorSpan
+		partitionOf[c] = make([]model.PartitionID, v.NumPartitions())
+		doorOf[c] = make([]model.DoorID, v.NumDoors())
+		for i := range v.Partitions {
+			p := &v.Partitions[i]
+			rect := p.Bounds.Translate(0, 0, df)
+			partitionOf[c][i] = b.AddPartition(fmt.Sprintf("c%d/%s", c, p.Name), p.Class, rect, p.TraversalCost)
+		}
+		for i := range v.Doors {
+			d := &v.Doors[i]
+			loc := d.Loc
+			loc.Floor += df
+			p1 := partitionOf[c][d.Partitions[0]]
+			p2 := model.NoPartition
+			if len(d.Partitions) == 2 {
+				p2 = partitionOf[c][d.Partitions[1]]
+			}
+			doorOf[c][i] = b.AddDoor(fmt.Sprintf("c%d/%s", c, d.Name), loc, p1, p2)
+		}
+		for _, e := range v.OutdoorEdges {
+			b.AddOutdoorEdge(doorOf[c][e.From], doorOf[c][e.To], e.Weight)
+		}
+	}
+
+	// Connect copy c to copy c+1: a staircase between a top-floor hallway of
+	// copy c and the corresponding bottom-floor hallway of copy c+1. Every
+	// hallway on the venue's top floor gets a connecting staircase so that
+	// campuses (many buildings) remain connected building-by-building.
+	topHallways := hallwaysOnFloor(v, maxFloor)
+	bottomHallways := hallwaysOnFloor(v, minFloor)
+	if len(topHallways) == 0 {
+		topHallways = partitionsOnFloor(v, maxFloor)
+	}
+	if len(bottomHallways) == 0 {
+		bottomHallways = partitionsOnFloor(v, minFloor)
+	}
+	for c := 0; c+1 < copies; c++ {
+		n := len(topHallways)
+		if len(bottomHallways) < n {
+			n = len(bottomHallways)
+		}
+		for k := 0; k < n; k++ {
+			top := v.Partition(topHallways[k])
+			topCopy := partitionOf[c][topHallways[k]]
+			bottomCopy := partitionOf[c+1][bottomHallways[k]]
+			center := top.Bounds.Center()
+			stairRect := geom.NewRect(center.X-1, center.Y-1, center.X+1, center.Y+1, maxFloor+c*floorSpan)
+			st := b.AddPartition(fmt.Sprintf("link-stair/c%d-%d/%d", c, c+1, k), model.ClassStaircase, stairRect, stairCost)
+			b.AddDoor(fmt.Sprintf("link-stair/c%d/%d/lower", c, k), geom.Point{X: center.X, Y: center.Y, Floor: maxFloor + c*floorSpan}, topCopy, st)
+			b.AddDoor(fmt.Sprintf("link-stair/c%d/%d/upper", c+1, k), geom.Point{X: center.X, Y: center.Y, Floor: minFloor + (c+1)*floorSpan}, bottomCopy, st)
+		}
+	}
+	return b.Build()
+}
+
+// MustReplicate is Replicate but panics on error.
+func MustReplicate(v *model.Venue, copies int, stairCost float64) *model.Venue {
+	out, err := Replicate(v, copies, stairCost)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func floorRange(v *model.Venue) (minFloor, maxFloor int) {
+	minFloor, maxFloor = v.Partitions[0].Bounds.Floor, v.Partitions[0].Bounds.Floor
+	for i := range v.Partitions {
+		f := v.Partitions[i].Bounds.Floor
+		if f < minFloor {
+			minFloor = f
+		}
+		if f > maxFloor {
+			maxFloor = f
+		}
+	}
+	return minFloor, maxFloor
+}
+
+func hallwaysOnFloor(v *model.Venue, floor int) []model.PartitionID {
+	var out []model.PartitionID
+	for i := range v.Partitions {
+		p := &v.Partitions[i]
+		if p.Bounds.Floor == floor && p.Class == model.ClassHallway {
+			out = append(out, p.ID)
+		}
+	}
+	return out
+}
+
+func partitionsOnFloor(v *model.Venue, floor int) []model.PartitionID {
+	var out []model.PartitionID
+	for i := range v.Partitions {
+		if v.Partitions[i].Bounds.Floor == floor {
+			out = append(out, v.Partitions[i].ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+// Package venuegen generates synthetic indoor venues with the statistical
+// shape of the data sets used in the paper's evaluation (Section 4.1,
+// Table 2): Melbourne Central (a shopping centre), the Menzies building (a
+// tall office building) and the Clayton campus (71 buildings connected by
+// outdoor paths), plus the replicated variants MC-2, Men-2 and CL-2.
+//
+// The paper's venues were digitised manually from floor plans that are not
+// publicly available; this package substitutes parametric generators that
+// reproduce the published statistics — room, door and D2D-edge counts, floor
+// counts, and hallway fan-out (out-degree up to ~400) — which are the
+// quantities the indexing and query algorithms actually depend on.
+package venuegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"viptree/internal/geom"
+	"viptree/internal/model"
+)
+
+// BuildingConfig parameterises a single synthetic building.
+type BuildingConfig struct {
+	// Name of the venue.
+	Name string
+	// Floors is the number of floors (>= 1).
+	Floors int
+	// HallwaysPerFloor is the number of parallel hallways on each floor.
+	HallwaysPerFloor int
+	// RoomsPerHallway is the number of rooms attached to each hallway
+	// (split between its two sides).
+	RoomsPerHallway int
+	// DoubleDoorFraction is the fraction of rooms that get a second door to
+	// an adjacent room, producing general partitions with two doors.
+	DoubleDoorFraction float64
+	// Staircases is the number of staircases connecting each pair of
+	// consecutive floors.
+	Staircases int
+	// Lifts is the number of lift shafts; a lift spanning n floors becomes
+	// n-1 partitions, one per consecutive floor pair (Section 2).
+	Lifts int
+	// Entrances is the number of exterior doors on the ground floor.
+	Entrances int
+	// RoomWidth and RoomDepth are the planar dimensions of a room in
+	// metres; HallwayWidth is the width of a hallway.
+	RoomWidth, RoomDepth, HallwayWidth float64
+	// StairCost and LiftCost are the traversal costs of a staircase and a
+	// lift partition (the indoor distance charged for moving one floor).
+	StairCost, LiftCost float64
+	// Seed drives the deterministic pseudo-random choices (second doors).
+	Seed int64
+}
+
+func (c *BuildingConfig) applyDefaults() {
+	if c.Floors <= 0 {
+		c.Floors = 1
+	}
+	if c.HallwaysPerFloor <= 0 {
+		c.HallwaysPerFloor = 1
+	}
+	if c.RoomsPerHallway <= 0 {
+		c.RoomsPerHallway = 10
+	}
+	if c.Staircases <= 0 && c.Floors > 1 {
+		c.Staircases = 1
+	}
+	if c.Entrances <= 0 {
+		c.Entrances = 1
+	}
+	if c.RoomWidth <= 0 {
+		c.RoomWidth = 5
+	}
+	if c.RoomDepth <= 0 {
+		c.RoomDepth = 6
+	}
+	if c.HallwayWidth <= 0 {
+		c.HallwayWidth = 3
+	}
+	if c.StairCost <= 0 {
+		c.StairCost = 8
+	}
+	if c.LiftCost <= 0 {
+		c.LiftCost = 5
+	}
+}
+
+// Building generates a single multi-floor building according to cfg.
+func Building(cfg BuildingConfig) (*model.Venue, error) {
+	cfg.applyDefaults()
+	b := model.NewBuilder(cfg.Name)
+	g := newBuildingGeometry(&cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if err := emitBuilding(b, &cfg, g, rng, 0, 0); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// MustBuilding is Building but panics on error; used by presets and tests.
+func MustBuilding(cfg BuildingConfig) *model.Venue {
+	v, err := Building(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// buildingGeometry precomputes the planar layout shared by all floors.
+type buildingGeometry struct {
+	roomsPerSide int
+	floorWidth   float64
+	hallwayPitch float64 // vertical distance between hallway bands
+}
+
+func newBuildingGeometry(cfg *BuildingConfig) *buildingGeometry {
+	roomsPerSide := (cfg.RoomsPerHallway + 1) / 2
+	return &buildingGeometry{
+		roomsPerSide: roomsPerSide,
+		floorWidth:   float64(roomsPerSide) * cfg.RoomWidth,
+		hallwayPitch: cfg.HallwayWidth + 2*cfg.RoomDepth,
+	}
+}
+
+// emitBuilding adds one building to the builder with the given planar offset
+// (offsetX, offsetY). It returns the entrance doors created on the ground
+// floor so campus generation can link buildings with outdoor edges.
+func emitBuilding(b *model.Builder, cfg *BuildingConfig, g *buildingGeometry, rng *rand.Rand, offsetX, offsetY float64) error {
+	_, err := emitBuildingEntrances(b, cfg, g, rng, offsetX, offsetY)
+	return err
+}
+
+// emitBuildingEntrances is emitBuilding returning the entrance door IDs.
+func emitBuildingEntrances(b *model.Builder, cfg *BuildingConfig, g *buildingGeometry, rng *rand.Rand, offsetX, offsetY float64) ([]model.DoorID, error) {
+	// hallways[floor][h] is the partition ID of hallway h on that floor.
+	hallways := make([][]model.PartitionID, cfg.Floors)
+	var entrances []model.DoorID
+
+	for floor := 0; floor < cfg.Floors; floor++ {
+		hallways[floor] = make([]model.PartitionID, cfg.HallwaysPerFloor)
+		for h := 0; h < cfg.HallwaysPerFloor; h++ {
+			yBase := offsetY + float64(h)*g.hallwayPitch
+			hallRect := geom.NewRect(offsetX, yBase+cfg.RoomDepth, offsetX+g.floorWidth, yBase+cfg.RoomDepth+cfg.HallwayWidth, floor)
+			hall := b.AddPartition(fmt.Sprintf("%s/F%d/H%d", cfg.Name, floor, h), model.ClassHallway, hallRect, 0)
+			hallways[floor][h] = hall
+
+			// Rooms below (side 0) and above (side 1) the hallway.
+			var prevRoom [2]model.PartitionID
+			prevRoom[0], prevRoom[1] = model.NoPartition, model.NoPartition
+			roomCount := 0
+			for side := 0; side < 2 && roomCount < cfg.RoomsPerHallway; side++ {
+				for i := 0; i < g.roomsPerSide && roomCount < cfg.RoomsPerHallway; i++ {
+					x0 := offsetX + float64(i)*cfg.RoomWidth
+					var rect geom.Rect
+					var doorY float64
+					if side == 0 {
+						rect = geom.NewRect(x0, yBase, x0+cfg.RoomWidth, yBase+cfg.RoomDepth, floor)
+						doorY = yBase + cfg.RoomDepth
+					} else {
+						rect = geom.NewRect(x0, yBase+cfg.RoomDepth+cfg.HallwayWidth, x0+cfg.RoomWidth, yBase+2*cfg.RoomDepth+cfg.HallwayWidth, floor)
+						doorY = yBase + cfg.RoomDepth + cfg.HallwayWidth
+					}
+					room := b.AddPartition(fmt.Sprintf("%s/F%d/H%d/R%d", cfg.Name, floor, h, roomCount), model.ClassRoom, rect, 0)
+					doorLoc := geom.Point{X: x0 + cfg.RoomWidth/2, Y: doorY, Floor: floor}
+					b.AddDoor(fmt.Sprintf("%s/F%d/H%d/R%d/door", cfg.Name, floor, h, roomCount), doorLoc, room, hall)
+					// Optionally connect to the previous room on the same
+					// side, creating a two-door general partition.
+					if prevRoom[side] != model.NoPartition && rng.Float64() < cfg.DoubleDoorFraction {
+						midY := (rect.MinY + rect.MaxY) / 2
+						interLoc := geom.Point{X: x0, Y: midY, Floor: floor}
+						b.AddDoor(fmt.Sprintf("%s/F%d/H%d/R%d/side", cfg.Name, floor, h, roomCount), interLoc, prevRoom[side], room)
+					}
+					prevRoom[side] = room
+					roomCount++
+				}
+			}
+
+			// Connect this hallway to the previous hallway on the same
+			// floor through a connecting door at the left end.
+			if h > 0 {
+				connLoc := geom.Point{X: offsetX + 1, Y: yBase + cfg.RoomDepth, Floor: floor}
+				b.AddDoor(fmt.Sprintf("%s/F%d/H%d/link", cfg.Name, floor, h), connLoc, hallways[floor][h-1], hall)
+			}
+		}
+	}
+
+	// Vertical connections: staircases and lifts attach to hallway 0 of
+	// each pair of consecutive floors, spread along the x axis.
+	for floor := 0; floor+1 < cfg.Floors; floor++ {
+		lower := hallways[floor][0]
+		upper := hallways[floor+1][0]
+		for s := 0; s < cfg.Staircases; s++ {
+			x := offsetX + g.floorWidth*float64(s+1)/float64(cfg.Staircases+1)
+			rect := geom.NewRect(x-1, offsetY+cfg.RoomDepth, x+1, offsetY+cfg.RoomDepth+cfg.HallwayWidth, floor)
+			st := b.AddPartition(fmt.Sprintf("%s/stair%d/F%d-%d", cfg.Name, s, floor, floor+1), model.ClassStaircase, rect, cfg.StairCost)
+			b.AddDoor(fmt.Sprintf("%s/stair%d/F%d/lower", cfg.Name, s, floor), geom.Point{X: x, Y: offsetY + cfg.RoomDepth, Floor: floor}, lower, st)
+			b.AddDoor(fmt.Sprintf("%s/stair%d/F%d/upper", cfg.Name, s, floor+1), geom.Point{X: x, Y: offsetY + cfg.RoomDepth, Floor: floor + 1}, upper, st)
+		}
+		for l := 0; l < cfg.Lifts; l++ {
+			x := offsetX + g.floorWidth*float64(l+1)/float64(cfg.Lifts+2)
+			rect := geom.NewRect(x-1, offsetY+cfg.RoomDepth+cfg.HallwayWidth, x+1, offsetY+cfg.RoomDepth+cfg.HallwayWidth+2, floor)
+			lift := b.AddPartition(fmt.Sprintf("%s/lift%d/F%d-%d", cfg.Name, l, floor, floor+1), model.ClassLift, rect, cfg.LiftCost)
+			b.AddDoor(fmt.Sprintf("%s/lift%d/F%d/lower", cfg.Name, l, floor), geom.Point{X: x, Y: offsetY + cfg.RoomDepth + cfg.HallwayWidth, Floor: floor}, lower, lift)
+			b.AddDoor(fmt.Sprintf("%s/lift%d/F%d/upper", cfg.Name, l, floor+1), geom.Point{X: x, Y: offsetY + cfg.RoomDepth + cfg.HallwayWidth, Floor: floor + 1}, upper, lift)
+		}
+	}
+
+	// Exterior entrances on the ground floor, attached to hallway 0.
+	for e := 0; e < cfg.Entrances; e++ {
+		x := offsetX + g.floorWidth*float64(e+1)/float64(cfg.Entrances+1)
+		loc := geom.Point{X: x, Y: offsetY + cfg.RoomDepth, Floor: 0}
+		did := b.AddDoor(fmt.Sprintf("%s/entrance%d", cfg.Name, e), loc, hallways[0][0], model.NoPartition)
+		entrances = append(entrances, did)
+	}
+	return entrances, nil
+}

@@ -1,0 +1,213 @@
+// Package viptree is the public API of this repository: a Go implementation
+// of the IP-Tree and VIP-Tree indoor spatial indexes from
+//
+//	Zhou Shao, Muhammad Aamir Cheema, David Taniar, Hua Lu.
+//	"VIP-Tree: An Effective Index for Indoor Spatial Queries."
+//	PVLDB 10(4): 325–336, 2016.
+//
+// The package exposes the indoor data model (venues built from partitions
+// and doors), synthetic venue generators matching the paper's data sets, the
+// IP-Tree and VIP-Tree indexes with shortest-distance, shortest-path, k
+// nearest neighbour and range queries, and the baselines used in the paper's
+// evaluation (distance matrix, distance-aware model, G-tree, ROAD).
+//
+// # Quickstart
+//
+//	venue := viptree.GenerateBuilding(viptree.BuildingConfig{
+//		Name: "office", Floors: 5, RoomsPerHallway: 30,
+//	})
+//	tree := viptree.MustBuildVIPTree(venue)
+//	rng := rand.New(rand.NewSource(1))
+//	s, t := venue.RandomLocation(rng), venue.RandomLocation(rng)
+//	fmt.Println(tree.Distance(s, t))
+//
+// See the examples directory for complete programs.
+package viptree
+
+import (
+	"viptree/internal/baseline/distaware"
+	"viptree/internal/baseline/distmatrix"
+	"viptree/internal/baseline/gtree"
+	"viptree/internal/baseline/road"
+	"viptree/internal/geom"
+	"viptree/internal/index"
+	"viptree/internal/iptree"
+	"viptree/internal/model"
+	"viptree/internal/serial"
+	"viptree/internal/venuegen"
+)
+
+// Core data-model types.
+type (
+	// Venue is a complete indoor space: partitions connected by doors.
+	Venue = model.Venue
+	// VenueBuilder assembles a venue incrementally.
+	VenueBuilder = model.Builder
+	// Location is a point inside a specific partition of a venue.
+	Location = model.Location
+	// Point is a three-dimensional indoor coordinate (x, y, floor).
+	Point = geom.Point
+	// Rect is an axis-aligned partition footprint on one floor.
+	Rect = geom.Rect
+	// DoorID identifies a door within a venue.
+	DoorID = model.DoorID
+	// PartitionID identifies an indoor partition within a venue.
+	PartitionID = model.PartitionID
+	// PartitionClass describes the real-world role of a partition.
+	PartitionClass = model.Class
+	// VenueStats summarises a venue (Table 2 of the paper).
+	VenueStats = model.Stats
+)
+
+// Partition classes for venue construction.
+const (
+	Room      = model.ClassRoom
+	Hallway   = model.ClassHallway
+	Staircase = model.ClassStaircase
+	Lift      = model.ClassLift
+	Escalator = model.ClassEscalator
+	// NoPartition marks the exterior side of an entrance door.
+	NoPartition = model.NoPartition
+)
+
+// Index types.
+type (
+	// IPTree is the Indoor Partitioning Tree index.
+	IPTree = iptree.Tree
+	// VIPTree is the Vivid IP-Tree index (IP-Tree plus per-door
+	// materialised ancestor distances).
+	VIPTree = iptree.VIPTree
+	// TreeOptions configures IP-Tree/VIP-Tree construction.
+	TreeOptions = iptree.Options
+	// TreeStats reports ρ, f, M and related structural statistics.
+	TreeStats = iptree.Stats
+	// ObjectIndex embeds a set of objects into a tree for kNN/range queries.
+	ObjectIndex = iptree.ObjectIndex
+	// ObjectResult is a single kNN or range query result.
+	ObjectResult = index.ObjectResult
+	// DistanceQuerier is the query interface shared by all indexes.
+	DistanceQuerier = index.DistanceQuerier
+	// ObjectQuerier is the object-query interface shared by all indexes.
+	ObjectQuerier = index.ObjectQuerier
+)
+
+// Baseline index types used by the paper's evaluation.
+type (
+	// DistanceMatrix is the DistMx baseline (O(D²) materialisation).
+	DistanceMatrix = distmatrix.Matrix
+	// DistAware is the expansion-based distance-aware model baseline.
+	DistAware = distaware.Index
+	// GTree is the G-tree road-network index adapted to indoor graphs.
+	GTree = gtree.Tree
+	// GTreeOptions configures G-tree construction.
+	GTreeOptions = gtree.Options
+	// Road is the ROAD route-overlay index adapted to indoor graphs.
+	Road = road.Index
+	// RoadOptions configures ROAD construction.
+	RoadOptions = road.Options
+)
+
+// Venue generation types (synthetic stand-ins for the paper's floor plans).
+type (
+	// BuildingConfig parameterises a synthetic multi-floor building.
+	BuildingConfig = venuegen.BuildingConfig
+	// CampusConfig parameterises a synthetic multi-building campus.
+	CampusConfig = venuegen.CampusConfig
+	// Scale selects tiny/small/full preset venue sizes.
+	Scale = venuegen.Scale
+)
+
+// Preset scales.
+const (
+	ScaleTiny  = venuegen.ScaleTiny
+	ScaleSmall = venuegen.ScaleSmall
+	ScaleFull  = venuegen.ScaleFull
+)
+
+// NewVenueBuilder returns a builder for constructing a venue by hand.
+func NewVenueBuilder(name string) *VenueBuilder { return model.NewBuilder(name) }
+
+// GenerateBuilding generates a synthetic multi-floor building.
+func GenerateBuilding(cfg BuildingConfig) (*Venue, error) { return venuegen.Building(cfg) }
+
+// MustGenerateBuilding is GenerateBuilding but panics on error.
+func MustGenerateBuilding(cfg BuildingConfig) *Venue { return venuegen.MustBuilding(cfg) }
+
+// GenerateCampus generates a synthetic multi-building campus.
+func GenerateCampus(cfg CampusConfig) (*Venue, error) { return venuegen.Campus(cfg) }
+
+// MustGenerateCampus is GenerateCampus but panics on error.
+func MustGenerateCampus(cfg CampusConfig) *Venue { return venuegen.MustCampus(cfg) }
+
+// Replicate stacks copies of a venue connected by staircases (the MC-2,
+// Men-2, CL-2 construction of the paper).
+func Replicate(v *Venue, copies int, stairCost float64) (*Venue, error) {
+	return venuegen.Replicate(v, copies, stairCost)
+}
+
+// MelbourneCentral, Menzies and Clayton return synthetic venues with the
+// statistical shape of the paper's three real data sets (Table 2).
+func MelbourneCentral(s Scale) *Venue { return venuegen.MelbourneCentral(s) }
+
+// Menzies returns the office-building-like preset venue.
+func Menzies(s Scale) *Venue { return venuegen.Menzies(s) }
+
+// Clayton returns the campus-like preset venue.
+func Clayton(s Scale) *Venue { return venuegen.Clayton(s) }
+
+// PaperExample returns the small hand-crafted venue used in documentation
+// and tests (in the spirit of Fig. 1 of the paper).
+func PaperExample() *Venue { return venuegen.PaperExample() }
+
+// BuildIPTree builds an IP-Tree over a venue with default options (t = 2).
+func BuildIPTree(v *Venue) (*IPTree, error) { return iptree.BuildIPTree(v, iptree.Options{}) }
+
+// MustBuildIPTree is BuildIPTree but panics on error.
+func MustBuildIPTree(v *Venue) *IPTree { return iptree.MustBuildIPTree(v, iptree.Options{}) }
+
+// BuildIPTreeWithOptions builds an IP-Tree with explicit options.
+func BuildIPTreeWithOptions(v *Venue, opts TreeOptions) (*IPTree, error) {
+	return iptree.BuildIPTree(v, opts)
+}
+
+// BuildVIPTree builds a VIP-Tree over a venue with default options (t = 2).
+func BuildVIPTree(v *Venue) (*VIPTree, error) { return iptree.BuildVIPTree(v, iptree.Options{}) }
+
+// MustBuildVIPTree is BuildVIPTree but panics on error.
+func MustBuildVIPTree(v *Venue) *VIPTree { return iptree.MustBuildVIPTree(v, iptree.Options{}) }
+
+// BuildVIPTreeWithOptions builds a VIP-Tree with explicit options.
+func BuildVIPTreeWithOptions(v *Venue, opts TreeOptions) (*VIPTree, error) {
+	return iptree.BuildVIPTree(v, opts)
+}
+
+// MustBuildVIPTreeWithDegree builds a VIP-Tree with the given minimum degree
+// t (Fig 7 evaluates t between 2 and 100); it panics on error.
+func MustBuildVIPTreeWithDegree(v *Venue, minDegree int) *VIPTree {
+	return iptree.MustBuildVIPTree(v, iptree.Options{MinDegree: minDegree})
+}
+
+// BuildDistanceMatrix builds the DistMx baseline (with the no-through-door
+// optimisation enabled).
+func BuildDistanceMatrix(v *Venue) *DistanceMatrix { return distmatrix.Build(v, true) }
+
+// BuildDistanceMatrixNoOpt builds the DistMx-- variant of Fig 9a: the full
+// distance matrix without the no-through-door query optimisation.
+func BuildDistanceMatrixNoOpt(v *Venue) *DistanceMatrix { return distmatrix.Build(v, false) }
+
+// NewDistAware returns the expansion-based DistAw baseline.
+func NewDistAware(v *Venue) *DistAware { return distaware.New(v) }
+
+// BuildGTree builds the G-tree baseline.
+func BuildGTree(v *Venue, opts GTreeOptions) *GTree { return gtree.Build(v, opts) }
+
+// BuildRoad builds the ROAD baseline.
+func BuildRoad(v *Venue, opts RoadOptions) *Road { return road.Build(v, opts) }
+
+// SaveVenue persists a venue to a file so large generated venues can be
+// reused across runs.
+func SaveVenue(path string, v *Venue) error { return serial.Save(path, v) }
+
+// LoadVenue loads a venue previously written by SaveVenue, re-validating it
+// and rebuilding its door-to-door graph.
+func LoadVenue(path string) (*Venue, error) { return serial.Load(path) }

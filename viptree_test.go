@@ -1,0 +1,139 @@
+package viptree_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"viptree"
+)
+
+// TestPublicAPIRoundTrip exercises the public facade end to end: build a
+// venue with the builder, generate preset venues, build every index and
+// cross-check a handful of queries between them.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	venue := viptree.PaperExample()
+	if venue.NumPartitions() != 17 || venue.NumDoors() != 20 {
+		t.Fatalf("unexpected paper example size: %d partitions, %d doors", venue.NumPartitions(), venue.NumDoors())
+	}
+
+	ip, err := viptree.BuildIPTree(venue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vip, err := viptree.BuildVIPTree(venue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := viptree.BuildDistanceMatrix(venue)
+	da := viptree.NewDistAware(venue)
+	gt := viptree.BuildGTree(venue, viptree.GTreeOptions{LeafSize: 8})
+	rd := viptree.BuildRoad(venue, viptree.RoadOptions{RnetSize: 8})
+
+	rng := rand.New(rand.NewSource(2024))
+	for i := 0; i < 50; i++ {
+		s := venue.RandomLocation(rng)
+		d := venue.RandomLocation(rng)
+		want := da.Distance(s, d) // plain expansion = ground truth
+		for _, q := range []viptree.DistanceQuerier{ip, vip, dm, gt, rd} {
+			got := q.Distance(s, d)
+			if math.Abs(got-want) > 1e-6 {
+				t.Fatalf("%s disagrees with ground truth: %v vs %v", q.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestPublicAPIBuilderAndObjects(t *testing.T) {
+	b := viptree.NewVenueBuilder("api-test")
+	hall := b.AddPartition("hall", viptree.Hallway, viptree.Rect{MaxX: 30, MaxY: 4}, 0)
+	var rooms []viptree.PartitionID
+	for i := 0; i < 5; i++ {
+		x0 := float64(i) * 6
+		r := b.AddPartition("room", viptree.Room, viptree.Rect{MinX: x0, MinY: 4, MaxX: x0 + 6, MaxY: 10}, 0)
+		b.AddDoor("d", viptree.Point{X: x0 + 3, Y: 4}, r, hall)
+		rooms = append(rooms, r)
+	}
+	b.AddDoor("exit", viptree.Point{X: 0, Y: 2}, hall, viptree.NoPartition)
+	venue, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := viptree.MustBuildVIPTree(venue)
+	objs := []viptree.Location{
+		{Partition: rooms[4], Point: viptree.Point{X: 27, Y: 7}},
+		{Partition: rooms[0], Point: viptree.Point{X: 3, Y: 7}},
+	}
+	oi := tree.IndexObjects(objs)
+	q := viptree.Location{Partition: rooms[1], Point: viptree.Point{X: 9, Y: 7}}
+	res := oi.KNN(q, 1)
+	if len(res) != 1 || res[0].ObjectID != 1 {
+		t.Fatalf("expected the room-0 object to be nearest, got %v", res)
+	}
+	within := oi.Range(q, 1000)
+	if len(within) != 2 {
+		t.Fatalf("range should return both objects, got %v", within)
+	}
+}
+
+func TestPublicAPIGeneratorsAndReplication(t *testing.T) {
+	building, err := viptree.GenerateBuilding(viptree.BuildingConfig{Name: "b", Floors: 2, RoomsPerHallway: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	campus, err := viptree.GenerateCampus(viptree.CampusConfig{Name: "c", Buildings: 2,
+		Building: viptree.BuildingConfig{Floors: 1, RoomsPerHallway: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := viptree.Replicate(building, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Floors() != 2*building.Floors() {
+		t.Errorf("replicated floors = %d, want %d", rep.Floors(), 2*building.Floors())
+	}
+	for _, v := range []*viptree.Venue{building, campus, rep} {
+		if _, err := viptree.BuildVIPTree(v); err != nil {
+			t.Errorf("BuildVIPTree(%s): %v", v.Name, err)
+		}
+	}
+	if viptree.MelbourneCentral(viptree.ScaleTiny).NumDoors() == 0 {
+		t.Error("MelbourneCentral tiny preset is empty")
+	}
+	if viptree.Menzies(viptree.ScaleTiny).NumDoors() == 0 {
+		t.Error("Menzies tiny preset is empty")
+	}
+	if viptree.Clayton(viptree.ScaleTiny).NumDoors() == 0 {
+		t.Error("Clayton tiny preset is empty")
+	}
+}
+
+func TestPublicAPIDegreeAndAblationOptions(t *testing.T) {
+	v := viptree.MelbourneCentral(viptree.ScaleTiny)
+	deg := viptree.MustBuildVIPTreeWithDegree(v, 10)
+	noSup, err := viptree.BuildVIPTreeWithOptions(v, viptree.TreeOptions{DisableSuperiorDoors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := viptree.BuildVIPTreeWithOptions(v, viptree.TreeOptions{NaiveMerge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ground := viptree.NewDistAware(v)
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 30; i++ {
+		s := v.RandomLocation(rng)
+		d := v.RandomLocation(rng)
+		want := ground.Distance(s, d)
+		for _, q := range []*viptree.VIPTree{deg, noSup, naive} {
+			if got := q.Distance(s, d); math.Abs(got-want) > 1e-6 {
+				t.Fatalf("variant disagrees with ground truth: %v vs %v", got, want)
+			}
+		}
+	}
+	noOpt := viptree.BuildDistanceMatrixNoOpt(v)
+	if noOpt.Name() != "DistMx--" {
+		t.Errorf("unexpected name %q", noOpt.Name())
+	}
+}
