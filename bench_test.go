@@ -7,6 +7,7 @@ package viptree_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -102,6 +103,90 @@ func distCompetitors(b *builtIndexes) []distCompetitor {
 	}
 }
 
+// crossLeafPairs filters random query pairs down to those whose endpoints
+// lie in different leaves of the tree: the indexed hot path (same-partition
+// and same-leaf queries fall back to direct computation or a D2D expansion).
+func crossLeafPairs(v *viptree.Venue, tree *viptree.IPTree, n int, seed int64) []bench.QueryPair {
+	var out []bench.QueryPair
+	for attempt := int64(0); len(out) < n && attempt < 64; attempt++ {
+		for _, p := range bench.Pairs(toModelVenue(v), n, seed+attempt) {
+			if tree.Leaf(p.S.Partition) != tree.Leaf(p.T.Partition) {
+				out = append(out, p)
+				if len(out) == n {
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BenchmarkDistance measures the warm shortest-distance hot path of every
+// index on cross-leaf pairs, with allocation statistics: the VIP-Tree and
+// IP-Tree rows must report 0 allocs/op (their scratch is pooled dense
+// slices; see internal/iptree/scratch.go and the regression test
+// TestVIPDistanceZeroAlloc).
+func BenchmarkDistance(b *testing.B) {
+	v := benchVenue("Men")
+	idx := benchIndexes("Men")
+	pairs := crossLeafPairs(v, idx.ip, 512, 42)
+	if len(pairs) == 0 {
+		b.Skip("no cross-leaf pairs")
+	}
+	for _, comp := range distCompetitors(idx) {
+		b.Run(comp.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				comp.dist(p.S, p.T)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineThroughput measures aggregate engine throughput (QPS) for
+// the single-threaded execution path and the parallel paths (RunParallel
+// per-call fan-in and the batch worker pool). On a multi-core machine the
+// parallel rows report higher qps than the sequential row, since the warm
+// query path allocates nothing and the indexes are contention-free.
+func BenchmarkEngineThroughput(b *testing.B) {
+	v := benchVenue("Men")
+	idx := benchIndexes("Men")
+	pairs := bench.Pairs(toModelVenue(v), 4096, 21)
+	queries := make([]viptree.Query, len(pairs))
+	for i, p := range pairs {
+		queries[i] = viptree.Query{Kind: viptree.QueryDistance, S: p.S, T: p.T}
+	}
+	eng := viptree.NewEngine(idx.vip, viptree.EngineOptions{})
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.Execute(queries[i%len(queries)])
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	})
+	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				eng.Execute(queries[i%len(queries)])
+				i++
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "qps")
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		done := 0
+		for i := 0; i < b.N; i++ {
+			eng.ExecuteBatch(queries)
+			done += len(queries)
+		}
+		b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "qps")
+	})
+}
+
 // BenchmarkTable1Stats measures IP-Tree construction plus the structural
 // statistics (ρ, f, M) reported in Table 1.
 func BenchmarkTable1Stats(b *testing.B) {
@@ -109,7 +194,7 @@ func BenchmarkTable1Stats(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t := viptree.MustBuildIPTree(v)
-		s := t.Stats()
+		s := t.TreeStats()
 		if s.Leaves == 0 {
 			b.Fatal("no leaves")
 		}
@@ -121,6 +206,7 @@ func BenchmarkTable1Stats(b *testing.B) {
 func BenchmarkTable2VenueGeneration(b *testing.B) {
 	for _, spec := range benchVenueSpecs {
 		b.Run(spec.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				v := spec.build()
 				if v.ComputeStats().Doors == 0 {
@@ -137,6 +223,7 @@ func BenchmarkFig7MinDegree(b *testing.B) {
 	v := benchVenue("CL")
 	for _, t := range []int{2, 10, 20, 60, 100} {
 		b.Run(fmt.Sprintf("t=%d", t), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				viptree.MustBuildVIPTreeWithDegree(v, t)
 			}
@@ -155,12 +242,14 @@ func BenchmarkFig7QueryVsMinDegree(b *testing.B) {
 		vip := viptree.MustBuildVIPTreeWithDegree(v, t)
 		oi := vip.IndexObjects(objs)
 		b.Run(fmt.Sprintf("distance/t=%d", t), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				p := pairs[i%len(pairs)]
 				vip.Distance(p.S, p.T)
 			}
 		})
 		b.Run(fmt.Sprintf("knn/t=%d", t), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				oi.KNN(points[i%len(points)], 5)
 			}
@@ -174,26 +263,31 @@ func BenchmarkFig7QueryVsMinDegree(b *testing.B) {
 func BenchmarkFig8Construction(b *testing.B) {
 	v := benchVenue("MC")
 	b.Run("IP-Tree", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			viptree.MustBuildIPTree(v)
 		}
 	})
 	b.Run("VIP-Tree", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			viptree.MustBuildVIPTree(v)
 		}
 	})
 	b.Run("DistMx", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			viptree.BuildDistanceMatrix(v)
 		}
 	})
 	b.Run("G-tree", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			viptree.BuildGTree(v, viptree.GTreeOptions{})
 		}
 	})
 	b.Run("ROAD", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			viptree.BuildRoad(v, viptree.RoadOptions{})
 		}
@@ -208,12 +302,14 @@ func BenchmarkFig9aPairs(b *testing.B) {
 	withOpt := viptree.BuildDistanceMatrix(v)
 	noOpt := viptree.BuildDistanceMatrixNoOpt(v)
 	b.Run("DistMx", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
 			withOpt.Distance(p.S, p.T)
 		}
 	})
 	b.Run("DistMx--", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
 			noOpt.Distance(p.S, p.T)
@@ -229,6 +325,7 @@ func BenchmarkFig9bShortestDistance(b *testing.B) {
 		pairs := bench.Pairs(toModelVenue(benchVenue(spec.name)), 512, 5)
 		for _, comp := range distCompetitors(idx) {
 			b.Run(spec.name+"/"+comp.name, func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					p := pairs[i%len(pairs)]
 					comp.dist(p.S, p.T)
@@ -246,6 +343,7 @@ func BenchmarkFig10aShortestPath(b *testing.B) {
 		pairs := bench.Pairs(toModelVenue(benchVenue(spec.name)), 512, 6)
 		for _, comp := range distCompetitors(idx) {
 			b.Run(spec.name+"/"+comp.name, func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					p := pairs[i%len(pairs)]
 					comp.path(p.S, p.T)
@@ -272,6 +370,7 @@ func BenchmarkFig10bDistanceEffect(b *testing.B) {
 		}
 		for _, comp := range comps {
 			b.Run(fmt.Sprintf("Q%d/%s", bi+1, comp.name), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					p := bucket[i%len(bucket)]
 					comp.path(p.S, p.T)
@@ -317,6 +416,7 @@ func BenchmarkFig11akNN(b *testing.B) {
 	for _, k := range []int{1, 5, 10} {
 		for _, comp := range comps {
 			b.Run(fmt.Sprintf("k=%d/%s", k, comp.name), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					comp.knn(points[i%len(points)], k)
 				}
@@ -336,11 +436,13 @@ func BenchmarkFig11bObjects(b *testing.B) {
 		vipOI := idx.vip.IndexObjects(objs)
 		daOI := viptree.NewDistAware(v).IndexObjects(objs)
 		b.Run(fmt.Sprintf("n=%d/VIP-Tree", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				vipOI.KNN(points[i%len(points)], 5)
 			}
 		})
 		b.Run(fmt.Sprintf("n=%d/DistAw", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				daOI.KNN(points[i%len(points)], 5)
 			}
@@ -356,6 +458,7 @@ func BenchmarkFig11cVenues(b *testing.B) {
 		objs := bench.Objects(toModelVenue(v), 50, 12)
 		for _, comp := range objectCompetitors(spec.name, objs) {
 			b.Run(spec.name+"/"+comp.name, func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					comp.knn(points[i%len(points)], 5)
 				}
@@ -372,6 +475,7 @@ func BenchmarkFig11dRange(b *testing.B) {
 		objs := bench.Objects(toModelVenue(v), 50, 14)
 		for _, comp := range objectCompetitors(spec.name, objs) {
 			b.Run(spec.name+"/"+comp.name, func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					comp.rng(points[i%len(points)], 100)
 				}
@@ -391,12 +495,14 @@ func BenchmarkAblationSuperiorDoors(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("superior-doors", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
 			full.Distance(p.S, p.T)
 		}
 	})
 	b.Run("all-doors", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
 			noSup.Distance(p.S, p.T)
@@ -415,12 +521,14 @@ func BenchmarkAblationMergeHeuristic(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("algorithm1-merge/query", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
 			smart.Distance(p.S, p.T)
 		}
 	})
 	b.Run("naive-merge/query", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			p := pairs[i%len(pairs)]
 			naive.Distance(p.S, p.T)

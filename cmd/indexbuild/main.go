@@ -57,11 +57,11 @@ func main() {
 	case "ip":
 		t := iptree.MustBuildIPTree(nv.Venue, iptree.Options{MinDegree: *minDegree})
 		memory = t.MemoryBytes()
-		printTreeStats(t.Stats())
+		printTreeStats(t.TreeStats())
 	case "vip":
 		t := iptree.MustBuildVIPTree(nv.Venue, iptree.Options{MinDegree: *minDegree})
 		memory = t.MemoryBytes()
-		printTreeStats(t.Stats())
+		printTreeStats(t.TreeStats())
 	case "distmx":
 		m := distmatrix.Build(nv.Venue, true)
 		memory = m.MemoryBytes()

@@ -1,24 +1,30 @@
 // Command queryrunner runs a query workload (shortest distance, shortest
-// path, kNN or range) against a chosen index on a chosen venue and reports
-// the average per-query latency — a command-line counterpart to the Go
-// benchmarks in bench_test.go.
+// path, kNN or range) against a chosen index on a chosen venue through the
+// concurrent query engine, and reports per-query latency and aggregate
+// throughput — a command-line counterpart to the Go benchmarks in
+// bench_test.go.
 //
 // Usage:
 //
 //	queryrunner -venue Men-2 -index vip -query distance -n 10000
 //	queryrunner -venue CL -index distaw -query knn -k 5 -objects 50
+//	queryrunner -venue Men -index vip -query distance -n 100000 -parallel 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"viptree/internal/baseline/distaware"
 	"viptree/internal/baseline/distmatrix"
 	"viptree/internal/baseline/gtree"
 	"viptree/internal/baseline/road"
 	"viptree/internal/bench"
+	"viptree/internal/engine"
+	"viptree/internal/index"
 	"viptree/internal/iptree"
 	"viptree/internal/model"
 	"viptree/internal/venuegen"
@@ -35,6 +41,7 @@ func main() {
 		objects   = flag.Int("objects", 50, "number of indexed objects for kNN/range queries")
 		radius    = flag.Float64("r", 100, "radius in metres for range queries")
 		seed      = flag.Int64("seed", 1, "workload seed")
+		parallel  = flag.Int("parallel", 1, "engine worker count (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -54,80 +61,94 @@ func main() {
 	cfg.VenueNames = []string{*venue}
 	v := cfg.Venues()[0].Venue
 
-	type queriers struct {
-		distance func(s, t model.Location) float64
-		path     func(s, t model.Location) (float64, []model.DoorID)
-		knn      func(q model.Location, k int) int
-		rangeQ   func(q model.Location, r float64) int
-	}
 	objs := bench.Objects(v, *objects, *seed+7)
-	var q queriers
-	switch *indexName {
-	case "ip":
-		t := iptree.MustBuildIPTree(v, iptree.Options{})
-		oi := t.IndexObjects(objs)
-		q = queriers{t.Distance, t.Path,
-			func(p model.Location, k int) int { return len(oi.KNN(p, k)) },
-			func(p model.Location, r float64) int { return len(oi.Range(p, r)) }}
-	case "vip":
-		t := iptree.MustBuildVIPTree(v, iptree.Options{})
-		oi := t.IndexObjects(objs)
-		q = queriers{t.Distance, t.Path,
-			func(p model.Location, k int) int { return len(oi.KNN(p, k)) },
-			func(p model.Location, r float64) int { return len(oi.Range(p, r)) }}
-	case "distmx":
-		m := distmatrix.Build(v, true)
-		oi := m.IndexObjects(objs)
-		q = queriers{m.Distance, m.Path,
-			func(p model.Location, k int) int { return len(oi.KNN(p, k)) },
-			func(p model.Location, r float64) int { return len(oi.Range(p, r)) }}
-	case "distaw":
-		ix := distaware.New(v).IndexObjects(objs)
-		q = queriers{ix.Distance, ix.Path,
-			func(p model.Location, k int) int { return len(ix.KNN(p, k)) },
-			func(p model.Location, r float64) int { return len(ix.Range(p, r)) }}
-	case "gtree":
-		t := gtree.Build(v, gtree.Options{})
-		oi := t.IndexObjects(objs)
-		q = queriers{t.Distance, t.Path,
-			func(p model.Location, k int) int { return len(oi.KNN(p, k)) },
-			func(p model.Location, r float64) int { return len(oi.Range(p, r)) }}
-	case "road":
-		ix := road.Build(v, road.Options{}).IndexObjects(objs)
-		q = queriers{ix.Distance, ix.Path,
-			func(p model.Location, k int) int { return len(ix.KNN(p, k)) },
-			func(p model.Location, r float64) int { return len(ix.Range(p, r)) }}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown index %q\n", *indexName)
-		os.Exit(2)
-	}
+	ix := buildIndex(v, *indexName)
 
-	var m bench.Measurement
+	eng := engine.New(ix, engine.Options{
+		Workers: *parallel,
+		Objects: ix.NewObjectQuerier(objs),
+	})
+
+	var queries []engine.Query
 	switch *query {
-	case "distance":
-		pairs := bench.Pairs(v, *n, *seed)
-		m = bench.MeasureDistance(distanceAdapter(q.distance), pairs)
-	case "path":
-		pairs := bench.Pairs(v, *n, *seed)
-		m = bench.MeasurePath(pathAdapter(q.path), pairs)
+	case "distance", "path":
+		kind := engine.KindDistance
+		if *query == "path" {
+			kind = engine.KindPath
+		}
+		for _, p := range bench.Pairs(v, *n, *seed) {
+			queries = append(queries, engine.Query{Kind: kind, S: p.S, T: p.T})
+		}
 	case "knn":
-		points := bench.Points(v, *n, *seed)
-		m = bench.MeasureKNN(q.knn, points, *k)
+		for _, p := range bench.Points(v, *n, *seed) {
+			queries = append(queries, engine.Query{Kind: engine.KindKNN, S: p, K: *k})
+		}
 	case "range":
-		points := bench.Points(v, *n, *seed)
-		m = bench.MeasureRange(q.rangeQ, points, *radius)
+		for _, p := range bench.Points(v, *n, *seed) {
+			queries = append(queries, engine.Query{Kind: engine.KindRange, S: p, Radius: *radius})
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown query type %q\n", *query)
 		os.Exit(2)
 	}
-	fmt.Printf("%s %s %s: %d queries, %.2f us/query (total %v)\n",
-		*venue, *indexName, *query, m.Queries, m.PerQueryMicros(), m.Total)
+
+	if len(queries) == 0 {
+		fmt.Fprintln(os.Stderr, "no queries to run (-n 0)")
+		os.Exit(2)
+	}
+
+	// Warm the pooled scratch so the measurement reflects steady state.
+	warm := queries
+	if len(warm) > 64 {
+		warm = warm[:64]
+	}
+	eng.ExecuteBatch(warm)
+
+	start := time.Now()
+	results := eng.ExecuteBatch(queries)
+	total := time.Since(start)
+
+	failed := 0
+	var firstErr error
+	for i := range results {
+		if results[i].Err != nil {
+			if firstErr == nil {
+				firstErr = results[i].Err
+			}
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d queries failed: %v\n", failed, firstErr)
+		os.Exit(1)
+	}
+
+	workers := eng.Workers()
+	perQuery := float64(total.Microseconds()) / float64(len(queries))
+	qps := float64(len(queries)) / total.Seconds()
+	fmt.Printf("%s %s %s: %d queries, %d workers (%d cores), %.2f us/query, %.0f qps (total %v)\n",
+		*venue, *indexName, *query, len(queries), workers, runtime.NumCPU(), perQuery, qps, total)
 }
 
-type distanceAdapter func(s, t model.Location) float64
-
-func (f distanceAdapter) Distance(s, t model.Location) float64 { return f(s, t) }
-
-type pathAdapter func(s, t model.Location) (float64, []model.DoorID)
-
-func (f pathAdapter) Path(s, t model.Location) (float64, []model.DoorID) { return f(s, t) }
+// buildIndex constructs the requested index; every index satisfies the
+// uniform capability interface, so the rest of the program is index-agnostic.
+func buildIndex(v *model.Venue, name string) index.ObjectIndexer {
+	switch name {
+	case "ip":
+		return iptree.MustBuildIPTree(v, iptree.Options{})
+	case "vip":
+		return iptree.MustBuildVIPTree(v, iptree.Options{})
+	case "distmx":
+		return distmatrix.Build(v, true)
+	case "distaw":
+		return distaware.New(v)
+	case "gtree":
+		return gtree.Build(v, gtree.Options{})
+	case "road":
+		return road.Build(v, road.Options{})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown index %q\n", name)
+		os.Exit(2)
+		return nil
+	}
+}

@@ -28,7 +28,7 @@ func main() {
 		log.Fatalf("building VIP-Tree: %v", err)
 	}
 	fmt.Printf("VIP-Tree built in %v\n", time.Since(start).Round(time.Millisecond))
-	stats := tree.Stats()
+	stats := tree.TreeStats()
 	fmt.Printf("tree: %d leaves, height %d, avg access doors %.1f\n",
 		stats.Leaves, stats.Height, stats.AvgAccessDoors)
 

@@ -1,0 +1,3 @@
+module viptree
+
+go 1.24

@@ -212,3 +212,29 @@ func (ix *Index) expand(q model.Location, stop func([]index.ObjectResult, float6
 	}
 	return snapshot()
 }
+
+// Compile-time conformance with the capability interfaces of
+// viptree/internal/index.
+var (
+	_ index.Index         = (*Index)(nil)
+	_ index.ObjectIndexer = (*Index)(nil)
+	_ index.ObjectQuerier = (*Index)(nil)
+)
+
+// Stats implements index.Index.
+func (ix *Index) Stats() index.Stats {
+	return index.Stats{
+		Name:        ix.Name(),
+		MemoryBytes: ix.MemoryBytes(),
+		Details: map[string]float64{
+			"doors":   float64(ix.venue.NumDoors()),
+			"objects": float64(len(ix.objects)),
+		},
+	}
+}
+
+// NewObjectQuerier implements index.ObjectIndexer. DistAw stores the object
+// set on the index itself, so the returned querier is the index.
+func (ix *Index) NewObjectQuerier(objects []model.Location) index.ObjectQuerier {
+	return ix.IndexObjects(objects)
+}

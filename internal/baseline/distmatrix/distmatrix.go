@@ -11,10 +11,19 @@ package distmatrix
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"viptree/internal/graph"
 	"viptree/internal/index"
 	"viptree/internal/model"
+)
+
+// Compile-time conformance with the capability interfaces of
+// viptree/internal/index.
+var (
+	_ index.Index         = (*Matrix)(nil)
+	_ index.ObjectIndexer = (*Matrix)(nil)
+	_ index.ObjectQuerier = (*ObjectIndex)(nil)
 )
 
 // Matrix is the fully materialised door-to-door distance matrix of a venue.
@@ -31,11 +40,13 @@ type Matrix struct {
 	// candidate door pairs of a query, because no shortest path between two
 	// other partitions can pass through them.
 	skipNoThrough bool
-	// PairsConsidered accumulates the number of door pairs examined by
-	// Distance/Path calls; Fig 9a reports its per-query average.
-	PairsConsidered int64
-	// Queries counts Distance/Path invocations.
-	Queries int64
+	// pairsConsidered accumulates the number of door pairs examined by
+	// Distance/Path calls; Fig 9a reports its per-query average. The
+	// counters are atomic so that concurrent queries (e.g. through the
+	// engine's worker pool) remain race-free.
+	pairsConsidered atomic.Int64
+	// queries counts Distance/Path invocations.
+	queries atomic.Int64
 }
 
 // Build materialises the distance matrix by running one full Dijkstra per
@@ -124,7 +135,7 @@ func (m *Matrix) Distance(s, t model.Location) float64 {
 }
 
 func (m *Matrix) distanceInternal(s, t model.Location) (float64, model.DoorID, model.DoorID) {
-	m.Queries++
+	m.queries.Add(1)
 	v := m.venue
 	if s.Partition == t.Partition {
 		p := v.Partition(s.Partition)
@@ -139,7 +150,6 @@ func (m *Matrix) distanceInternal(s, t model.Location) (float64, model.DoorID, m
 	tDoors := m.candidateDoors(t.Partition, s.Partition)
 	for _, ds := range sDoors {
 		for _, dt := range tDoors {
-			m.PairsConsidered++
 			total := v.DistToDoor(s, ds) + m.DoorDist(ds, dt) + v.DistToDoor(t, dt)
 			if total < best {
 				best = total
@@ -147,6 +157,7 @@ func (m *Matrix) distanceInternal(s, t model.Location) (float64, model.DoorID, m
 			}
 		}
 	}
+	m.pairsConsidered.Add(int64(len(sDoors)) * int64(len(tDoors)))
 	return best, bestS, bestT
 }
 
@@ -176,14 +187,35 @@ func (m *Matrix) Path(s, t model.Location) (float64, []model.DoorID) {
 // AvgPairsPerQuery returns the average number of door pairs considered per
 // Distance/Path query since construction (Fig 9a).
 func (m *Matrix) AvgPairsPerQuery() float64 {
-	if m.Queries == 0 {
+	q := m.queries.Load()
+	if q == 0 {
 		return 0
 	}
-	return float64(m.PairsConsidered) / float64(m.Queries)
+	return float64(m.pairsConsidered.Load()) / float64(q)
 }
 
 // ResetCounters clears the pair/query counters.
-func (m *Matrix) ResetCounters() { m.PairsConsidered, m.Queries = 0, 0 }
+func (m *Matrix) ResetCounters() {
+	m.pairsConsidered.Store(0)
+	m.queries.Store(0)
+}
+
+// Stats implements index.Index.
+func (m *Matrix) Stats() index.Stats {
+	return index.Stats{
+		Name:        m.Name(),
+		MemoryBytes: m.MemoryBytes(),
+		Details: map[string]float64{
+			"doors":               float64(m.n),
+			"avg_pairs_per_query": m.AvgPairsPerQuery(),
+		},
+	}
+}
+
+// NewObjectQuerier implements index.ObjectIndexer.
+func (m *Matrix) NewObjectQuerier(objects []model.Location) index.ObjectQuerier {
+	return m.IndexObjects(objects)
+}
 
 // MemoryBytes reports the O(D²) storage of the matrix.
 func (m *Matrix) MemoryBytes() int64 {

@@ -498,3 +498,34 @@ func (oi *ObjectIndex) allDistances(q model.Location) []index.ObjectResult {
 	})
 	return out
 }
+
+// Compile-time conformance with the capability interfaces of
+// viptree/internal/index.
+var (
+	_ index.Index         = (*Tree)(nil)
+	_ index.ObjectIndexer = (*Tree)(nil)
+	_ index.ObjectQuerier = (*ObjectIndex)(nil)
+)
+
+// Stats implements index.Index.
+func (t *Tree) Stats() index.Stats {
+	leaves := 0
+	for i := range t.nodes {
+		if len(t.nodes[i].children) == 0 {
+			leaves++
+		}
+	}
+	return index.Stats{
+		Name:        t.Name(),
+		MemoryBytes: t.MemoryBytes(),
+		Details: map[string]float64{
+			"nodes":  float64(len(t.nodes)),
+			"leaves": float64(leaves),
+		},
+	}
+}
+
+// NewObjectQuerier implements index.ObjectIndexer.
+func (t *Tree) NewObjectQuerier(objects []model.Location) index.ObjectQuerier {
+	return t.IndexObjects(objects)
+}

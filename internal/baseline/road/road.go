@@ -296,3 +296,33 @@ func (ix *Index) allDistances(q model.Location) []index.ObjectResult {
 	})
 	return out
 }
+
+// Compile-time conformance with the capability interfaces of
+// viptree/internal/index.
+var (
+	_ index.Index         = (*Index)(nil)
+	_ index.ObjectIndexer = (*Index)(nil)
+	_ index.ObjectQuerier = (*Index)(nil)
+)
+
+// Stats implements index.Index.
+func (ix *Index) Stats() index.Stats {
+	borders := 0
+	for i := range ix.rnets {
+		borders += len(ix.rnets[i].borders)
+	}
+	return index.Stats{
+		Name:        ix.Name(),
+		MemoryBytes: ix.MemoryBytes(),
+		Details: map[string]float64{
+			"rnets":   float64(len(ix.rnets)),
+			"borders": float64(borders),
+		},
+	}
+}
+
+// NewObjectQuerier implements index.ObjectIndexer. ROAD stores the object
+// set on the index itself, so the returned querier is the index.
+func (ix *Index) NewObjectQuerier(objects []model.Location) index.ObjectQuerier {
+	return ix.IndexObjects(objects)
+}

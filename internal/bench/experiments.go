@@ -292,7 +292,7 @@ func Table1(c Config) Table {
 	}
 	for _, nv := range c.Venues() {
 		tree := iptree.MustBuildIPTree(nv.Venue, iptree.Options{})
-		s := tree.Stats()
+		s := tree.TreeStats()
 		t.Rows = append(t.Rows, []string{
 			nv.Name,
 			fmt.Sprintf("%d", nv.Venue.NumDoors()),
@@ -578,7 +578,7 @@ func Ablations(c Config) Table {
 		for _, variant := range variants {
 			vip := iptree.MustBuildVIPTree(nv.Venue, variant.opts)
 			m := MeasureDistance(vip, pairs)
-			s := vip.Stats()
+			s := vip.TreeStats()
 			t.Rows = append(t.Rows, []string{nv.Name, variant.name, fmtMicros(m.PerQueryMicros()), fmt.Sprintf("%.2f", s.AvgAccessDoors)})
 		}
 	}

@@ -1,0 +1,241 @@
+// Package engine provides the concurrent query-execution layer that sits on
+// top of the index layer (viptree/internal/index): typed query and result
+// structs, single-query execution, and a batch API driven by a worker-pool
+// executor.
+//
+// The engine is the substrate a query service builds on. It holds an
+// immutable index (any of the six implementations — IP-Tree, VIP-Tree,
+// DistMx, DistAw, G-tree, ROAD) plus an optional object querier for kNN and
+// range queries, and is safe for use by many goroutines at once: the indexes
+// are read-only after construction and the hot paths draw their scratch from
+// sync.Pool, so parallel callers neither race nor contend on allocations.
+//
+//	eng := engine.New(vipTree, engine.Options{Objects: objectIndex})
+//	results := eng.ExecuteBatch(queries) // fans out over a worker pool
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"viptree/internal/index"
+	"viptree/internal/model"
+)
+
+// Kind selects the query type executed by the engine.
+type Kind uint8
+
+// The query kinds supported by the engine.
+const (
+	// KindDistance is a shortest-distance query between S and T.
+	KindDistance Kind = iota
+	// KindPath is a shortest-path query between S and T.
+	KindPath
+	// KindKNN is a k-nearest-neighbour query around S with parameter K.
+	KindKNN
+	// KindRange is a range query around S with parameter Radius.
+	KindRange
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindDistance:
+		return "distance"
+	case KindPath:
+		return "path"
+	case KindKNN:
+		return "knn"
+	case KindRange:
+		return "range"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Query is one typed query submitted to the engine.
+type Query struct {
+	Kind Kind
+	// S is the query source (distance/path) or the query point (kNN/range).
+	S model.Location
+	// T is the query target; only used by distance and path queries.
+	T model.Location
+	// K is the result count of a kNN query.
+	K int
+	// Radius is the distance bound of a range query, in metres.
+	Radius float64
+}
+
+// Result is the outcome of one query.
+type Result struct {
+	// Dist is the shortest distance (distance and path queries).
+	Dist float64
+	// Doors is the door sequence of the shortest path (path queries).
+	Doors []model.DoorID
+	// Objects are the kNN or range results, ascending by distance.
+	Objects []index.ObjectResult
+	// Err reports queries the engine could not execute (e.g. an object
+	// query without an attached object querier).
+	Err error
+}
+
+// Errors returned in Result.Err.
+var (
+	// ErrNoObjectIndex is returned for kNN/range queries when the engine
+	// was built without an object querier.
+	ErrNoObjectIndex = errors.New("engine: no object querier attached (set Options.Objects)")
+	// ErrUnknownKind is returned for queries with an invalid Kind.
+	ErrUnknownKind = errors.New("engine: unknown query kind")
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the number of goroutines used by ExecuteBatch. Zero
+	// selects GOMAXPROCS; one yields sequential execution.
+	Workers int
+	// Objects answers kNN and range queries; leave nil for a distance-only
+	// engine.
+	Objects index.ObjectQuerier
+}
+
+// Engine executes queries against one index. It is immutable after New and
+// safe for concurrent use.
+type Engine struct {
+	idx     index.Index
+	objects index.ObjectQuerier
+	workers int
+	counts  [numKinds]atomic.Int64
+}
+
+// New returns an engine over the index.
+func New(idx index.Index, opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{idx: idx, objects: opts.Objects, workers: w}
+}
+
+// Index returns the underlying index.
+func (e *Engine) Index() index.Index { return e.idx }
+
+// Workers returns the batch parallelism of the engine.
+func (e *Engine) Workers() int { return e.workers }
+
+// Distance answers a shortest-distance query.
+func (e *Engine) Distance(s, t model.Location) float64 {
+	e.counts[KindDistance].Add(1)
+	return e.idx.Distance(s, t)
+}
+
+// Path answers a shortest-path query.
+func (e *Engine) Path(s, t model.Location) (float64, []model.DoorID) {
+	e.counts[KindPath].Add(1)
+	return e.idx.Path(s, t)
+}
+
+// KNN answers a k-nearest-neighbour query.
+func (e *Engine) KNN(q model.Location, k int) ([]index.ObjectResult, error) {
+	if e.objects == nil {
+		return nil, ErrNoObjectIndex
+	}
+	e.counts[KindKNN].Add(1)
+	return e.objects.KNN(q, k), nil
+}
+
+// Range answers a range query.
+func (e *Engine) Range(q model.Location, r float64) ([]index.ObjectResult, error) {
+	if e.objects == nil {
+		return nil, ErrNoObjectIndex
+	}
+	e.counts[KindRange].Add(1)
+	return e.objects.Range(q, r), nil
+}
+
+// Execute runs a single query.
+func (e *Engine) Execute(q Query) Result {
+	switch q.Kind {
+	case KindDistance:
+		return Result{Dist: e.Distance(q.S, q.T)}
+	case KindPath:
+		d, doors := e.Path(q.S, q.T)
+		return Result{Dist: d, Doors: doors}
+	case KindKNN:
+		objs, err := e.KNN(q.S, q.K)
+		return Result{Objects: objs, Err: err}
+	case KindRange:
+		objs, err := e.Range(q.S, q.Radius)
+		return Result{Objects: objs, Err: err}
+	default:
+		return Result{Err: ErrUnknownKind}
+	}
+}
+
+// ExecuteBatch runs every query and returns the results in query order,
+// fanning the work out over the engine's worker pool. It is safe to call
+// from multiple goroutines at once; each call uses its own pool.
+func (e *Engine) ExecuteBatch(queries []Query) []Result {
+	return e.ExecuteBatchWorkers(queries, e.workers)
+}
+
+// ExecuteBatchWorkers is ExecuteBatch with an explicit worker count
+// (1 executes the batch sequentially on the calling goroutine).
+func (e *Engine) ExecuteBatchWorkers(queries []Query, workers int) []Result {
+	out := make([]Result, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = e.workers
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers == 1 {
+		for i := range queries {
+			out[i] = e.Execute(queries[i])
+		}
+		return out
+	}
+	// Work-stealing by atomic cursor: queries are cheap and uniform enough
+	// that a shared counter beats pre-chunking when latencies vary.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				out[i] = e.Execute(queries[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats reports the number of queries executed per kind since New.
+type Stats struct {
+	Distance, Path, KNN, Range int64
+}
+
+// Total returns the total number of executed queries.
+func (s Stats) Total() int64 { return s.Distance + s.Path + s.KNN + s.Range }
+
+// Stats returns a snapshot of the engine's query counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Distance: e.counts[KindDistance].Load(),
+		Path:     e.counts[KindPath].Load(),
+		KNN:      e.counts[KindKNN].Load(),
+		Range:    e.counts[KindRange].Load(),
+	}
+}

@@ -1,0 +1,196 @@
+package engine_test
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"viptree/internal/baseline/distaware"
+	"viptree/internal/baseline/distmatrix"
+	"viptree/internal/baseline/gtree"
+	"viptree/internal/baseline/road"
+	"viptree/internal/engine"
+	"viptree/internal/index"
+	"viptree/internal/iptree"
+	"viptree/internal/model"
+	"viptree/internal/venuegen"
+)
+
+func testVenue(t testing.TB) *model.Venue {
+	t.Helper()
+	v, err := venuegen.Building(venuegen.BuildingConfig{
+		Name: "engine-test", Floors: 3, RoomsPerHallway: 12, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func mixedWorkload(v *model.Venue, n int, seed int64) []engine.Query {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]engine.Query, n)
+	for i := range qs {
+		switch i % 4 {
+		case 0:
+			qs[i] = engine.Query{Kind: engine.KindDistance, S: v.RandomLocation(rng), T: v.RandomLocation(rng)}
+		case 1:
+			qs[i] = engine.Query{Kind: engine.KindPath, S: v.RandomLocation(rng), T: v.RandomLocation(rng)}
+		case 2:
+			qs[i] = engine.Query{Kind: engine.KindKNN, S: v.RandomLocation(rng), K: 1 + rng.Intn(5)}
+		default:
+			qs[i] = engine.Query{Kind: engine.KindRange, S: v.RandomLocation(rng), Radius: 40 + 80*rng.Float64()}
+		}
+	}
+	return qs
+}
+
+// engines builds one engine per index implementation, each with an attached
+// object querier, exercising the uniform capability interface end to end.
+func engines(t testing.TB, v *model.Venue, objects []model.Location) map[string]*engine.Engine {
+	t.Helper()
+	ip, err := iptree.BuildIPTree(v, iptree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vip := iptree.NewVIPTree(iptree.MustBuildIPTree(v, iptree.Options{}))
+	indexers := []index.ObjectIndexer{
+		ip,
+		vip,
+		distmatrix.Build(v, true),
+		distaware.New(v),
+		gtree.Build(v, gtree.Options{}),
+		road.Build(v, road.Options{}),
+	}
+	out := make(map[string]*engine.Engine, len(indexers))
+	for _, ix := range indexers {
+		out[ix.Name()] = engine.New(ix, engine.Options{
+			Workers: 4,
+			Objects: ix.NewObjectQuerier(objects),
+		})
+	}
+	return out
+}
+
+// TestParallelBatchMatchesSequential is the concurrent-correctness test: for
+// every index, executing a mixed batch over the worker pool must produce
+// exactly the results of sequential execution.
+func TestParallelBatchMatchesSequential(t *testing.T) {
+	v := testVenue(t)
+	rng := rand.New(rand.NewSource(3))
+	objects := make([]model.Location, 40)
+	for i := range objects {
+		objects[i] = v.RandomLocation(rng)
+	}
+	queries := mixedWorkload(v, 200, 11)
+	for name, eng := range engines(t, v, objects) {
+		t.Run(name, func(t *testing.T) {
+			sequential := eng.ExecuteBatchWorkers(queries, 1)
+			parallel := eng.ExecuteBatch(queries)
+			if len(sequential) != len(parallel) {
+				t.Fatalf("result count mismatch: %d vs %d", len(sequential), len(parallel))
+			}
+			for i := range sequential {
+				if !resultsEqual(sequential[i], parallel[i]) {
+					t.Fatalf("query %d (%v): sequential %+v != parallel %+v",
+						i, queries[i].Kind, sequential[i], parallel[i])
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentCallers hammers one engine from many goroutines at once; the
+// race detector (go test -race) verifies the pooled scratch is safe.
+func TestConcurrentCallers(t *testing.T) {
+	v := testVenue(t)
+	vip := iptree.MustBuildVIPTree(v, iptree.Options{})
+	rng := rand.New(rand.NewSource(5))
+	objects := make([]model.Location, 25)
+	for i := range objects {
+		objects[i] = v.RandomLocation(rng)
+	}
+	eng := engine.New(vip, engine.Options{Objects: vip.IndexObjects(objects)})
+	queries := mixedWorkload(v, 64, 17)
+	want := eng.ExecuteBatchWorkers(queries, 1)
+	var wg sync.WaitGroup
+	const callers = 8
+	errs := make(chan string, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := eng.ExecuteBatch(queries)
+			for i := range want {
+				if !resultsEqual(want[i], got[i]) {
+					errs <- "concurrent caller diverged from sequential results"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+func TestEngineStats(t *testing.T) {
+	v := testVenue(t)
+	vip := iptree.MustBuildVIPTree(v, iptree.Options{})
+	rng := rand.New(rand.NewSource(9))
+	objects := []model.Location{v.RandomLocation(rng), v.RandomLocation(rng)}
+	eng := engine.New(vip, engine.Options{Objects: vip.IndexObjects(objects)})
+	eng.ExecuteBatch(mixedWorkload(v, 40, 23))
+	s := eng.Stats()
+	if s.Distance != 10 || s.Path != 10 || s.KNN != 10 || s.Range != 10 {
+		t.Errorf("unexpected per-kind counts: %+v", s)
+	}
+	if s.Total() != 40 {
+		t.Errorf("Total() = %d, want 40", s.Total())
+	}
+}
+
+func TestObjectQueriesWithoutObjectIndex(t *testing.T) {
+	v := testVenue(t)
+	vip := iptree.MustBuildVIPTree(v, iptree.Options{})
+	eng := engine.New(vip, engine.Options{})
+	rng := rand.New(rand.NewSource(2))
+	res := eng.Execute(engine.Query{Kind: engine.KindKNN, S: v.RandomLocation(rng), K: 3})
+	if res.Err != engine.ErrNoObjectIndex {
+		t.Errorf("KNN without objects: err = %v, want ErrNoObjectIndex", res.Err)
+	}
+	res = eng.Execute(engine.Query{Kind: engine.KindRange, S: v.RandomLocation(rng), Radius: 10})
+	if res.Err != engine.ErrNoObjectIndex {
+		t.Errorf("Range without objects: err = %v, want ErrNoObjectIndex", res.Err)
+	}
+	res = eng.Execute(engine.Query{Kind: engine.Kind(250)})
+	if res.Err != engine.ErrUnknownKind {
+		t.Errorf("unknown kind: err = %v, want ErrUnknownKind", res.Err)
+	}
+}
+
+func resultsEqual(a, b engine.Result) bool {
+	if !floatEqual(a.Dist, b.Dist) || !reflect.DeepEqual(a.Doors, b.Doors) || a.Err != b.Err {
+		return false
+	}
+	if len(a.Objects) != len(b.Objects) {
+		return false
+	}
+	for i := range a.Objects {
+		if a.Objects[i].ObjectID != b.Objects[i].ObjectID || !floatEqual(a.Objects[i].Dist, b.Objects[i].Dist) {
+			return false
+		}
+	}
+	return true
+}
+
+func floatEqual(a, b float64) bool {
+	if math.IsInf(a, 1) || a == b {
+		return true
+	}
+	return math.Abs(a-b) < 1e-9
+}

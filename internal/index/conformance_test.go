@@ -1,0 +1,124 @@
+// Interface-conformance tests: every index in the repository must implement
+// the full capability surface of package index uniformly — Distance, Path,
+// KNN, Range, MemoryBytes and Stats — and agree with the D2D ground truth.
+package index_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"viptree/internal/baseline/distaware"
+	"viptree/internal/baseline/distmatrix"
+	"viptree/internal/baseline/gtree"
+	"viptree/internal/baseline/road"
+	"viptree/internal/index"
+	"viptree/internal/iptree"
+	"viptree/internal/model"
+	"viptree/internal/venuegen"
+)
+
+// Compile-time conformance assertions for all six indexes.
+var (
+	_ index.ObjectIndexer = (*iptree.Tree)(nil)
+	_ index.ObjectIndexer = (*iptree.VIPTree)(nil)
+	_ index.ObjectIndexer = (*distmatrix.Matrix)(nil)
+	_ index.ObjectIndexer = (*distaware.Index)(nil)
+	_ index.ObjectIndexer = (*gtree.Tree)(nil)
+	_ index.ObjectIndexer = (*road.Index)(nil)
+)
+
+func allIndexers(t *testing.T, v *model.Venue) []index.ObjectIndexer {
+	t.Helper()
+	ip, err := iptree.BuildIPTree(v, iptree.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []index.ObjectIndexer{
+		ip,
+		iptree.NewVIPTree(iptree.MustBuildIPTree(v, iptree.Options{})),
+		distmatrix.Build(v, true),
+		distaware.New(v),
+		gtree.Build(v, gtree.Options{}),
+		road.Build(v, road.Options{}),
+	}
+}
+
+// TestFullCapabilityConformance drives the entire interface of every index
+// through the Full combination and checks the answers against the exact D2D
+// ground truth.
+func TestFullCapabilityConformance(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{
+		Name: "conformance", Floors: 2, RoomsPerHallway: 10, Seed: 3,
+	})
+	rng := rand.New(rand.NewSource(1))
+	objects := make([]model.Location, 20)
+	for i := range objects {
+		objects[i] = v.RandomLocation(rng)
+	}
+	type pair struct{ s, d model.Location }
+	pairs := make([]pair, 25)
+	for i := range pairs {
+		pairs[i] = pair{v.RandomLocation(rng), v.RandomLocation(rng)}
+	}
+	points := make([]model.Location, 10)
+	for i := range points {
+		points[i] = v.RandomLocation(rng)
+	}
+
+	for _, ixr := range allIndexers(t, v) {
+		full := index.WithObjects(ixr, objects)
+		t.Run(full.Name(), func(t *testing.T) {
+			if full.Name() == "" {
+				t.Error("empty Name()")
+			}
+			if full.MemoryBytes() <= 0 {
+				t.Errorf("MemoryBytes() = %d, want > 0", full.MemoryBytes())
+			}
+			st := full.Stats()
+			if st.Name != full.Name() {
+				t.Errorf("Stats().Name = %q, want %q", st.Name, full.Name())
+			}
+			if st.MemoryBytes != full.MemoryBytes() {
+				t.Errorf("Stats().MemoryBytes = %d, want %d", st.MemoryBytes, full.MemoryBytes())
+			}
+			for _, p := range pairs {
+				want := v.D2D().LocationDist(p.s, p.d)
+				if got := full.Distance(p.s, p.d); !approxEqual(got, want) {
+					t.Fatalf("Distance(%v, %v) = %v, want %v", p.s, p.d, got, want)
+				}
+				pd, _ := full.Path(p.s, p.d)
+				if !approxEqual(pd, want) {
+					t.Fatalf("Path(%v, %v) dist = %v, want %v", p.s, p.d, pd, want)
+				}
+			}
+			for _, q := range points {
+				knn := full.KNN(q, 5)
+				if len(knn) == 0 {
+					t.Fatalf("KNN(%v, 5) returned no results", q)
+				}
+				for i := 1; i < len(knn); i++ {
+					if knn[i].Dist < knn[i-1].Dist {
+						t.Fatalf("KNN results not ascending: %v", knn)
+					}
+				}
+				within := full.Range(q, 60)
+				for _, r := range within {
+					if r.Dist > 60+1e-6 {
+						t.Fatalf("Range(%v, 60) returned object at distance %v", q, r.Dist)
+					}
+				}
+			}
+		})
+	}
+}
+
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsInf(a, 1) != math.IsInf(b, 1) {
+		return false
+	}
+	return math.Abs(a-b) <= 1e-6*(1+math.Abs(b))
+}

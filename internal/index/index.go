@@ -1,7 +1,19 @@
 // Package index defines the query interfaces implemented by every indoor
 // index in this repository (IP-Tree, VIP-Tree, the distance matrix, the
-// distance-aware model, G-tree and ROAD), so that the benchmark harness and
-// the experiment driver can treat them uniformly.
+// distance-aware model, G-tree and ROAD).
+//
+// The interfaces split the capability surface in two halves. The distance
+// half (Index) answers point-to-point queries and exposes introspection;
+// the object half (ObjectQuerier) answers kNN and range queries over a set
+// of objects embedded into the index. Every index implements both halves:
+// it satisfies Index directly and yields an ObjectQuerier from
+// NewObjectQuerier (the ObjectIndexer interface). Combine glues the two
+// halves into the Full interface consumed by the query engine
+// (viptree/internal/engine), the benchmark harness and the experiment
+// driver.
+//
+// All implementations are immutable after construction and safe for
+// concurrent queries from multiple goroutines.
 package index
 
 import "viptree/internal/model"
@@ -17,6 +29,30 @@ type DistanceQuerier interface {
 	// the sequence of doors it passes through (possibly empty when s and t
 	// are in the same partition).
 	Path(s, t model.Location) (float64, []model.DoorID)
+}
+
+// Stats is the uniform construction metadata reported by every index:
+// the memory footprint plus index-specific structural details (for the
+// tree indexes: ρ, fanout, node counts, …).
+type Stats struct {
+	// Name identifies the index the statistics describe.
+	Name string
+	// MemoryBytes estimates the memory footprint of the index structures.
+	MemoryBytes int64
+	// Details holds index-specific structural metrics keyed by a short
+	// stable name (e.g. "nodes", "height", "avg_access_doors").
+	Details map[string]float64
+}
+
+// Index is the distance half of the full capability surface: distance and
+// path queries plus introspection. All six indexes implement it.
+type Index interface {
+	DistanceQuerier
+	// MemoryBytes estimates the memory footprint of the index structures
+	// (used for the Fig 8b index-size comparison).
+	MemoryBytes() int64
+	// Stats reports uniform construction metadata.
+	Stats() Stats
 }
 
 // ObjectResult is one object returned by a kNN or range query.
@@ -40,11 +76,44 @@ type ObjectQuerier interface {
 	Range(q model.Location, r float64) []ObjectResult
 }
 
-// Index is the full set of capabilities: construction metadata plus distance
-// and object queries.
-type Index interface {
-	DistanceQuerier
-	// MemoryBytes estimates the memory footprint of the index structures
-	// (used for the Fig 8b index-size comparison).
-	MemoryBytes() int64
+// ObjectIndexer is an Index that can embed a set of objects, yielding the
+// object half of the capability surface. All six indexes implement it.
+type ObjectIndexer interface {
+	Index
+	// NewObjectQuerier embeds the object set into the index and returns
+	// the querier answering kNN and range queries over it. Object IDs are
+	// the slice positions.
+	NewObjectQuerier(objects []model.Location) ObjectQuerier
+}
+
+// Full is the complete capability surface: Distance, Path, KNN, Range,
+// MemoryBytes and Stats. Obtain one with Combine, or by combining an
+// ObjectIndexer with its own object querier via WithObjects.
+type Full interface {
+	Index
+	ObjectQuerier
+}
+
+// combined glues an Index and an ObjectQuerier into a Full index.
+type combined struct {
+	Index
+	objects ObjectQuerier
+}
+
+func (c combined) KNN(q model.Location, k int) []ObjectResult { return c.objects.KNN(q, k) }
+func (c combined) Range(q model.Location, r float64) []ObjectResult {
+	return c.objects.Range(q, r)
+}
+
+// Combine glues a distance index and an object querier (usually built from
+// the same underlying structure) into the Full capability interface. The
+// combined index reports the distance index's name and statistics.
+func Combine(ix Index, objects ObjectQuerier) Full {
+	return combined{Index: ix, objects: objects}
+}
+
+// WithObjects embeds the objects into the indexer and returns the Full
+// capability interface over the pair.
+func WithObjects(ix ObjectIndexer, objects []model.Location) Full {
+	return Combine(ix, ix.NewObjectQuerier(objects))
 }

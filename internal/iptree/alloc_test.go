@@ -1,0 +1,116 @@
+package iptree
+
+import (
+	"math/rand"
+	"testing"
+
+	"viptree/internal/model"
+	"viptree/internal/venuegen"
+)
+
+// crossLeafPairs returns query pairs whose endpoints lie in different leaves
+// of the tree — the indexed hot path of Algorithm 3 / Section 3.1.2 (same-
+// partition and same-leaf queries fall back to direct computation or a D2D
+// expansion instead).
+func crossLeafPairs(t *Tree, v *model.Venue, n int, seed int64) [][2]model.Location {
+	rng := rand.New(rand.NewSource(seed))
+	var out [][2]model.Location
+	for attempts := 0; len(out) < n && attempts < 10000; attempts++ {
+		s, d := v.RandomLocation(rng), v.RandomLocation(rng)
+		if t.Leaf(s.Partition) != t.Leaf(d.Partition) {
+			out = append(out, [2]model.Location{s, d})
+		}
+	}
+	return out
+}
+
+// TestVIPDistanceZeroAlloc is the allocation-regression test for the warm
+// VIP-Tree Distance path: once the scratch pool is warm, cross-leaf distance
+// queries must not allocate at all.
+func TestVIPDistanceZeroAlloc(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{
+		Name: "alloc", Floors: 4, RoomsPerHallway: 16, Seed: 1,
+	})
+	skipUnderRace(t)
+	vt := MustBuildVIPTree(v, Options{})
+	pairs := crossLeafPairs(vt.Tree, v, 32, 2)
+	if len(pairs) == 0 {
+		t.Skip("no cross-leaf pairs in this venue")
+	}
+	// Warm the scratch pool across all pairs before measuring.
+	for _, p := range pairs {
+		vt.Distance(p[0], p[1])
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		vt.Distance(p[0], p[1])
+	})
+	if allocs != 0 {
+		t.Errorf("warm VIP-Tree Distance allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestVIPDistanceZeroAllocAnyPair extends the zero-alloc guarantee to
+// arbitrary location pairs: the same-partition and same-leaf fallbacks (a
+// direct computation and a pooled D2D expansion) must not allocate either.
+func TestVIPDistanceZeroAllocAnyPair(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{
+		Name: "alloc-any", Floors: 4, RoomsPerHallway: 16, Seed: 1,
+	})
+	skipUnderRace(t)
+	vt := MustBuildVIPTree(v, Options{})
+	rng := rand.New(rand.NewSource(4))
+	pairs := make([][2]model.Location, 64)
+	for i := range pairs {
+		pairs[i] = [2]model.Location{v.RandomLocation(rng), v.RandomLocation(rng)}
+	}
+	for _, p := range pairs {
+		vt.Distance(p[0], p[1])
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(300, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		vt.Distance(p[0], p[1])
+	})
+	if allocs != 0 {
+		t.Errorf("warm VIP-Tree Distance (mixed pairs) allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestIPDistanceZeroAlloc asserts the same property for the plain IP-Tree
+// Distance path, which shares the pooled dense scratch.
+func TestIPDistanceZeroAlloc(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{
+		Name: "alloc-ip", Floors: 4, RoomsPerHallway: 16, Seed: 1,
+	})
+	skipUnderRace(t)
+	tree := MustBuildIPTree(v, Options{})
+	pairs := crossLeafPairs(tree, v, 32, 2)
+	if len(pairs) == 0 {
+		t.Skip("no cross-leaf pairs in this venue")
+	}
+	for _, p := range pairs {
+		tree.Distance(p[0], p[1])
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		tree.Distance(p[0], p[1])
+	})
+	if allocs != 0 {
+		t.Errorf("warm IP-Tree Distance allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// skipUnderRace skips allocation-count assertions when the race detector is
+// active: sync.Pool drops items under the race detector, so pooled scratch
+// appears to allocate.
+func skipUnderRace(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+}

@@ -114,7 +114,7 @@ func TestTreeStructuralInvariants(t *testing.T) {
 				}
 			}
 			// Stats are sane.
-			s := tree.Stats()
+			s := tree.TreeStats()
 			if s.Leaves == 0 || s.Nodes < s.Leaves || s.Height < 1 {
 				t.Errorf("implausible stats: %+v", s)
 			}

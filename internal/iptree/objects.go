@@ -21,14 +21,17 @@ type objEntry struct {
 // ObjectIndex embeds a set of objects into an IP-Tree (or VIP-Tree): each
 // object records the leaf that contains it, and every access door of a leaf
 // keeps the list of the leaf's objects sorted by distance from that door.
+// An ObjectIndex is immutable after construction and safe for concurrent
+// queries.
 type ObjectIndex struct {
 	tree    *Tree
+	name    string
 	objects []model.Location
 	// objectsInLeaf lists object IDs per leaf node.
 	objectsInLeaf map[NodeID][]int
-	// accessLists[leaf][door] lists the leaf's objects sorted by distance
-	// from the access door.
-	accessLists map[NodeID]map[model.DoorID][]objEntry
+	// accessLists[leaf][i] lists the leaf's objects sorted by distance from
+	// the leaf's i-th access door (aligned with Node.AccessDoors).
+	accessLists map[NodeID][][]objEntry
 	// subtreeHasObjects marks nodes whose subtree contains at least one
 	// object, letting Algorithm 5 skip empty branches.
 	subtreeHasObjects map[NodeID]bool
@@ -39,9 +42,10 @@ type ObjectIndex struct {
 func (t *Tree) IndexObjects(objects []model.Location) *ObjectIndex {
 	oi := &ObjectIndex{
 		tree:              t,
+		name:              t.Name(),
 		objects:           objects,
 		objectsInLeaf:     make(map[NodeID][]int),
-		accessLists:       make(map[NodeID]map[model.DoorID][]objEntry),
+		accessLists:       make(map[NodeID][][]objEntry),
 		subtreeHasObjects: make(map[NodeID]bool),
 	}
 	v := t.venue
@@ -54,8 +58,8 @@ func (t *Tree) IndexObjects(objects []model.Location) *ObjectIndex {
 	}
 	for leaf, ids := range oi.objectsInLeaf {
 		node := &t.nodes[leaf]
-		lists := make(map[model.DoorID][]objEntry, len(node.AccessDoors))
-		for _, a := range node.AccessDoors {
+		lists := make([][]objEntry, len(node.AccessDoors))
+		for ai, a := range node.AccessDoors {
 			entries := make([]objEntry, 0, len(ids))
 			for _, id := range ids {
 				o := objects[id]
@@ -72,12 +76,24 @@ func (t *Tree) IndexObjects(objects []model.Location) *ObjectIndex {
 				entries = append(entries, objEntry{objectID: id, dist: best})
 			}
 			sort.Slice(entries, func(i, j int) bool { return entries[i].dist < entries[j].dist })
-			lists[a] = entries
+			lists[ai] = entries
 		}
 		oi.accessLists[leaf] = lists
 	}
 	return oi
 }
+
+// IndexObjects embeds the object set into the VIP-Tree; the object machinery
+// is shared with the IP-Tree, the returned index merely reports the VIP-Tree
+// name in benchmark output.
+func (vt *VIPTree) IndexObjects(objects []model.Location) *ObjectIndex {
+	oi := vt.Tree.IndexObjects(objects)
+	oi.name = vt.Name()
+	return oi
+}
+
+// Name implements index.ObjectQuerier.
+func (oi *ObjectIndex) Name() string { return oi.name }
 
 // Objects returns the indexed object set.
 func (oi *ObjectIndex) Objects() []model.Location { return oi.objects }
@@ -124,20 +140,24 @@ func (oi *ObjectIndex) Range(q model.Location, r float64) []index.ObjectResult {
 func (oi *ObjectIndex) branchAndBound(q model.Location, k int, radius float64) []index.ObjectResult {
 	t := oi.tree
 	// Step 1 (line 2 of Algorithm 5): distances from q to the access doors
-	// of every ancestor of Leaf(q).
+	// of every ancestor of Leaf(q), computed with pooled dense scratch.
 	qLeaf := t.Leaf(q.Partition)
-	sd := t.distancesToNode(q, t.root)
+	sc := t.getDistScratch()
+	defer t.putDistScratch(sc)
+	sd := &sc.src
+	sd.reset(t.venue.NumDoors())
+	t.distancesToNode(q, t.root, sd)
 	// nodeDists caches dist(q, a) for the access doors of the nodes the
-	// traversal touches. Ancestors of Leaf(q) come from the Algorithm 2 run.
-	nodeDists := make(map[NodeID]map[model.DoorID]float64)
+	// traversal touches, aligned with each node's AccessDoors (Infinite when
+	// unreachable). Ancestors of Leaf(q) come from the Algorithm 2 run.
+	nodeDists := make(map[NodeID][]float64)
 	for _, n := range sd.nodeOrder {
-		m := make(map[model.DoorID]float64, len(t.nodes[n].AccessDoors))
-		for _, a := range t.nodes[n].AccessDoors {
-			if dv, ok := sd.dist[a]; ok {
-				m[a] = dv
-			}
+		ads := t.nodes[n].AccessDoors
+		ds := make([]float64, len(ads))
+		for i, a := range ads {
+			ds[i], _ = sd.tab.get(a)
 		}
-		nodeDists[n] = m
+		nodeDists[n] = ds
 	}
 
 	results := newResultCollector(k, radius)
@@ -209,7 +229,7 @@ func (oi *ObjectIndex) branchAndBound(q model.Location, k int, radius float64) [
 
 // childMinDist computes mindist(q, child) and caches the access-door
 // distances of the child for use further down the tree (Lemmas 8 and 9).
-func (oi *ObjectIndex) childMinDist(q model.Location, qLeaf NodeID, parent, child NodeID, nodeDists map[NodeID]map[model.DoorID]float64) float64 {
+func (oi *ObjectIndex) childMinDist(q model.Location, qLeaf NodeID, parent, child NodeID, nodeDists map[NodeID][]float64) float64 {
 	t := oi.tree
 	if t.IsAncestor(child, qLeaf) {
 		return 0
@@ -218,21 +238,33 @@ func (oi *ObjectIndex) childMinDist(q model.Location, qLeaf NodeID, parent, chil
 		return minOf(d)
 	}
 	mat := t.nodes[parent].Matrix
-	var baseDists map[model.DoorID]float64
+	var baseNode NodeID
 	if t.IsAncestor(parent, qLeaf) {
 		// Lemma 8: q lies in a sibling of child; combine the sibling's
 		// access-door distances with the parent matrix.
-		sibling := t.ChildToward(parent, qLeaf)
-		baseDists = nodeDists[sibling]
+		baseNode = t.ChildToward(parent, qLeaf)
 	} else {
 		// Lemma 9: q lies outside the parent; combine the parent's
 		// access-door distances with the parent matrix.
-		baseDists = nodeDists[parent]
+		baseNode = parent
 	}
-	dists := make(map[model.DoorID]float64, len(t.nodes[child].AccessDoors))
-	for _, di := range t.nodes[child].AccessDoors {
+	baseDists := nodeDists[baseNode]
+	baseDoors := t.nodes[baseNode].AccessDoors
+	childAD := t.nodes[child].AccessDoors
+	dists := make([]float64, len(childAD))
+	for i, di := range childAD {
 		best := Infinite
-		for dj, base := range baseDists {
+		if baseDists == nil {
+			// The base node was never reached (disconnected venue); leave
+			// the child unreachable.
+			dists[i] = best
+			continue
+		}
+		for j, dj := range baseDoors {
+			base := baseDists[j]
+			if base == Infinite {
+				continue
+			}
 			md := mat.Dist(dj, di)
 			if md == Infinite {
 				continue
@@ -241,17 +273,15 @@ func (oi *ObjectIndex) childMinDist(q model.Location, qLeaf NodeID, parent, chil
 				best = base + md
 			}
 		}
-		if best < Infinite {
-			dists[di] = best
-		}
+		dists[i] = best
 	}
 	nodeDists[child] = dists
 	return minOf(dists)
 }
 
-func minOf(m map[model.DoorID]float64) float64 {
+func minOf(ds []float64) float64 {
 	best := Infinite
-	for _, v := range m {
+	for _, v := range ds {
 		if v < best {
 			best = v
 		}
@@ -260,7 +290,7 @@ func minOf(m map[model.DoorID]float64) float64 {
 }
 
 // scanLeaf evaluates every object in the leaf and updates the result set.
-func (oi *ObjectIndex) scanLeaf(q model.Location, qLeaf, leaf NodeID, nodeDists map[NodeID]map[model.DoorID]float64, results *resultCollector) {
+func (oi *ObjectIndex) scanLeaf(q model.Location, qLeaf, leaf NodeID, nodeDists map[NodeID][]float64, results *resultCollector) {
 	t := oi.tree
 	if leaf == qLeaf {
 		// Objects co-located with the query in the same leaf: compute the
@@ -281,16 +311,24 @@ func (oi *ObjectIndex) scanLeaf(q model.Location, qLeaf, leaf NodeID, nodeDists 
 	accessDist := nodeDists[leaf]
 	lists := oi.accessLists[leaf]
 	best := make(map[int]float64)
-	for a, qd := range accessDist {
-		for _, e := range lists[a] {
+	for ai := range t.nodes[leaf].AccessDoors {
+		qd := accessDist[ai]
+		if qd == Infinite {
+			continue
+		}
+		for _, e := range lists[ai] {
 			total := qd + e.dist
 			if cur, ok := best[e.objectID]; !ok || total < cur {
 				best[e.objectID] = total
 			}
 		}
 	}
-	for id, d := range best {
-		results.add(id, d)
+	// Add in ascending object-ID order so that ties at the kNN boundary
+	// resolve deterministically (map iteration order is random).
+	for _, id := range oi.objectsInLeaf[leaf] {
+		if d, ok := best[id]; ok {
+			results.add(id, d)
+		}
 	}
 }
 
@@ -339,10 +377,12 @@ func (rc *resultCollector) add(objectID int, dist float64) {
 	}
 	rc.results = append(rc.results, index.ObjectResult{ObjectID: objectID, Dist: dist})
 	if rc.k > 0 && len(rc.results) > rc.k {
-		// Drop the current worst.
+		// Drop the current worst; among equal distances, drop the largest
+		// object ID so the retained set is deterministic.
 		worstIdx := 0
-		for i := range rc.results {
-			if rc.results[i].Dist > rc.results[worstIdx].Dist {
+		for i := 1; i < len(rc.results); i++ {
+			w, r := rc.results[worstIdx], rc.results[i]
+			if r.Dist > w.Dist || (r.Dist == w.Dist && r.ObjectID > w.ObjectID) {
 				worstIdx = i
 			}
 		}

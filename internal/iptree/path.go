@@ -18,11 +18,14 @@ const maxDecompose = 1 << 14
 // locations are in the same partition, and starts (ends) with the first
 // (last) door crossed.
 func (t *Tree) Path(s, d model.Location) (float64, []model.DoorID) {
-	dist, sdS, sdD, pair := t.distanceInternal(s, d)
+	sc := t.getDistScratch()
+	dist, sdS, sdD, pair := t.distanceInternal(s, d, sc)
 	if dist == Infinite {
+		t.putDistScratch(sc)
 		return dist, nil
 	}
 	if sdS == nil {
+		t.putDistScratch(sc)
 		// Same partition (no doors) or same leaf (recover via the D2D
 		// graph, exactly like the distance computation).
 		if s.Partition == d.Partition {
@@ -32,6 +35,7 @@ func (t *Tree) Path(s, d model.Location) (float64, []model.DoorID) {
 		return pd, doors
 	}
 	partial := t.partialPath(sdS, sdD, pair)
+	t.putDistScratch(sc)
 	return dist, t.expandPartial(partial)
 }
 
@@ -59,11 +63,10 @@ func unwindVia(sd *sourceDists, end model.DoorID) []model.DoorID {
 	cur := end
 	for cur != NoDoor {
 		rev = append(rev, cur)
-		next, ok := sd.via[cur]
-		if !ok {
+		if !sd.tab.has(cur) {
 			break
 		}
-		cur = next
+		cur = sd.tab.viaOf(cur)
 	}
 	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 		rev[i], rev[j] = rev[j], rev[i]

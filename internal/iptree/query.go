@@ -11,35 +11,30 @@ import (
 // sourceDists holds the result of Algorithm 2 for one query location: the
 // distance from the location to every access door encountered while climbing
 // from its leaf towards an ancestor node, plus the door through which each
-// distance was achieved (used to recover shortest paths).
+// distance was achieved (used to recover shortest paths). Distances live in
+// a dense per-door table recycled across queries, so a warm run allocates
+// nothing.
 type sourceDists struct {
-	// dist maps a door to its shortest distance from the source.
-	dist map[model.DoorID]float64
-	// via maps a door d to the previous door on the shortest path from the
-	// source to d: an access door of the child level, or the superior door
-	// of the source partition, or NoDoor when the source reaches d without
-	// passing another recorded door.
-	via map[model.DoorID]model.DoorID
+	// tab records, per door, the shortest distance from the source and the
+	// previous door on that shortest path: an access door of the child
+	// level, or the superior door of the source partition, or NoDoor when
+	// the source reaches the door without passing another recorded door.
+	tab doorTable
 	// nodeOrder lists the nodes climbed, from the leaf to the target.
 	nodeOrder []NodeID
 }
 
-// distTo returns the recorded distance to door d, or Infinite.
-func (s *sourceDists) distTo(d model.DoorID) float64 {
-	if v, ok := s.dist[d]; ok {
-		return v
-	}
-	return Infinite
+// reset invalidates the recorded distances for a venue with n doors.
+func (s *sourceDists) reset(n int) {
+	s.tab.reset(n)
+	s.nodeOrder = s.nodeOrder[:0]
 }
 
 // distancesToNode implements Algorithm 2: it computes dist(src, d) for every
 // access door d of the ancestor node target of Leaf(src), filling in the
-// distances to the access doors of every node on the way.
-func (t *Tree) distancesToNode(src model.Location, target NodeID) *sourceDists {
-	sd := &sourceDists{
-		dist: make(map[model.DoorID]float64),
-		via:  make(map[model.DoorID]model.DoorID),
-	}
+// distances to the access doors of every node on the way. The result is
+// written into sd, which must have been reset for this venue.
+func (t *Tree) distancesToNode(src model.Location, target NodeID, sd *sourceDists) {
 	leaf := t.Leaf(src.Partition)
 	t.seedLeafDistances(src, leaf, sd)
 	sd.nodeOrder = append(sd.nodeOrder, leaf)
@@ -53,7 +48,6 @@ func (t *Tree) distancesToNode(src model.Location, target NodeID) *sourceDists {
 		sd.nodeOrder = append(sd.nodeOrder, parent)
 		child = parent
 	}
-	return sd
 }
 
 // seedLeafDistances computes dist(src, d) for every access door d of the
@@ -82,8 +76,7 @@ func (t *Tree) seedLeafDistances(src model.Location, leaf NodeID, sd *sourceDist
 			}
 		}
 		if best < Infinite {
-			sd.dist[a] = best
-			sd.via[a] = bestVia
+			sd.tab.set(a, best, bestVia)
 		}
 	}
 }
@@ -95,13 +88,13 @@ func (t *Tree) propagateToParent(child, parent NodeID, sd *sourceDists) {
 	mat := t.nodes[parent].Matrix
 	childAD := t.nodes[child].AccessDoors
 	for _, d := range t.nodes[parent].AccessDoors {
-		if _, done := sd.dist[d]; done {
+		if sd.tab.has(d) {
 			continue
 		}
 		best := Infinite
 		bestVia := NoDoor
 		for _, di := range childAD {
-			base, ok := sd.dist[di]
+			base, ok := sd.tab.get(di)
 			if !ok {
 				continue
 			}
@@ -115,24 +108,26 @@ func (t *Tree) propagateToParent(child, parent NodeID, sd *sourceDists) {
 			}
 		}
 		if best < Infinite {
-			sd.dist[d] = best
-			sd.via[d] = bestVia
+			sd.tab.set(d, best, bestVia)
 		}
 	}
 }
 
 // Distance implements Algorithm 3: the shortest indoor distance between two
-// arbitrary locations.
+// arbitrary locations. The warm path is allocation-free: query scratch is
+// recycled through a pool, so concurrent callers are safe and do not contend.
 func (t *Tree) Distance(s, d model.Location) float64 {
-	dist, _, _, _ := t.distanceInternal(s, d)
+	sc := t.getDistScratch()
+	dist, _, _, _ := t.distanceInternal(s, d, sc)
+	t.putDistScratch(sc)
 	return dist
 }
 
 // distanceInternal computes the shortest distance between s and d and, when
 // the two locations are in different leaves, returns the source-side and
-// target-side Algorithm-2 results plus the pair of access doors of the LCA's
-// children realising the minimum (used by Path).
-func (t *Tree) distanceInternal(s, d model.Location) (float64, *sourceDists, *sourceDists, [2]model.DoorID) {
+// target-side Algorithm-2 results (pointing into sc) plus the pair of access
+// doors of the LCA's children realising the minimum (used by Path).
+func (t *Tree) distanceInternal(s, d model.Location, sc *distScratch) (float64, *sourceDists, *sourceDists, [2]model.DoorID) {
 	none := [2]model.DoorID{NoDoor, NoDoor}
 	if s.Partition == d.Partition {
 		return directIntraPartition(t.venue, s, d), nil, nil, none
@@ -148,18 +143,22 @@ func (t *Tree) distanceInternal(s, d model.Location) (float64, *sourceDists, *so
 	lca := t.LCA(leafS, leafD)
 	ns := t.ChildToward(lca, leafS)
 	nt := t.ChildToward(lca, leafD)
-	sdS := t.distancesToNode(s, ns)
-	sdD := t.distancesToNode(d, nt)
+	sdS, sdD := &sc.src, &sc.dst
+	numDoors := t.venue.NumDoors()
+	sdS.reset(numDoors)
+	sdD.reset(numDoors)
+	t.distancesToNode(s, ns, sdS)
+	t.distancesToNode(d, nt, sdD)
 	mat := t.nodes[lca].Matrix
 	best := Infinite
 	bestPair := none
 	for _, di := range t.nodes[ns].AccessDoors {
-		ds, ok := sdS.dist[di]
+		ds, ok := sdS.tab.get(di)
 		if !ok {
 			continue
 		}
 		for _, dj := range t.nodes[nt].AccessDoors {
-			dd, ok := sdD.dist[dj]
+			dd, ok := sdD.tab.get(dj)
 			if !ok {
 				continue
 			}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package iptree
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package iptree
+
+// raceEnabled reports that the race detector is active; sync.Pool
+// deliberately drops items under the race detector, so allocation-count
+// assertions are skipped.
+const raceEnabled = true

@@ -1,0 +1,124 @@
+package iptree
+
+import (
+	"viptree/internal/model"
+)
+
+// This file implements the allocation-free scratch state used by the query
+// hot paths. Door IDs are dense ordinals assigned at build time (model.DoorID
+// is a contiguous index into Venue.Doors), so per-query distance tables are
+// plain slices indexed by door ID instead of map[model.DoorID] scratch maps.
+// Tables are reset in O(1) with an epoch counter and recycled across queries
+// through sync.Pool, making the warm VIP-Tree Distance path allocation-free
+// and safe for concurrent callers.
+
+// doorTable is a dense map from door ID to (distance, via-door), reset in
+// O(1) by bumping the epoch: an entry is present only when its stamp equals
+// the current epoch.
+type doorTable struct {
+	dist  []float64
+	via   []model.DoorID
+	stamp []uint32
+	epoch uint32
+}
+
+// reset prepares the table for a venue with n doors, invalidating all
+// entries. It allocates only on first use (or if the venue grew).
+func (dt *doorTable) reset(n int) {
+	if len(dt.stamp) < n {
+		dt.dist = make([]float64, n)
+		dt.via = make([]model.DoorID, n)
+		dt.stamp = make([]uint32, n)
+		dt.epoch = 1
+		return
+	}
+	dt.epoch++
+	if dt.epoch == 0 { // epoch wrapped: clear the stamps and restart
+		for i := range dt.stamp {
+			dt.stamp[i] = 0
+		}
+		dt.epoch = 1
+	}
+}
+
+// has reports whether door d has an entry in the current epoch.
+func (dt *doorTable) has(d model.DoorID) bool { return dt.stamp[d] == dt.epoch }
+
+// get returns the recorded distance to door d and whether one exists.
+func (dt *doorTable) get(d model.DoorID) (float64, bool) {
+	if dt.stamp[d] != dt.epoch {
+		return Infinite, false
+	}
+	return dt.dist[d], true
+}
+
+// set records the distance and via-door for door d in the current epoch.
+func (dt *doorTable) set(d model.DoorID, dist float64, via model.DoorID) {
+	dt.dist[d] = dist
+	dt.via[d] = via
+	dt.stamp[d] = dt.epoch
+}
+
+// viaOf returns the recorded via-door of d, or NoDoor when d has no entry.
+func (dt *doorTable) viaOf(d model.DoorID) model.DoorID {
+	if dt.stamp[d] != dt.epoch {
+		return NoDoor
+	}
+	return dt.via[d]
+}
+
+// distScratch is the reusable state of one IP-Tree distance/path query: the
+// two Algorithm-2 runs (source side and target side).
+type distScratch struct {
+	src, dst sourceDists
+}
+
+// getDistScratch fetches a scratch from the tree's pool (allocating one only
+// when the pool is empty).
+func (t *Tree) getDistScratch() *distScratch {
+	sc, _ := t.distPool.Get().(*distScratch)
+	if sc == nil {
+		sc = &distScratch{}
+	}
+	return sc
+}
+
+// putDistScratch returns the scratch to the pool for reuse.
+func (t *Tree) putDistScratch(sc *distScratch) { t.distPool.Put(sc) }
+
+// vipSide holds the per-side result of a VIP distance query, aligned with
+// the access doors of the LCA child on that side: dist[i] is the distance
+// from the query location to AccessDoors[i] (Infinite when unreachable) and
+// via[i] the superior door of the location's partition achieving it.
+type vipSide struct {
+	node  NodeID
+	doors []model.DoorID // the node's access doors (shared, not copied)
+	dist  []float64
+	via   []model.DoorID
+}
+
+// resize prepares the side for a node with n access doors, reusing the
+// backing arrays whenever they are large enough.
+func (s *vipSide) resize(n int) {
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.via = make([]model.DoorID, n)
+	}
+	s.dist = s.dist[:n]
+	s.via = s.via[:n]
+}
+
+// vipScratch is the reusable state of one VIP-Tree distance/path query.
+type vipScratch struct {
+	s, d vipSide
+}
+
+func (vt *VIPTree) getVIPScratch() *vipScratch {
+	sc, _ := vt.vipPool.Get().(*vipScratch)
+	if sc == nil {
+		sc = &vipScratch{}
+	}
+	return sc
+}
+
+func (vt *VIPTree) putVIPScratch(sc *vipScratch) { vt.vipPool.Put(sc) }

@@ -16,8 +16,20 @@ package iptree
 
 import (
 	"fmt"
+	"sync"
 
+	"viptree/internal/index"
 	"viptree/internal/model"
+)
+
+// Compile-time conformance: both trees and their object index implement the
+// full capability interfaces of viptree/internal/index.
+var (
+	_ index.Index         = (*Tree)(nil)
+	_ index.Index         = (*VIPTree)(nil)
+	_ index.ObjectIndexer = (*Tree)(nil)
+	_ index.ObjectIndexer = (*VIPTree)(nil)
+	_ index.ObjectQuerier = (*ObjectIndex)(nil)
 )
 
 // NodeID identifies a node of the tree. Nodes are stored densely; leaves are
@@ -96,6 +108,11 @@ type Tree struct {
 	// superiorDoors maps each partition to its superior doors
 	// (Definition 2); the remaining doors of the partition are inferior.
 	superiorDoors [][]model.DoorID
+
+	// distPool recycles per-query scratch (dense door tables), keeping the
+	// warm Distance/Path/KNN paths allocation-free and safe for concurrent
+	// callers.
+	distPool sync.Pool
 }
 
 // BuildIPTree constructs an IP-Tree over the venue.
@@ -223,8 +240,8 @@ type Stats struct {
 	MatrixBytes      int64
 }
 
-// Stats computes the tree statistics.
-func (t *Tree) Stats() Stats {
+// TreeStats computes the tree statistics.
+func (t *Tree) TreeStats() Stats {
 	s := Stats{Nodes: len(t.nodes), Leaves: t.NumLeaves(), Height: t.Height()}
 	totalAD, nonLeaf, totalChildren := 0, 0, 0
 	for i := range t.nodes {
@@ -282,4 +299,45 @@ func (t *Tree) MemoryBytes() int64 {
 	total += int64(len(t.leafOfPartition)) * 8
 	total += int64(len(t.leavesOfDoor)) * 16
 	return total
+}
+
+// Stats implements index.Index: the uniform construction metadata shared by
+// every index in the repository. The structural details of TreeStats are
+// exposed under stable keys.
+func (t *Tree) Stats() index.Stats {
+	return t.indexStats(t.Name(), t.MemoryBytes())
+}
+
+func (t *Tree) indexStats(name string, memory int64) index.Stats {
+	s := t.TreeStats()
+	return index.Stats{
+		Name:        name,
+		MemoryBytes: memory,
+		Details: map[string]float64{
+			"nodes":              float64(s.Nodes),
+			"leaves":             float64(s.Leaves),
+			"height":             float64(s.Height),
+			"avg_access_doors":   s.AvgAccessDoors,
+			"max_access_doors":   float64(s.MaxAccessDoors),
+			"avg_fanout":         s.AvgFanout,
+			"avg_superior_doors": s.AvgSuperiorDoors,
+			"matrix_bytes":       float64(s.MatrixBytes),
+		},
+	}
+}
+
+// Stats implements index.Index for the VIP-Tree, including the materialised
+// entries in the reported memory footprint.
+func (vt *VIPTree) Stats() index.Stats {
+	return vt.indexStats(vt.Name(), vt.MemoryBytes())
+}
+
+// NewObjectQuerier implements index.ObjectIndexer.
+func (t *Tree) NewObjectQuerier(objects []model.Location) index.ObjectQuerier {
+	return t.IndexObjects(objects)
+}
+
+// NewObjectQuerier implements index.ObjectIndexer.
+func (vt *VIPTree) NewObjectQuerier(objects []model.Location) index.ObjectQuerier {
+	return vt.IndexObjects(objects)
 }

@@ -1,6 +1,8 @@
 package iptree
 
 import (
+	"sync"
+
 	"viptree/internal/model"
 )
 
@@ -18,13 +20,33 @@ type vipEntry struct {
 	next model.DoorID
 }
 
+// doorEntries holds the materialised ancestor information of a single door:
+// for each ancestor node (of a leaf containing the door), one vipEntry per
+// access door of that node, aligned with Node.AccessDoors. The node list is
+// short (O(height)), so lookups scan it linearly without allocating.
+type doorEntries struct {
+	nodes   []NodeID
+	perNode [][]vipEntry
+}
+
+// forNode returns the entries for the given ancestor node, or nil.
+func (de *doorEntries) forNode(n NodeID) []vipEntry {
+	for i, id := range de.nodes {
+		if id == n {
+			return de.perNode[i]
+		}
+	}
+	return nil
+}
+
 // VIPTree is a VIP-Tree: an IP-Tree plus the per-door materialised distances.
 type VIPTree struct {
 	*Tree
-	// entries[d][node] holds one vipEntry per access door of `node`, aligned
-	// with Node.AccessDoors, for every node that is an ancestor of a leaf
-	// containing door d.
-	entries []map[NodeID][]vipEntry
+	// entries[d] holds the materialised ancestor entries of door d.
+	entries []doorEntries
+	// vipPool recycles per-query scratch, keeping the warm Distance path
+	// allocation-free and safe for concurrent callers.
+	vipPool sync.Pool
 }
 
 // BuildVIPTree constructs a VIP-Tree over the venue.
@@ -48,7 +70,7 @@ func MustBuildVIPTree(v *model.Venue, opts Options) *VIPTree {
 // NewVIPTree materialises the per-door ancestor distances on top of an
 // existing IP-Tree. The IP-Tree is shared, not copied.
 func NewVIPTree(t *Tree) *VIPTree {
-	vt := &VIPTree{Tree: t, entries: make([]map[NodeID][]vipEntry, t.venue.NumDoors())}
+	vt := &VIPTree{Tree: t, entries: make([]doorEntries, t.venue.NumDoors())}
 	for d := 0; d < t.venue.NumDoors(); d++ {
 		vt.materialiseDoor(model.DoorID(d))
 	}
@@ -60,10 +82,10 @@ func (vt *VIPTree) Name() string { return "VIP-Tree" }
 
 // materialiseDoor computes the VIP entries of a single door by climbing the
 // tree from every leaf containing it, exactly like Algorithm 2 but with the
-// door itself as the source.
+// door itself as the source. Construction-time maps are fine here; the
+// result is flattened into dense per-door slices for the query hot path.
 func (vt *VIPTree) materialiseDoor(d model.DoorID) {
 	t := vt.Tree
-	vt.entries[d] = make(map[NodeID][]vipEntry)
 	dist := make(map[model.DoorID]float64)
 	via := make(map[model.DoorID]model.DoorID)
 
@@ -142,6 +164,10 @@ func (vt *VIPTree) materialiseDoor(d model.DoorID) {
 	// Record entries for every ancestor node: distance plus the literal
 	// first door on the path (computed by decomposing the first hop of the
 	// via chain).
+	de := doorEntries{
+		nodes:   make([]NodeID, 0, len(order)),
+		perNode: make([][]vipEntry, 0, len(order)),
+	}
 	for _, n := range order {
 		node := &t.nodes[n]
 		es := make([]vipEntry, len(node.AccessDoors))
@@ -153,8 +179,10 @@ func (vt *VIPTree) materialiseDoor(d model.DoorID) {
 			}
 			es[i] = vipEntry{dist: dv, next: vt.firstDoorOnPath(d, a, via)}
 		}
-		vt.entries[d][n] = es
+		de.nodes = append(de.nodes, n)
+		de.perNode = append(de.perNode, es)
 	}
+	vt.entries[d] = de
 }
 
 // sortNodesByLevel orders node IDs by increasing level (stable by ID).
@@ -234,16 +262,23 @@ func (vt *VIPTree) firstDoorOfEdge(a, b model.DoorID, budget int) model.DoorID {
 	return b
 }
 
+// entriesFor returns the materialised entries of door d towards the access
+// doors of `node` (aligned with Node.AccessDoors), or nil when the node is
+// not an ancestor of a leaf containing d.
+func (vt *VIPTree) entriesFor(d model.DoorID, node NodeID) []vipEntry {
+	return vt.entries[d].forNode(node)
+}
+
 // entryFor returns the materialised entry for door d towards access door
 // `target` of `node`, if present.
 func (vt *VIPTree) entryFor(d model.DoorID, node NodeID, target model.DoorID) (vipEntry, bool) {
-	byNode, ok := vt.entries[d][node]
-	if !ok {
+	es := vt.entriesFor(d, node)
+	if es == nil {
 		return vipEntry{}, false
 	}
 	for i, a := range vt.nodes[node].AccessDoors {
 		if a == target {
-			return byNode[i], true
+			return es[i], true
 		}
 	}
 	return vipEntry{}, false
@@ -251,92 +286,116 @@ func (vt *VIPTree) entryFor(d model.DoorID, node NodeID, target model.DoorID) (v
 
 // Distance implements the VIP-Tree shortest-distance query (Section 3.1.2):
 // O(ρ²) lookups via the superior doors of the two partitions and the
-// materialised distances to the LCA children's access doors.
+// materialised distances to the LCA children's access doors. The warm path
+// performs no allocations; scratch is recycled through a pool, so the method
+// is safe for concurrent callers.
 func (vt *VIPTree) Distance(s, d model.Location) float64 {
-	dist, _, _ := vt.distanceInternalVIP(s, d)
-	return dist
+	sc := vt.getVIPScratch()
+	res := vt.vipQuery(s, d, sc)
+	vt.putVIPScratch(sc)
+	return res.dist
 }
 
-// vipSide holds the per-side result of a VIP distance query: for each access
-// door of the LCA child on that side, the distance from the location and the
-// superior door through which it is achieved.
-type vipSide struct {
-	node NodeID
-	dist map[model.DoorID]float64
-	via  map[model.DoorID]model.DoorID
+// vipResult is the outcome of one VIP distance computation. When cross is
+// true the query crossed leaves and the pair/sup/node fields identify the
+// optimal skeleton used by Path; the side data lives in the query scratch.
+type vipResult struct {
+	dist  float64
+	cross bool
+	// pair is the pair of LCA-children access doors realising the minimum.
+	pair [2]model.DoorID
+	// supS, supD are the superior doors of the source and target partitions
+	// through which the optimal pair is reached.
+	supS, supD model.DoorID
+	// nodeS, nodeD are the LCA children on the source and target sides.
+	nodeS, nodeD NodeID
 }
 
-func (vt *VIPTree) distanceInternalVIP(s, d model.Location) (float64, *vipSide, *vipSide) {
+// vipQuery computes the shortest distance between s and d using the
+// materialised entries, writing per-side scratch into sc and tracking the
+// optimal path skeleton.
+func (vt *VIPTree) vipQuery(s, d model.Location, sc *vipScratch) vipResult {
 	t := vt.Tree
 	if s.Partition == d.Partition {
-		return directIntraPartition(t.venue, s, d), nil, nil
+		return vipResult{dist: directIntraPartition(t.venue, s, d)}
 	}
 	leafS := t.Leaf(s.Partition)
 	leafD := t.Leaf(d.Partition)
 	if leafS == leafD {
-		return t.venue.D2D().LocationDist(s, d), nil, nil
+		return vipResult{dist: t.venue.D2D().LocationDist(s, d)}
 	}
 	lca := t.LCA(leafS, leafD)
 	ns := t.ChildToward(lca, leafS)
 	nt := t.ChildToward(lca, leafD)
-	sideS := vt.sideDistances(s, ns)
-	sideD := vt.sideDistances(d, nt)
+	vt.sideDistances(s, ns, &sc.s)
+	vt.sideDistances(d, nt, &sc.d)
 	mat := t.nodes[lca].Matrix
-	best := Infinite
-	for di, ds := range sideS.dist {
-		for dj, dd := range sideD.dist {
+	res := vipResult{dist: Infinite, cross: true, nodeS: ns, nodeD: nt,
+		pair: [2]model.DoorID{NoDoor, NoDoor}, supS: NoDoor, supD: NoDoor}
+	for i, di := range sc.s.doors {
+		ds := sc.s.dist[i]
+		if ds == Infinite {
+			continue
+		}
+		for j, dj := range sc.d.doors {
+			dd := sc.d.dist[j]
+			if dd == Infinite {
+				continue
+			}
 			md := mat.Dist(di, dj)
 			if md == Infinite {
 				continue
 			}
-			if total := ds + md + dd; total < best {
-				best = total
+			if total := ds + md + dd; total < res.dist {
+				res.dist = total
+				res.pair = [2]model.DoorID{di, dj}
+				res.supS = sc.s.via[i]
+				res.supD = sc.d.via[j]
 			}
 		}
 	}
-	return best, sideS, sideD
+	return res
 }
 
 // sideDistances computes dist(loc, a) for every access door a of `node` (an
 // ancestor of the location's leaf) using only the superior doors of the
 // location's partition and the materialised per-door distances — the
-// modified Algorithm 2 of Section 3.1.2.
-func (vt *VIPTree) sideDistances(loc model.Location, node NodeID) *vipSide {
+// modified Algorithm 2 of Section 3.1.2. Results are written into side,
+// aligned with the node's access doors.
+func (vt *VIPTree) sideDistances(loc model.Location, node NodeID, side *vipSide) {
 	t := vt.Tree
 	v := t.venue
-	side := &vipSide{
-		node: node,
-		dist: make(map[model.DoorID]float64),
-		via:  make(map[model.DoorID]model.DoorID),
+	ads := t.nodes[node].AccessDoors
+	side.node = node
+	side.doors = ads
+	side.resize(len(ads))
+	for i := range side.dist {
+		side.dist[i] = Infinite
+		side.via[i] = NoDoor
 	}
 	sup := t.superiorDoors[loc.Partition]
-	for _, a := range t.nodes[node].AccessDoors {
-		best := Infinite
-		bestVia := NoDoor
-		for _, sdoor := range sup {
-			base := v.DistToDoor(loc, sdoor)
+	for _, sdoor := range sup {
+		base := v.DistToDoor(loc, sdoor)
+		es := vt.entriesFor(sdoor, node)
+		for i, a := range ads {
 			var md float64
-			if sdoor == a {
+			switch {
+			case sdoor == a:
 				md = 0
-			} else if e, ok := vt.entryFor(sdoor, node, a); ok {
-				md = e.dist
-			} else {
+			case es != nil:
+				md = es[i].dist
+			default:
 				md = Infinite
 			}
 			if md == Infinite {
 				continue
 			}
-			if base+md < best {
-				best = base + md
-				bestVia = sdoor
+			if base+md < side.dist[i] {
+				side.dist[i] = base + md
+				side.via[i] = sdoor
 			}
 		}
-		if best < Infinite {
-			side.dist[a] = best
-			side.via[a] = bestVia
-		}
 	}
-	return side
 }
 
 // Path implements the VIP-Tree shortest-path query (Section 3.3): the
@@ -346,56 +405,28 @@ func (vt *VIPTree) sideDistances(loc model.Location, node NodeID) *vipSide {
 // segment across the LCA.
 func (vt *VIPTree) Path(s, d model.Location) (float64, []model.DoorID) {
 	t := vt.Tree
-	dist, sideS, sideD, pair := vt.pathSkeleton(s, d)
-	if dist == Infinite {
-		return dist, nil
+	sc := vt.getVIPScratch()
+	res := vt.vipQuery(s, d, sc)
+	vt.putVIPScratch(sc)
+	if res.dist == Infinite {
+		return res.dist, nil
 	}
-	if sideS == nil {
+	if !res.cross {
 		if s.Partition == d.Partition {
-			return dist, nil
+			return res.dist, nil
 		}
 		pd, doors := t.venue.D2D().LocationPath(s, d)
 		return pd, doors
 	}
-	supS := sideS.via[pair[0]]
-	supD := sideD.via[pair[1]]
 	var doors []model.DoorID
-	doors = append(doors, vt.expandToAncestorDoor(supS, sideS.node, pair[0])...)
-	mid := t.expandEdge(pair[0], pair[1])
+	doors = append(doors, vt.expandToAncestorDoor(res.supS, res.nodeS, res.pair[0])...)
+	mid := t.expandEdge(res.pair[0], res.pair[1])
 	doors = append(doors, mid[1:]...)
-	back := vt.expandToAncestorDoor(supD, sideD.node, pair[1])
+	back := vt.expandToAncestorDoor(res.supD, res.nodeD, res.pair[1])
 	for i := len(back) - 2; i >= 0; i-- {
 		doors = append(doors, back[i])
 	}
-	return dist, dedupConsecutive(doors)
-}
-
-// pathSkeleton runs the VIP distance query and additionally returns the pair
-// of LCA-children access doors realising the minimum.
-func (vt *VIPTree) pathSkeleton(s, d model.Location) (float64, *vipSide, *vipSide, [2]model.DoorID) {
-	none := [2]model.DoorID{NoDoor, NoDoor}
-	dist, sideS, sideD := vt.distanceInternalVIP(s, d)
-	if sideS == nil || dist == Infinite {
-		return dist, sideS, sideD, none
-	}
-	t := vt.Tree
-	lca := t.LCA(t.Leaf(s.Partition), t.Leaf(d.Partition))
-	mat := t.nodes[lca].Matrix
-	best := Infinite
-	pair := none
-	for di, ds := range sideS.dist {
-		for dj, dd := range sideD.dist {
-			md := mat.Dist(di, dj)
-			if md == Infinite {
-				continue
-			}
-			if total := ds + md + dd; total < best {
-				best = total
-				pair = [2]model.DoorID{di, dj}
-			}
-		}
-	}
-	return best, sideS, sideD, pair
+	return res.dist, dedupConsecutive(doors)
 }
 
 // expandToAncestorDoor returns the full door sequence from door `from` to
@@ -435,9 +466,11 @@ func (vt *VIPTree) expandToAncestorDoor(from model.DoorID, node NodeID, target m
 // plus the materialised per-door entries.
 func (vt *VIPTree) MemoryBytes() int64 {
 	total := vt.Tree.MemoryBytes()
-	for _, byNode := range vt.entries {
-		for _, es := range byNode {
-			total += int64(len(es))*16 + 48
+	for d := range vt.entries {
+		de := &vt.entries[d]
+		total += int64(len(de.nodes)) * 8
+		for _, es := range de.perNode {
+			total += int64(len(es))*16 + 24
 		}
 	}
 	return total

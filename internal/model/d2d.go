@@ -1,6 +1,8 @@
 package model
 
 import (
+	"sync"
+
 	"viptree/internal/graph"
 )
 
@@ -9,10 +11,15 @@ import (
 // indoor partition, with the weight being the indoor distance between them.
 // Outdoor edges (e.g. between building entrances) are added verbatim.
 //
-// The vertex identifier of door d is int(d).
+// The vertex identifier of door d is int(d). The graph is immutable after
+// construction; expansion scratch is pooled, so queries are allocation-free
+// on the warm path and safe for concurrent callers.
 type D2DGraph struct {
 	Graph *graph.Graph
 	venue *Venue
+
+	// searchPool recycles the dense Dijkstra scratch of LocationDist.
+	searchPool sync.Pool
 }
 
 // buildD2D materialises the D2D graph for v.
@@ -75,26 +82,44 @@ func (d *D2DGraph) LocationDist(s, t Location) float64 {
 	}
 	// Temporary virtual vertices would complicate the graph; instead run a
 	// multi-source expansion seeded with the distances from s to the doors
-	// of its partition, and finish at the doors of t's partition.
+	// of its partition (a single Dijkstra from a virtual source), and finish
+	// once the doors of t's partition are settled.
 	sp := v.Partition(s.Partition)
 	tp := v.Partition(t.Partition)
-	best := graph.Infinity
-	// dist from s to each door of Partition(s)
-	seed := make(map[DoorID]float64, len(sp.Doors))
+	sc := d.getSearch()
+	sc.reset(len(v.Doors))
 	for _, did := range sp.Doors {
-		seed[did] = v.DistToDoor(s, did)
+		sc.relax(did, v.DistToDoor(s, did))
 	}
-	// single Dijkstra from a virtual source: implement by running Dijkstra
-	// on the D2D graph with multiple seeded sources.
-	dist := d.multiSourceToTargets(seed, tp.Doors)
+	pending := 0
 	for _, did := range tp.Doors {
-		if dv, ok := dist[did]; ok {
+		if sc.markTarget(did) {
+			pending++
+		}
+	}
+	for len(sc.heap) > 0 && pending > 0 {
+		it := sc.pop()
+		if sc.isSettled(it.door) {
+			continue
+		}
+		sc.settle(it.door)
+		if sc.isTarget(it.door) {
+			pending--
+		}
+		for _, e := range d.Graph.Neighbors(int(it.door)) {
+			sc.relax(DoorID(e.To), it.dist+e.Weight)
+		}
+	}
+	best := graph.Infinity
+	for _, did := range tp.Doors {
+		if dv, ok := sc.settledDist(did); ok {
 			total := dv + v.DistToDoor(t, did)
 			if total < best {
 				best = total
 			}
 		}
 	}
+	d.putSearch(sc)
 	return best
 }
 
@@ -127,80 +152,133 @@ func (d *D2DGraph) LocationPath(s, t Location) (float64, []DoorID) {
 	return best, bestPath
 }
 
-// multiSourceToTargets runs a Dijkstra expansion seeded with several source
-// doors at given initial distances, stopping when all targets are settled.
-func (d *D2DGraph) multiSourceToTargets(seeds map[DoorID]float64, targets []DoorID) map[DoorID]float64 {
-	type qitem struct {
-		door DoorID
-		dist float64
-	}
-	// Simple lazy-deletion heap reusing the graph package would need an
-	// exported multi-source API; a local slice-based heap keeps the model
-	// package self-contained.
-	settled := make(map[DoorID]float64)
-	pendingTargets := make(map[DoorID]bool, len(targets))
-	for _, t := range targets {
-		pendingTargets[t] = true
-	}
-	bestKnown := make(map[DoorID]float64, len(seeds))
-	heap := make([]qitem, 0, len(seeds))
-	push := func(it qitem) {
-		heap = append(heap, it)
-		i := len(heap) - 1
-		for i > 0 {
-			p := (i - 1) / 2
-			if heap[p].dist <= heap[i].dist {
-				break
-			}
-			heap[p], heap[i] = heap[i], heap[p]
-			i = p
-		}
-	}
-	pop := func() qitem {
-		top := heap[0]
-		last := len(heap) - 1
-		heap[0] = heap[last]
-		heap = heap[:last]
-		i := 0
-		for {
-			l := 2*i + 1
-			if l >= len(heap) {
-				break
-			}
-			small := l
-			if r := l + 1; r < len(heap) && heap[r].dist < heap[l].dist {
-				small = r
-			}
-			if heap[i].dist <= heap[small].dist {
-				break
-			}
-			heap[i], heap[small] = heap[small], heap[i]
-			i = small
-		}
-		return top
-	}
-	for door, dist := range seeds {
-		bestKnown[door] = dist
-		push(qitem{door: door, dist: dist})
-	}
-	for len(heap) > 0 && len(pendingTargets) > 0 {
-		it := pop()
-		if _, done := settled[it.door]; done {
-			continue
-		}
-		settled[it.door] = it.dist
-		delete(pendingTargets, it.door)
-		for _, e := range d.Graph.Neighbors(int(it.door)) {
-			nd := it.dist + e.Weight
-			to := DoorID(e.To)
-			if old, ok := bestKnown[to]; !ok || nd < old {
-				bestKnown[to] = nd
-				push(qitem{door: to, dist: nd})
-			}
-		}
-	}
-	return settled
+// d2dSearch is the reusable dense scratch of one LocationDist expansion: a
+// multi-source Dijkstra over door IDs (which are contiguous ordinals into
+// Venue.Doors). Presence is tracked with epoch stamps so reset is O(1), and
+// the binary heap's backing array is kept across queries, making a warm
+// expansion allocation-free.
+type d2dSearch struct {
+	dist []float64
+	// reachedAt/settledAt/targetAt mark per-door state for the current
+	// epoch: a door is reached/settled/a-target only if its stamp equals
+	// the current epoch.
+	reachedAt []uint32
+	settledAt []uint32
+	targetAt  []uint32
+	epoch     uint32
+	heap      []d2dQItem
 }
+
+type d2dQItem struct {
+	door DoorID
+	dist float64
+}
+
+func (sc *d2dSearch) reset(n int) {
+	if len(sc.dist) < n {
+		sc.dist = make([]float64, n)
+		sc.reachedAt = make([]uint32, n)
+		sc.settledAt = make([]uint32, n)
+		sc.targetAt = make([]uint32, n)
+		sc.epoch = 1
+	} else {
+		sc.epoch++
+		if sc.epoch == 0 { // epoch wrapped: clear the stamps and restart
+			for i := range sc.reachedAt {
+				sc.reachedAt[i] = 0
+				sc.settledAt[i] = 0
+				sc.targetAt[i] = 0
+			}
+			sc.epoch = 1
+		}
+	}
+	sc.heap = sc.heap[:0]
+}
+
+// relax records a candidate distance to door d, pushing it on the heap when
+// it improves the best known distance.
+func (sc *d2dSearch) relax(d DoorID, dist float64) {
+	if sc.settledAt[d] == sc.epoch {
+		return
+	}
+	if sc.reachedAt[d] == sc.epoch && sc.dist[d] <= dist {
+		return
+	}
+	sc.reachedAt[d] = sc.epoch
+	sc.dist[d] = dist
+	sc.push(d2dQItem{door: d, dist: dist})
+}
+
+func (sc *d2dSearch) settle(d DoorID)         { sc.settledAt[d] = sc.epoch }
+func (sc *d2dSearch) isSettled(d DoorID) bool { return sc.settledAt[d] == sc.epoch }
+func (sc *d2dSearch) isTarget(d DoorID) bool  { return sc.targetAt[d] == sc.epoch }
+
+// markTarget marks d as a pending target, reporting whether it was new.
+func (sc *d2dSearch) markTarget(d DoorID) bool {
+	if sc.targetAt[d] == sc.epoch {
+		return false
+	}
+	sc.targetAt[d] = sc.epoch
+	return true
+}
+
+// settledDist returns the settled distance of door d, if the expansion
+// reached it.
+func (sc *d2dSearch) settledDist(d DoorID) (float64, bool) {
+	if sc.settledAt[d] != sc.epoch {
+		return graph.Infinity, false
+	}
+	return sc.dist[d], true
+}
+
+func (sc *d2dSearch) push(it d2dQItem) {
+	sc.heap = append(sc.heap, it)
+	h := sc.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].dist <= h[i].dist {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func (sc *d2dSearch) pop() d2dQItem {
+	h := sc.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	sc.heap = h[:last]
+	h = sc.heap
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= len(h) {
+			break
+		}
+		small := l
+		if r := l + 1; r < len(h) && h[r].dist < h[l].dist {
+			small = r
+		}
+		if h[i].dist <= h[small].dist {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}
+
+func (d *D2DGraph) getSearch() *d2dSearch {
+	sc, _ := d.searchPool.Get().(*d2dSearch)
+	if sc == nil {
+		sc = &d2dSearch{}
+	}
+	return sc
+}
+
+func (d *D2DGraph) putSearch(sc *d2dSearch) { d.searchPool.Put(sc) }
 
 // directIntraDist is the walking distance between two locations in the same
 // partition.

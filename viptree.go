@@ -11,15 +11,38 @@
 // nearest neighbour and range queries, and the baselines used in the paper's
 // evaluation (distance matrix, distance-aware model, G-tree, ROAD).
 //
+// The query stack is organised in three layers:
+//
+//   - Model layer: venues, partitions, doors and the door-to-door graph
+//     (NewVenueBuilder, GenerateBuilding, GenerateCampus, …).
+//   - Index layer: the six indexes, all implementing the uniform capability
+//     interface Index (Distance, Path, MemoryBytes, Stats) and producing
+//     object queriers for kNN/range queries (ObjectIndexer).
+//   - Engine layer: a concurrent query engine (NewEngine) with typed
+//     queries, a batch API and a worker-pool executor safe for parallel
+//     callers. Index hot paths are allocation-free on the warm path, so the
+//     engine scales across cores without contending on the allocator.
+//
 // # Quickstart
 //
-//	venue := viptree.GenerateBuilding(viptree.BuildingConfig{
+//	venue := viptree.MustGenerateBuilding(viptree.BuildingConfig{
 //		Name: "office", Floors: 5, RoomsPerHallway: 30,
 //	})
 //	tree := viptree.MustBuildVIPTree(venue)
 //	rng := rand.New(rand.NewSource(1))
 //	s, t := venue.RandomLocation(rng), venue.RandomLocation(rng)
 //	fmt.Println(tree.Distance(s, t))
+//
+// # Serving queries concurrently
+//
+//	objects := []viptree.Location{...}
+//	eng := viptree.NewEngine(tree, viptree.EngineOptions{
+//		Objects: tree.IndexObjects(objects),
+//	})
+//	results := eng.ExecuteBatch([]viptree.Query{
+//		{Kind: viptree.QueryDistance, S: s, T: t},
+//		{Kind: viptree.QueryKNN, S: s, K: 5},
+//	})
 //
 // See the examples directory for complete programs.
 package viptree
@@ -29,6 +52,7 @@ import (
 	"viptree/internal/baseline/distmatrix"
 	"viptree/internal/baseline/gtree"
 	"viptree/internal/baseline/road"
+	"viptree/internal/engine"
 	"viptree/internal/geom"
 	"viptree/internal/index"
 	"viptree/internal/iptree"
@@ -89,7 +113,65 @@ type (
 	DistanceQuerier = index.DistanceQuerier
 	// ObjectQuerier is the object-query interface shared by all indexes.
 	ObjectQuerier = index.ObjectQuerier
+	// Index is the uniform capability interface implemented by all six
+	// indexes: Name, Distance, Path, MemoryBytes and Stats.
+	Index = index.Index
+	// ObjectIndexer is an Index that can embed a set of objects for
+	// kNN/range queries.
+	ObjectIndexer = index.ObjectIndexer
+	// FullIndex is the complete capability surface (Index plus KNN/Range);
+	// build one with CombineIndex or IndexWithObjects.
+	FullIndex = index.Full
+	// IndexStats is the uniform construction metadata reported by Stats.
+	IndexStats = index.Stats
 )
+
+// Query-engine types: the concurrent execution layer over the indexes.
+type (
+	// Engine executes typed queries against one index, sequentially or over
+	// a worker pool; it is safe for concurrent callers.
+	Engine = engine.Engine
+	// EngineOptions configures engine construction (worker count, object
+	// querier for kNN/range queries).
+	EngineOptions = engine.Options
+	// EngineStats counts the queries executed per kind.
+	EngineStats = engine.Stats
+	// Query is one typed query submitted to an engine.
+	Query = engine.Query
+	// QueryKind selects the query type (QueryDistance, QueryPath, QueryKNN,
+	// QueryRange).
+	QueryKind = engine.Kind
+	// QueryResult is the outcome of one engine query.
+	QueryResult = engine.Result
+)
+
+// Query kinds accepted by Engine.Execute and Engine.ExecuteBatch.
+const (
+	QueryDistance = engine.KindDistance
+	QueryPath     = engine.KindPath
+	QueryKNN      = engine.KindKNN
+	QueryRange    = engine.KindRange
+)
+
+// ErrNoObjectIndex is reported by kNN/range queries on an engine built
+// without an object querier.
+var ErrNoObjectIndex = engine.ErrNoObjectIndex
+
+// NewEngine returns a concurrent query engine over the index. Attach an
+// object querier through EngineOptions.Objects to serve kNN and range
+// queries; set EngineOptions.Workers to bound batch parallelism (zero
+// selects GOMAXPROCS).
+func NewEngine(ix Index, opts EngineOptions) *Engine { return engine.New(ix, opts) }
+
+// CombineIndex glues a distance index and an object querier into the full
+// capability interface.
+func CombineIndex(ix Index, objects ObjectQuerier) FullIndex { return index.Combine(ix, objects) }
+
+// IndexWithObjects embeds the objects into the indexer and returns the full
+// capability interface over the pair.
+func IndexWithObjects(ix ObjectIndexer, objects []Location) FullIndex {
+	return index.WithObjects(ix, objects)
+}
 
 // Baseline index types used by the paper's evaluation.
 type (
