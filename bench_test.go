@@ -6,6 +6,7 @@
 package viptree_test
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"sync"
@@ -185,6 +186,45 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "qps")
 	})
+}
+
+// BenchmarkTreeBuild measures full VIP-Tree construction from scratch: the
+// cold-start cost a serving process pays when it does NOT load a snapshot.
+// Compare against BenchmarkSnapshotLoad, which restores the identical index
+// from its serialized form.
+func BenchmarkTreeBuild(b *testing.B) {
+	v := benchVenue("Men")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		viptree.MustBuildVIPTree(v)
+	}
+}
+
+// BenchmarkSnapshotLoad measures restoring the same VIP-Tree from an
+// in-memory snapshot (header validation, checksum, venue reconstruction and
+// index restore — everything queryrunner -load does except the file read).
+// The ratio to BenchmarkTreeBuild is the cold-start win of the build-once /
+// serve-many pipeline; README records the measured numbers.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	v := benchVenue("Men")
+	vip := viptree.MustBuildVIPTree(v)
+	var buf bytes.Buffer
+	if err := viptree.WriteSnapshot(&buf, v, vip, nil); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := viptree.ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.VIP == nil {
+			b.Fatal("no VIP-Tree in snapshot")
+		}
+	}
 }
 
 // BenchmarkTable1Stats measures IP-Tree construction plus the structural

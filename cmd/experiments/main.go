@@ -37,6 +37,13 @@ func main() {
 		list       = flag.Bool("list", false, "list available experiments and exit")
 		seed       = flag.Int64("seed", 1, "workload random seed")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"experiments reproduces the tables and figures of the paper's evaluation\n"+
+				"(Section 4) as text tables. Run one experiment (-exp fig9b) or the whole\n"+
+				"sweep (-exp all); -list prints the available experiment names.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	all := bench.All()

@@ -2,10 +2,17 @@
 // its construction time, memory footprint and structural statistics — the
 // quantities compared in Fig 8 of the paper.
 //
+// With -out it additionally writes a versioned binary snapshot of the built
+// index (IP-Tree and VIP-Tree only), so that a serving process — for example
+// `queryrunner -load` — starts in milliseconds instead of re-paying the
+// construction cost. The command prints build-vs-serialize timings so the
+// trade-off is visible.
+//
 // Usage:
 //
 //	indexbuild -venue Men-2 -index vip -scale small
 //	indexbuild -venue CL -index gtree -scale small
+//	indexbuild -venue Men -index vip -out men-vip.snap -objects 100
 package main
 
 import (
@@ -19,17 +26,30 @@ import (
 	"viptree/internal/baseline/gtree"
 	"viptree/internal/baseline/road"
 	"viptree/internal/bench"
+	"viptree/internal/index"
 	"viptree/internal/iptree"
+	"viptree/internal/model"
+	"viptree/internal/snapshot"
 	"viptree/internal/venuegen"
 )
 
 func main() {
 	var (
-		venue     = flag.String("venue", "Men", "venue: MC, MC-2, Men, Men-2, CL or CL-2")
-		indexName = flag.String("index", "vip", "index: ip, vip, distmx, distaw, gtree or road")
+		venue     = flag.String("venue", "Men", "venue to build over: MC, MC-2, Men, Men-2, CL or CL-2")
+		indexName = flag.String("index", "vip", "index to build: ip, vip, distmx, distaw, gtree or road")
 		scale     = flag.String("scale", "small", "venue scale: tiny, small or full")
-		minDegree = flag.Int("t", 2, "minimum degree t for IP-Tree/VIP-Tree")
+		minDegree = flag.Int("t", 2, "minimum degree t for IP-Tree/VIP-Tree construction (Algorithm 1)")
+		out       = flag.String("out", "", "write a binary snapshot of the built index to this file (ip and vip only)")
+		objects   = flag.Int("objects", 0, "embed an object index over this many random objects into the snapshot (0 = none)")
+		objSeed   = flag.Int64("objseed", 1, "random seed for the embedded object set")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"indexbuild builds an index over a synthetic venue, reports construction\n"+
+				"time, memory and structural statistics, and optionally persists the built\n"+
+				"index as a snapshot (-out) for instant loading by queryrunner -load.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	var sc venuegen.Scale
@@ -53,15 +73,23 @@ func main() {
 
 	start := time.Now()
 	var memory int64
+	var snapshotter index.Snapshotter
+	// objIndexer builds the embedded object index; the VIP tree's own method
+	// must be used so the persisted index reports the right name.
+	var objIndexer interface {
+		IndexObjects([]model.Location) *iptree.ObjectIndex
+	}
 	switch *indexName {
 	case "ip":
 		t := iptree.MustBuildIPTree(nv.Venue, iptree.Options{MinDegree: *minDegree})
 		memory = t.MemoryBytes()
 		printTreeStats(t.TreeStats())
+		snapshotter, objIndexer = t, t
 	case "vip":
 		t := iptree.MustBuildVIPTree(nv.Venue, iptree.Options{MinDegree: *minDegree})
 		memory = t.MemoryBytes()
 		printTreeStats(t.TreeStats())
+		snapshotter, objIndexer = t, t
 	case "distmx":
 		m := distmatrix.Build(nv.Venue, true)
 		memory = m.MemoryBytes()
@@ -75,8 +103,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown index %q\n", *indexName)
 		os.Exit(2)
 	}
+	buildTime := time.Since(start)
 	fmt.Printf("index %s: construction %v, memory %.2f MB\n",
-		*indexName, time.Since(start).Round(time.Millisecond), float64(memory)/(1<<20))
+		*indexName, buildTime.Round(time.Millisecond), float64(memory)/(1<<20))
+
+	if *out == "" {
+		return
+	}
+	if snapshotter == nil {
+		fmt.Fprintf(os.Stderr, "-out is only supported for the ip and vip indexes (%q does not implement snapshot persistence)\n", *indexName)
+		os.Exit(2)
+	}
+	var oi *iptree.ObjectIndex
+	if *objects > 0 {
+		oi = objIndexer.IndexObjects(bench.Objects(nv.Venue, *objects, *objSeed))
+	}
+	serStart := time.Now()
+	if err := snapshot.Save(*out, nv.Venue, snapshotter, oi); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	serTime := time.Since(serStart)
+	info, err := os.Stat(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("snapshot %s: %.2f MB, serialized in %v (construction took %v)\n",
+		*out, float64(info.Size())/(1<<20), serTime.Round(time.Millisecond),
+		buildTime.Round(time.Millisecond))
+	if serTime > 0 && buildTime > serTime {
+		fmt.Printf("snapshot: serializing was %.1fx faster than building — load with `queryrunner -load %s`\n",
+			float64(buildTime)/float64(serTime), *out)
+	}
 }
 
 func printTreeStats(s iptree.Stats) {

@@ -4,18 +4,28 @@
 // throughput — a command-line counterpart to the Go benchmarks in
 // bench_test.go.
 //
+// With -load it serves from an index snapshot written by `indexbuild -out`
+// instead of building one: the process starts in milliseconds because no
+// tree construction runs at all, and the loaded index answers bit-identical
+// queries to a freshly built one. With -verify every distance/path result is
+// cross-checked against the exact D2D ground truth and kNN/range results
+// against a brute-force scan, which is how CI guards the on-disk format.
+//
 // Usage:
 //
 //	queryrunner -venue Men-2 -index vip -query distance -n 10000
 //	queryrunner -venue CL -index distaw -query knn -k 5 -objects 50
 //	queryrunner -venue Men -index vip -query distance -n 100000 -parallel 8
+//	queryrunner -load men-vip.snap -query distance -n 10000 -verify
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"viptree/internal/baseline/distaware"
@@ -27,47 +37,80 @@ import (
 	"viptree/internal/index"
 	"viptree/internal/iptree"
 	"viptree/internal/model"
+	"viptree/internal/snapshot"
 	"viptree/internal/venuegen"
 )
 
 func main() {
 	var (
-		venue     = flag.String("venue", "Men", "venue: MC, MC-2, Men, Men-2, CL or CL-2")
-		indexName = flag.String("index", "vip", "index: ip, vip, distmx, distaw, gtree or road")
-		scale     = flag.String("scale", "small", "venue scale: tiny, small or full")
+		venue     = flag.String("venue", "Men", "venue to query: MC, MC-2, Men, Men-2, CL or CL-2 (ignored with -load)")
+		indexName = flag.String("index", "vip", "index to build: ip, vip, distmx, distaw, gtree or road (ignored with -load)")
+		scale     = flag.String("scale", "small", "venue scale: tiny, small or full (ignored with -load)")
 		query     = flag.String("query", "distance", "query type: distance, path, knn or range")
-		n         = flag.Int("n", 1000, "number of queries")
+		n         = flag.Int("n", 1000, "number of queries to run")
 		k         = flag.Int("k", 5, "k for kNN queries")
-		objects   = flag.Int("objects", 50, "number of indexed objects for kNN/range queries")
+		objects   = flag.Int("objects", 50, "number of indexed objects for kNN/range queries (ignored when the snapshot embeds an object index)")
 		radius    = flag.Float64("r", 100, "radius in metres for range queries")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		parallel  = flag.Int("parallel", 1, "engine worker count (0 = GOMAXPROCS)")
+		load      = flag.String("load", "", "serve from this index snapshot (written by indexbuild -out) instead of building")
+		verify    = flag.Bool("verify", false, "cross-check every result against the exact D2D ground truth")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"queryrunner drives a query workload through the concurrent engine and\n"+
+				"reports latency and throughput. It either builds an index (-venue/-index)\n"+
+				"or serves instantly from a snapshot (-load). -verify cross-checks every\n"+
+				"answer against the exact ground truth.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
-	var sc venuegen.Scale
-	switch *scale {
-	case "tiny":
-		sc = venuegen.ScaleTiny
-	case "small":
-		sc = venuegen.ScaleSmall
-	case "full":
-		sc = venuegen.ScaleFull
-	default:
-		fmt.Fprintln(os.Stderr, "unknown scale; want tiny, small or full")
-		os.Exit(2)
+	var (
+		v    *model.Venue
+		ix   index.ObjectIndexer
+		oq   index.ObjectQuerier
+		objs []model.Location
+	)
+	if *load != "" {
+		loadStart := time.Now()
+		snap, err := snapshot.Load(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		v = snap.Venue
+		ix = snap.Index()
+		fmt.Printf("loaded %s (%s) in %v — no tree construction\n",
+			*load, snap.Kind(), time.Since(loadStart).Round(time.Microsecond))
+		if snap.Objects != nil {
+			oq = snap.Objects
+			objs = snap.Objects.Objects()
+		}
+	} else {
+		var sc venuegen.Scale
+		switch *scale {
+		case "tiny":
+			sc = venuegen.ScaleTiny
+		case "small":
+			sc = venuegen.ScaleSmall
+		case "full":
+			sc = venuegen.ScaleFull
+		default:
+			fmt.Fprintln(os.Stderr, "unknown scale; want tiny, small or full")
+			os.Exit(2)
+		}
+		cfg := bench.DefaultConfig(sc)
+		cfg.VenueNames = []string{*venue}
+		v = cfg.Venues()[0].Venue
+		ix = buildIndex(v, *indexName)
 	}
-	cfg := bench.DefaultConfig(sc)
-	cfg.VenueNames = []string{*venue}
-	v := cfg.Venues()[0].Venue
+	if oq == nil {
+		objs = bench.Objects(v, *objects, *seed+7)
+		oq = ix.NewObjectQuerier(objs)
+	}
 
-	objs := bench.Objects(v, *objects, *seed+7)
-	ix := buildIndex(v, *indexName)
-
-	eng := engine.New(ix, engine.Options{
-		Workers: *parallel,
-		Objects: ix.NewObjectQuerier(objs),
-	})
+	eng := engine.New(ix, engine.Options{Workers: *parallel, Objects: oq})
 
 	var queries []engine.Query
 	switch *query {
@@ -123,11 +166,80 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *verify {
+		if err := verifyResults(v, queries, results, objs); err != nil {
+			fmt.Fprintln(os.Stderr, "verification failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("verified %d results against the D2D ground truth\n", len(results))
+	}
+
 	workers := eng.Workers()
 	perQuery := float64(total.Microseconds()) / float64(len(queries))
 	qps := float64(len(queries)) / total.Seconds()
 	fmt.Printf("%s %s %s: %d queries, %d workers (%d cores), %.2f us/query, %.0f qps (total %v)\n",
-		*venue, *indexName, *query, len(queries), workers, runtime.NumCPU(), perQuery, qps, total)
+		v.Name, ix.Name(), *query, len(queries), workers, runtime.NumCPU(), perQuery, qps, total)
+}
+
+// verifyResults cross-checks every engine result against the exact D2D
+// ground truth: distances and path lengths must match the Dijkstra answer,
+// and kNN/range distances must match a brute-force scan over the object set.
+func verifyResults(v *model.Venue, queries []engine.Query, results []engine.Result, objs []model.Location) error {
+	const tol = 1e-6
+	approx := func(a, b float64) bool {
+		if a == b {
+			return true
+		}
+		return math.Abs(a-b) <= tol*(1+math.Abs(b))
+	}
+	for i, q := range queries {
+		r := results[i]
+		switch q.Kind {
+		case engine.KindDistance, engine.KindPath:
+			want := v.D2D().LocationDist(q.S, q.T)
+			if !approx(r.Dist, want) {
+				return fmt.Errorf("query %d: distance(%v, %v) = %v, ground truth %v", i, q.S, q.T, r.Dist, want)
+			}
+		case engine.KindKNN, engine.KindRange:
+			// Brute-force distances to every object, ascending.
+			dists := make([]float64, len(objs))
+			for j, o := range objs {
+				dists[j] = v.D2D().LocationDist(q.S, o)
+			}
+			sort.Float64s(dists)
+			if q.Kind == engine.KindKNN {
+				// Venues are validated connected, so every object is
+				// reachable and the result count is exact — a truncated (or
+				// empty) result set is a verification failure, not a pass.
+				if want := min(q.K, len(objs)); len(r.Objects) != want {
+					return fmt.Errorf("query %d: kNN returned %d objects, ground truth %d", i, len(r.Objects), want)
+				}
+				for j, res := range r.Objects {
+					if !approx(res.Dist, dists[j]) {
+						return fmt.Errorf("query %d: kNN rank %d distance %v, ground truth %v", i, j, res.Dist, dists[j])
+					}
+				}
+			} else {
+				// Index distances equal the ground truth only up to float
+				// rounding, so objects within a whisker of the radius may
+				// legitimately fall on either side: bracket the count.
+				margin := tol * (1 + q.Radius)
+				lower, upper := 0, 0
+				for _, d := range dists {
+					if d <= q.Radius-margin {
+						lower++
+					}
+					if d <= q.Radius+margin {
+						upper++
+					}
+				}
+				if len(r.Objects) < lower || len(r.Objects) > upper {
+					return fmt.Errorf("query %d: range returned %d objects, ground truth between %d and %d", i, len(r.Objects), lower, upper)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // buildIndex constructs the requested index; every index satisfies the

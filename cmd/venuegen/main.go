@@ -21,14 +21,22 @@ import (
 func main() {
 	var (
 		all       = flag.Bool("all", false, "generate all six paper venues (MC, MC-2, Men, Men-2, CL, CL-2)")
-		venue     = flag.String("venue", "", "one of MC, MC-2, Men, Men-2, CL, CL-2")
-		scale     = flag.String("scale", "small", "venue scale: tiny, small or full")
+		venue     = flag.String("venue", "", "generate one paper venue: MC, MC-2, Men, Men-2, CL or CL-2")
+		scale     = flag.String("scale", "small", "venue scale for the paper venues: tiny, small or full")
 		floors    = flag.Int("floors", 0, "custom building: number of floors")
 		rooms     = flag.Int("rooms", 0, "custom building: rooms per hallway")
 		hallways  = flag.Int("hallways", 1, "custom building: hallways per floor")
 		buildings = flag.Int("buildings", 0, "custom campus: number of buildings (implies a campus)")
-		seed      = flag.Int64("seed", 1, "generator seed")
+		seed      = flag.Int64("seed", 1, "random seed for custom building/campus generation")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"venuegen generates the synthetic indoor venues used by the evaluation and\n"+
+				"prints their Table-2-style statistics. Pick the paper venues (-all or\n"+
+				"-venue, sized by -scale) or describe a custom building (-floors/-rooms/\n"+
+				"-hallways) or campus (-buildings).\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	var sc venuegen.Scale
@@ -88,11 +96,4 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

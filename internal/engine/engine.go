@@ -12,6 +12,11 @@
 //
 //	eng := engine.New(vipTree, engine.Options{Objects: objectIndex})
 //	results := eng.ExecuteBatch(queries) // fans out over a worker pool
+//
+// The engine does not care how its index came to exist: one built in
+// process and one restored from a snapshot (viptree/internal/snapshot)
+// behave identically, so a serving process can skip construction entirely
+// and be answering queries milliseconds after start.
 package engine
 
 import (

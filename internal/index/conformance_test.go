@@ -4,6 +4,7 @@
 package index_test
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -26,6 +27,14 @@ var (
 	_ index.ObjectIndexer = (*distaware.Index)(nil)
 	_ index.ObjectIndexer = (*gtree.Tree)(nil)
 	_ index.ObjectIndexer = (*road.Index)(nil)
+)
+
+// Compile-time assertions for the snapshot capability: the two tree indexes
+// persist their built state (viptree/internal/snapshot), the baselines do
+// not.
+var (
+	_ index.Snapshotter = (*iptree.Tree)(nil)
+	_ index.Snapshotter = (*iptree.VIPTree)(nil)
 )
 
 func allIndexers(t *testing.T, v *model.Venue) []index.ObjectIndexer {
@@ -110,6 +119,57 @@ func TestFullCapabilityConformance(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestSnapshotterConformance pins down which indexes implement the snapshot
+// capability: exactly the IP-Tree and VIP-Tree. Adding the capability to a
+// baseline (or losing it on a tree) must be a deliberate change to this
+// table, because the snapshot container dispatches on it. For implementers,
+// the kind string must be non-empty and the encoded payload non-trivial.
+func TestSnapshotterConformance(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{
+		Name: "snapshotter", Floors: 2, RoomsPerHallway: 8, Seed: 4,
+	})
+	wantSnapshotter := map[string]bool{
+		"IP-Tree":  true,
+		"VIP-Tree": true,
+		"DistMx":   false,
+		"DistAw":   false,
+		"G-tree":   false,
+		"ROAD":     false,
+	}
+	seen := map[string]bool{}
+	for _, ixr := range allIndexers(t, v) {
+		name := ixr.Name()
+		seen[name] = true
+		want, known := wantSnapshotter[name]
+		if !known {
+			t.Errorf("index %q missing from the snapshotter conformance table", name)
+			continue
+		}
+		snap, got := ixr.(index.Snapshotter)
+		if got != want {
+			t.Errorf("index %q: implements Snapshotter = %v, want %v", name, got, want)
+			continue
+		}
+		if !got {
+			continue
+		}
+		if snap.SnapshotKind() == "" {
+			t.Errorf("index %q: empty SnapshotKind()", name)
+		}
+		var buf bytes.Buffer
+		if err := snap.EncodeSnapshot(&buf); err != nil {
+			t.Errorf("index %q: EncodeSnapshot: %v", name, err)
+		} else if buf.Len() == 0 {
+			t.Errorf("index %q: EncodeSnapshot wrote no payload", name)
+		}
+	}
+	for name := range wantSnapshotter {
+		if !seen[name] {
+			t.Errorf("conformance table lists %q but no index reported that name", name)
+		}
 	}
 }
 

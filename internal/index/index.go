@@ -12,11 +12,20 @@
 // (viptree/internal/engine), the benchmark harness and the experiment
 // driver.
 //
+// Indexes may additionally implement the optional Snapshotter capability:
+// exporting their fully built state so viptree/internal/snapshot can persist
+// it and restore it later without re-running construction. The IP-Tree and
+// VIP-Tree implement it; conformance_test.go pins down the exact set.
+//
 // All implementations are immutable after construction and safe for
 // concurrent queries from multiple goroutines.
 package index
 
-import "viptree/internal/model"
+import (
+	"io"
+
+	"viptree/internal/model"
+)
 
 // DistanceQuerier answers shortest-distance and shortest-path queries
 // between two indoor locations.
@@ -53,6 +62,26 @@ type Index interface {
 	MemoryBytes() int64
 	// Stats reports uniform construction metadata.
 	Stats() Stats
+}
+
+// Snapshotter is an Index whose fully built state can be exported as a
+// binary payload and later restored without re-running construction — the
+// build-once / serve-many capability. The IP-Tree and VIP-Tree implement it
+// (their construction cost is the paper's central trade-off); the expansion
+// and matrix baselines do not, either because they have no built state worth
+// persisting (DistAw) or because rebuilding is what the paper measures them
+// on. Payloads are framed, checksummed and versioned by
+// viptree/internal/snapshot; conformance_test.go pins down which indexes
+// implement the capability.
+type Snapshotter interface {
+	Index
+	// SnapshotKind returns the stable identifier of the payload schema
+	// (e.g. "viptree/v1"), recorded in the snapshot container so that the
+	// loader can dispatch — and reject — payloads it does not understand.
+	SnapshotKind() string
+	// EncodeSnapshot writes the index's built state to w as a
+	// self-contained payload decodable by the matching restore function.
+	EncodeSnapshot(w io.Writer) error
 }
 
 // ObjectResult is one object returned by a kNN or range query.

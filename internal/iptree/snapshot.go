@@ -1,0 +1,550 @@
+package iptree
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"viptree/internal/model"
+)
+
+// This file implements the snapshot export/import hooks consumed by
+// viptree/internal/snapshot: the fully built state of an IP-Tree or VIP-Tree
+// (tree topology, distance matrices, superior doors, materialised VIP
+// entries, embedded object lists) is exported into plain gob-encodable
+// structs and restored later without re-running construction. Only the
+// expensive state is serialised; cheap derived lookup tables (leaf-of-
+// partition, doors-of-leaf, access-door bookkeeping) are rebuilt on import
+// with O(doors) scans, never with graph searches.
+//
+// Restoring a state produced by ExportState yields a tree that answers
+// bit-identical Distance/Path/KNN/Range queries: every float64 survives the
+// round trip exactly and the derived tables are reconstructed in the same
+// deterministic order the builder uses.
+
+// Snapshot payload kinds recorded in the container header. The suffix is the
+// payload schema version: an incompatible change to TreeState or VIPState
+// must introduce a new kind string.
+const (
+	// SnapshotKindIPTree identifies a serialised TreeState payload.
+	SnapshotKindIPTree = "iptree/v1"
+	// SnapshotKindVIPTree identifies a serialised VIPState payload.
+	SnapshotKindVIPTree = "viptree/v1"
+)
+
+// MatrixState is the serialisable form of a node's distance matrix: the row
+// and column door sets plus the dense distance and next-hop arrays in
+// row-major order. The row/column lookup maps are rebuilt on restore.
+type MatrixState struct {
+	Rows []model.DoorID
+	Cols []model.DoorID
+	Dist []float64
+	Next []model.DoorID
+}
+
+// NodeState is the serialisable form of one tree node. Node IDs are implied
+// by position (nodes are stored densely).
+type NodeState struct {
+	Parent      NodeID
+	Children    []NodeID
+	Level       int
+	Partitions  []model.PartitionID
+	AccessDoors []model.DoorID
+	Matrix      *MatrixState
+}
+
+// TreeState is the serialisable state of a fully built IP-Tree: the
+// construction options, the node array with distance matrices, and the
+// superior doors of every partition (the only per-partition state that
+// required Dijkstra searches to compute).
+type TreeState struct {
+	MinDegree            int
+	DisableSuperiorDoors bool
+	NaiveMerge           bool
+	Root                 NodeID
+	Nodes                []NodeState
+	SuperiorDoors        [][]model.DoorID
+}
+
+// VIPEntry is the serialisable form of one materialised (door, ancestor
+// access door) entry: shortest distance plus the first door on that path.
+type VIPEntry struct {
+	Dist float64
+	Next model.DoorID
+}
+
+// DoorVIPState holds the materialised ancestor entries of a single door:
+// Entries[i] is aligned with the access doors of Nodes[i].
+type DoorVIPState struct {
+	Nodes   []NodeID
+	Entries [][]VIPEntry
+}
+
+// VIPState is the serialisable state of a VIP-Tree: the underlying IP-Tree
+// state plus the per-door materialised ancestor entries.
+type VIPState struct {
+	Tree  *TreeState
+	Doors []DoorVIPState
+}
+
+// ObjectEntryState is one (object, distance-from-access-door) pair of an
+// object index access list.
+type ObjectEntryState struct {
+	ObjectID int
+	Dist     float64
+}
+
+// LeafObjectsState holds the object lists of one leaf: the object IDs in the
+// leaf and, per access door of the leaf, the objects sorted by distance from
+// that door.
+type LeafObjectsState struct {
+	Leaf        NodeID
+	ObjectIDs   []int
+	AccessLists [][]ObjectEntryState
+}
+
+// ObjectIndexState is the serialisable state of an ObjectIndex: the object
+// locations plus the precomputed per-leaf access lists.
+type ObjectIndexState struct {
+	Name    string
+	Objects []model.Location
+	Leaves  []LeafObjectsState
+}
+
+// ExportState exports the built state of the IP-Tree. To keep exporting
+// large trees cheap, the returned state aliases the tree's internal arrays
+// (matrices, door lists): treat it as read-only and encode it immediately.
+func (t *Tree) ExportState() *TreeState {
+	st := &TreeState{
+		MinDegree:            t.opts.MinDegree,
+		DisableSuperiorDoors: t.opts.DisableSuperiorDoors,
+		NaiveMerge:           t.opts.NaiveMerge,
+		Root:                 t.root,
+		Nodes:                make([]NodeState, len(t.nodes)),
+		SuperiorDoors:        t.superiorDoors,
+	}
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		ns := NodeState{
+			Parent:      n.Parent,
+			Children:    n.Children,
+			Level:       n.Level,
+			Partitions:  n.Partitions,
+			AccessDoors: n.AccessDoors,
+		}
+		if n.Matrix != nil {
+			ns.Matrix = &MatrixState{
+				Rows: n.Matrix.rows,
+				Cols: n.Matrix.cols,
+				Dist: n.Matrix.dist,
+				Next: n.Matrix.next,
+			}
+		}
+		st.Nodes[i] = ns
+	}
+	return st
+}
+
+// ExportState exports the built state of the VIP-Tree, including the
+// underlying IP-Tree. Like Tree.ExportState, the result partially aliases
+// the live index and must be treated as read-only.
+func (vt *VIPTree) ExportState() *VIPState {
+	st := &VIPState{
+		Tree:  vt.Tree.ExportState(),
+		Doors: make([]DoorVIPState, len(vt.entries)),
+	}
+	for d := range vt.entries {
+		de := &vt.entries[d]
+		ds := DoorVIPState{
+			Nodes:   de.nodes,
+			Entries: make([][]VIPEntry, len(de.perNode)),
+		}
+		for i, es := range de.perNode {
+			out := make([]VIPEntry, len(es))
+			for j, e := range es {
+				out[j] = VIPEntry{Dist: e.dist, Next: e.next}
+			}
+			ds.Entries[i] = out
+		}
+		st.Doors[d] = ds
+	}
+	return st
+}
+
+// ExportState exports the built state of the object index. Leaves are
+// exported in ascending node-ID order so the encoding is deterministic.
+// Like Tree.ExportState, the result partially aliases the live index and
+// must be treated as read-only.
+func (oi *ObjectIndex) ExportState() *ObjectIndexState {
+	st := &ObjectIndexState{Name: oi.name, Objects: oi.objects}
+	leaves := make([]NodeID, 0, len(oi.objectsInLeaf))
+	for leaf := range oi.objectsInLeaf {
+		leaves = append(leaves, leaf)
+	}
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i] < leaves[j] })
+	for _, leaf := range leaves {
+		ls := LeafObjectsState{
+			Leaf:        leaf,
+			ObjectIDs:   oi.objectsInLeaf[leaf],
+			AccessLists: make([][]ObjectEntryState, len(oi.accessLists[leaf])),
+		}
+		for ai, es := range oi.accessLists[leaf] {
+			out := make([]ObjectEntryState, len(es))
+			for j, e := range es {
+				out[j] = ObjectEntryState{ObjectID: e.objectID, Dist: e.dist}
+			}
+			ls.AccessLists[ai] = out
+		}
+		st.Leaves = append(st.Leaves, ls)
+	}
+	return st
+}
+
+// RestoreTree reconstructs an IP-Tree over venue v from an exported state,
+// without re-running construction. The state is validated against the venue
+// (node, partition and door references must be in range and the partition
+// cover complete); a mismatch indicates a corrupted or foreign snapshot.
+func RestoreTree(v *model.Venue, st *TreeState) (*Tree, error) {
+	if v == nil || v.NumPartitions() == 0 {
+		return nil, fmt.Errorf("iptree: restore: venue is empty")
+	}
+	if st == nil || len(st.Nodes) == 0 {
+		return nil, fmt.Errorf("iptree: restore: state has no nodes")
+	}
+	numNodes := len(st.Nodes)
+	numDoors := v.NumDoors()
+	numParts := v.NumPartitions()
+	if int(st.Root) < 0 || int(st.Root) >= numNodes {
+		return nil, fmt.Errorf("iptree: restore: root %d out of range [0,%d)", st.Root, numNodes)
+	}
+	if len(st.SuperiorDoors) != numParts {
+		return nil, fmt.Errorf("iptree: restore: %d superior-door sets for %d partitions", len(st.SuperiorDoors), numParts)
+	}
+	t := &Tree{
+		venue: v,
+		opts: Options{
+			MinDegree:            st.MinDegree,
+			DisableSuperiorDoors: st.DisableSuperiorDoors,
+			NaiveMerge:           st.NaiveMerge,
+		},
+		root:          st.Root,
+		nodes:         make([]Node, numNodes),
+		superiorDoors: st.SuperiorDoors,
+	}
+	for i := range st.Nodes {
+		ns := &st.Nodes[i]
+		if ns.Parent != invalidNode && (int(ns.Parent) < 0 || int(ns.Parent) >= numNodes) {
+			return nil, fmt.Errorf("iptree: restore: node %d parent %d out of range", i, ns.Parent)
+		}
+		if ns.Level < 1 {
+			return nil, fmt.Errorf("iptree: restore: node %d has level %d", i, ns.Level)
+		}
+		for _, c := range ns.Children {
+			if int(c) < 0 || int(c) >= numNodes {
+				return nil, fmt.Errorf("iptree: restore: node %d child %d out of range", i, c)
+			}
+		}
+		for _, p := range ns.Partitions {
+			if int(p) < 0 || int(p) >= numParts {
+				return nil, fmt.Errorf("iptree: restore: node %d partition %d out of range", i, p)
+			}
+		}
+		if err := checkDoorIDs(ns.AccessDoors, numDoors, fmt.Sprintf("node %d access doors", i)); err != nil {
+			return nil, err
+		}
+		mat, err := restoreMatrix(ns.Matrix, numDoors, i)
+		if err != nil {
+			return nil, err
+		}
+		t.nodes[i] = Node{
+			ID:          NodeID(i),
+			Parent:      ns.Parent,
+			Children:    ns.Children,
+			Level:       ns.Level,
+			Partitions:  ns.Partitions,
+			AccessDoors: ns.AccessDoors,
+			Matrix:      mat,
+		}
+	}
+	// The parent pointers must form a single hierarchy rooted at Root with
+	// levels strictly increasing towards the root — the invariant every
+	// climb loop (LCA, ancestor walks, object-index restore) relies on for
+	// termination. Checking it here turns parent cycles and detached
+	// subtrees in crafted or corrupted states into errors instead of hangs.
+	if st.Nodes[st.Root].Parent != invalidNode {
+		return nil, fmt.Errorf("iptree: restore: root %d has a parent", st.Root)
+	}
+	for i := range st.Nodes {
+		if p := st.Nodes[i].Parent; p != invalidNode && st.Nodes[i].Level >= st.Nodes[p].Level {
+			return nil, fmt.Errorf("iptree: restore: node %d level %d is not below parent %d level %d",
+				i, st.Nodes[i].Level, p, st.Nodes[p].Level)
+		}
+	}
+	for i := range st.Nodes {
+		cur := NodeID(i)
+		for st.Nodes[cur].Parent != invalidNode {
+			cur = st.Nodes[cur].Parent // terminates: levels strictly increase
+		}
+		if cur != st.Root {
+			return nil, fmt.Errorf("iptree: restore: node %d does not reach the root", i)
+		}
+	}
+	for p, sup := range st.SuperiorDoors {
+		if err := checkDoorIDs(sup, numDoors, fmt.Sprintf("partition %d superior doors", p)); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.restoreDerived(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// RestoreVIPTree reconstructs a VIP-Tree over venue v from an exported state.
+func RestoreVIPTree(v *model.Venue, st *VIPState) (*VIPTree, error) {
+	if st == nil {
+		return nil, fmt.Errorf("iptree: restore: nil VIP state")
+	}
+	t, err := RestoreTree(v, st.Tree)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Doors) != v.NumDoors() {
+		return nil, fmt.Errorf("iptree: restore: %d VIP door entries for %d doors", len(st.Doors), v.NumDoors())
+	}
+	vt := &VIPTree{Tree: t, entries: make([]doorEntries, len(st.Doors))}
+	for d := range st.Doors {
+		ds := &st.Doors[d]
+		if len(ds.Entries) != len(ds.Nodes) {
+			return nil, fmt.Errorf("iptree: restore: door %d has %d entry sets for %d nodes", d, len(ds.Entries), len(ds.Nodes))
+		}
+		de := doorEntries{nodes: ds.Nodes, perNode: make([][]vipEntry, len(ds.Nodes))}
+		for i, n := range ds.Nodes {
+			if int(n) < 0 || int(n) >= len(t.nodes) {
+				return nil, fmt.Errorf("iptree: restore: door %d VIP node %d out of range", d, n)
+			}
+			if len(ds.Entries[i]) != len(t.nodes[n].AccessDoors) {
+				return nil, fmt.Errorf("iptree: restore: door %d node %d has %d VIP entries for %d access doors",
+					d, n, len(ds.Entries[i]), len(t.nodes[n].AccessDoors))
+			}
+			es := make([]vipEntry, len(ds.Entries[i]))
+			for j, e := range ds.Entries[i] {
+				es[j] = vipEntry{dist: e.Dist, next: e.Next}
+			}
+			de.perNode[i] = es
+		}
+		vt.entries[d] = de
+	}
+	return vt, nil
+}
+
+// RestoreObjectIndex reconstructs an object index over a restored tree from
+// an exported state. The subtree-occupancy bitmap is rebuilt by climbing the
+// tree from every populated leaf.
+func RestoreObjectIndex(t *Tree, st *ObjectIndexState) (*ObjectIndex, error) {
+	if t == nil || st == nil {
+		return nil, fmt.Errorf("iptree: restore: nil tree or object state")
+	}
+	for i, o := range st.Objects {
+		if int(o.Partition) < 0 || int(o.Partition) >= t.venue.NumPartitions() {
+			return nil, fmt.Errorf("iptree: restore: object %d partition %d out of range", i, o.Partition)
+		}
+	}
+	oi := &ObjectIndex{
+		tree:              t,
+		name:              st.Name,
+		objects:           st.Objects,
+		objectsInLeaf:     make(map[NodeID][]int, len(st.Leaves)),
+		accessLists:       make(map[NodeID][][]objEntry, len(st.Leaves)),
+		subtreeHasObjects: make(map[NodeID]bool),
+	}
+	for _, ls := range st.Leaves {
+		if int(ls.Leaf) < 0 || int(ls.Leaf) >= len(t.nodes) || !t.nodes[ls.Leaf].IsLeaf() {
+			return nil, fmt.Errorf("iptree: restore: object leaf %d is not a leaf node", ls.Leaf)
+		}
+		if _, dup := oi.objectsInLeaf[ls.Leaf]; dup {
+			return nil, fmt.Errorf("iptree: restore: duplicate object leaf %d", ls.Leaf)
+		}
+		if len(ls.AccessLists) != len(t.nodes[ls.Leaf].AccessDoors) {
+			return nil, fmt.Errorf("iptree: restore: leaf %d has %d access lists for %d access doors",
+				ls.Leaf, len(ls.AccessLists), len(t.nodes[ls.Leaf].AccessDoors))
+		}
+		for _, id := range ls.ObjectIDs {
+			if id < 0 || id >= len(st.Objects) {
+				return nil, fmt.Errorf("iptree: restore: leaf %d references object %d out of range", ls.Leaf, id)
+			}
+		}
+		lists := make([][]objEntry, len(ls.AccessLists))
+		for ai, es := range ls.AccessLists {
+			out := make([]objEntry, len(es))
+			for j, e := range es {
+				if e.ObjectID < 0 || e.ObjectID >= len(st.Objects) {
+					return nil, fmt.Errorf("iptree: restore: leaf %d access list references object %d out of range", ls.Leaf, e.ObjectID)
+				}
+				out[j] = objEntry{objectID: e.ObjectID, dist: e.Dist}
+			}
+			lists[ai] = out
+		}
+		oi.objectsInLeaf[ls.Leaf] = ls.ObjectIDs
+		oi.accessLists[ls.Leaf] = lists
+		for n := ls.Leaf; n != invalidNode; n = t.nodes[n].Parent {
+			oi.subtreeHasObjects[n] = true
+		}
+	}
+	return oi, nil
+}
+
+// restoreMatrix rebuilds a distance matrix (including its row/column lookup
+// maps) from its serialised form.
+func restoreMatrix(ms *MatrixState, numDoors, nodeID int) (*Matrix, error) {
+	if ms == nil {
+		return nil, fmt.Errorf("iptree: restore: node %d has no distance matrix", nodeID)
+	}
+	if err := checkDoorIDs(ms.Rows, numDoors, fmt.Sprintf("node %d matrix rows", nodeID)); err != nil {
+		return nil, err
+	}
+	if err := checkDoorIDs(ms.Cols, numDoors, fmt.Sprintf("node %d matrix cols", nodeID)); err != nil {
+		return nil, err
+	}
+	cells := len(ms.Rows) * len(ms.Cols)
+	if len(ms.Dist) != cells || len(ms.Next) != cells {
+		return nil, fmt.Errorf("iptree: restore: node %d matrix has %d dist / %d next entries for %dx%d doors",
+			nodeID, len(ms.Dist), len(ms.Next), len(ms.Rows), len(ms.Cols))
+	}
+	m := &Matrix{
+		rows:   ms.Rows,
+		cols:   ms.Cols,
+		rowIdx: make(map[model.DoorID]int, len(ms.Rows)),
+		colIdx: make(map[model.DoorID]int, len(ms.Cols)),
+		dist:   ms.Dist,
+		next:   ms.Next,
+	}
+	for i, d := range ms.Rows {
+		m.rowIdx[d] = i
+	}
+	for i, d := range ms.Cols {
+		m.colIdx[d] = i
+	}
+	return m, nil
+}
+
+// checkDoorIDs validates that every door ID is a valid dense index, with
+// NoDoor permitted (it marks absent next hops).
+func checkDoorIDs(doors []model.DoorID, numDoors int, what string) error {
+	for _, d := range doors {
+		if d == NoDoor {
+			continue
+		}
+		if int(d) < 0 || int(d) >= numDoors {
+			return fmt.Errorf("iptree: restore: %s: door %d out of range [0,%d)", what, d, numDoors)
+		}
+	}
+	return nil
+}
+
+// restoreDerived rebuilds the cheap lookup tables the builder derives from
+// the node array: leaf-of-partition, doors-of-leaf, leaves-of-door and the
+// per-door access bookkeeping. These are O(doors) scans — no graph searches —
+// and reproduce exactly the deterministic order the builder uses.
+func (t *Tree) restoreDerived() error {
+	v := t.venue
+	numParts := v.NumPartitions()
+	t.leafOfPartition = make([]NodeID, numParts)
+	for p := range t.leafOfPartition {
+		t.leafOfPartition[p] = invalidNode
+	}
+	t.doorsOfLeaf = make(map[NodeID][]model.DoorID)
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		if !n.IsLeaf() {
+			continue
+		}
+		doorSet := make(map[model.DoorID]bool)
+		for _, pid := range n.Partitions {
+			if t.leafOfPartition[pid] != invalidNode {
+				return fmt.Errorf("iptree: restore: partition %d covered by leaves %d and %d", pid, t.leafOfPartition[pid], n.ID)
+			}
+			t.leafOfPartition[pid] = n.ID
+			for _, d := range v.Partition(pid).Doors {
+				doorSet[d] = true
+			}
+		}
+		doors := make([]model.DoorID, 0, len(doorSet))
+		for d := range doorSet {
+			doors = append(doors, d)
+		}
+		sort.Slice(doors, func(i, j int) bool { return doors[i] < doors[j] })
+		t.doorsOfLeaf[n.ID] = doors
+	}
+	for p, leaf := range t.leafOfPartition {
+		if leaf == invalidNode {
+			return fmt.Errorf("iptree: restore: partition %d is covered by no leaf", p)
+		}
+	}
+	t.leavesOfDoor = make([][]NodeID, v.NumDoors())
+	for leaf, doors := range t.doorsOfLeaf {
+		for _, d := range doors {
+			t.leavesOfDoor[d] = append(t.leavesOfDoor[d], leaf)
+		}
+	}
+	for d := range t.leavesOfDoor {
+		sort.Slice(t.leavesOfDoor[d], func(i, j int) bool { return t.leavesOfDoor[d][i] < t.leavesOfDoor[d][j] })
+	}
+	t.isLeafAccessDoor = make([]bool, v.NumDoors())
+	t.accessNodesOfDoor = make([][]NodeID, v.NumDoors())
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		for _, d := range n.AccessDoors {
+			if n.IsLeaf() {
+				t.isLeafAccessDoor[d] = true
+			}
+			t.accessNodesOfDoor[d] = append(t.accessNodesOfDoor[d], n.ID)
+		}
+	}
+	return nil
+}
+
+// SnapshotKind implements index.Snapshotter.
+func (t *Tree) SnapshotKind() string { return SnapshotKindIPTree }
+
+// EncodeSnapshot implements index.Snapshotter: it writes the gob-encoded
+// TreeState payload (the container framing — header, checksum — is added by
+// viptree/internal/snapshot).
+func (t *Tree) EncodeSnapshot(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(t.ExportState()); err != nil {
+		return fmt.Errorf("iptree: encoding tree snapshot: %w", err)
+	}
+	return nil
+}
+
+// SnapshotKind implements index.Snapshotter.
+func (vt *VIPTree) SnapshotKind() string { return SnapshotKindVIPTree }
+
+// EncodeSnapshot implements index.Snapshotter for the VIP-Tree.
+func (vt *VIPTree) EncodeSnapshot(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(vt.ExportState()); err != nil {
+		return fmt.Errorf("iptree: encoding VIP snapshot: %w", err)
+	}
+	return nil
+}
+
+// DecodeTreeSnapshot decodes a payload written by Tree.EncodeSnapshot and
+// restores the IP-Tree over venue v.
+func DecodeTreeSnapshot(r io.Reader, v *model.Venue) (*Tree, error) {
+	var st TreeState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("iptree: decoding tree snapshot: %w", err)
+	}
+	return RestoreTree(v, &st)
+}
+
+// DecodeVIPSnapshot decodes a payload written by VIPTree.EncodeSnapshot and
+// restores the VIP-Tree over venue v.
+func DecodeVIPSnapshot(r io.Reader, v *model.Venue) (*VIPTree, error) {
+	var st VIPState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("iptree: decoding VIP snapshot: %w", err)
+	}
+	return RestoreVIPTree(v, &st)
+}

@@ -12,6 +12,14 @@
 // A VIP-Tree additionally materialises, for every door, the distances to the
 // access doors of all of its ancestors, reducing the distance query cost to
 // O(ρ²) where ρ is the (small) average number of access doors per node.
+//
+// Construction is the expensive half of the paper's trade-off: it runs
+// Dijkstra searches for every leaf matrix and materialises per-door ancestor
+// entries. Both trees therefore implement the index.Snapshotter capability
+// (snapshot.go): the fully built state — topology, distance matrices,
+// superior doors, VIP entries — exports into gob-encodable structs and
+// restores without re-running construction, answering bit-identical queries.
+// The framed on-disk container lives in viptree/internal/snapshot.
 package iptree
 
 import (

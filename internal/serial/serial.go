@@ -4,6 +4,11 @@
 // encoding/gob over a stable, versioned data-transfer structure; the
 // derived structures (the D2D graph) are rebuilt on load through the normal
 // Builder validation path.
+//
+// This package persists the raw venue only — not built indexes. To persist
+// a fully built IP-Tree or VIP-Tree together with its venue (the
+// build-once / serve-many pipeline), use viptree/internal/snapshot, which
+// embeds this package's encoding as the venue section of its container.
 package serial
 
 import (

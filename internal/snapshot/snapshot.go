@@ -1,0 +1,299 @@
+// Package snapshot persists fully built indexes to disk and loads them back,
+// so that the heavy preprocessing the paper trades for near-constant query
+// time (leaf and non-leaf distance matrices, per-door VIP materialisation)
+// is paid once at build time instead of on every process start. A serving
+// process loads a snapshot in milliseconds and answers bit-identical
+// Distance/Path/KNN/Range queries to a freshly built index.
+//
+// # File format (version 1)
+//
+//	offset  size  field
+//	0       8     magic "VIPTSNAP"
+//	8       4     container format version (big-endian uint32)
+//	12      8     payload length in bytes (big-endian uint64)
+//	20      8     CRC-64/ECMA checksum of the payload (big-endian uint64)
+//	28      —     payload
+//
+// The payload is a gob-encoded body holding three sections: the venue
+// (encoded by viptree/internal/serial), the index state (encoded by the
+// index's EncodeSnapshot method, dispatched on its SnapshotKind string) and
+// an optional embedded object index. Every read validates the magic, the
+// container version, the payload length and the checksum before decoding a
+// single section, so truncation and corruption surface as typed errors
+// (ErrNotSnapshot, ErrTruncated, ErrChecksum, *VersionError) rather than as
+// garbage indexes.
+//
+// # Versioning rules
+//
+// The container version guards the framing above and only changes when the
+// header layout changes. Payload schemas are versioned independently through
+// the kind string ("iptree/v1", "viptree/v1"): an incompatible change to an
+// index's exported state introduces a new kind, and loaders reject kinds
+// they do not understand with an UnknownKindError.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+
+	"viptree/internal/index"
+	"viptree/internal/iptree"
+	"viptree/internal/model"
+	"viptree/internal/serial"
+)
+
+// magic identifies a snapshot file; it is the first eight bytes on disk.
+const magic = "VIPTSNAP"
+
+// FormatVersion is the container format version written to the header.
+const FormatVersion uint32 = 1
+
+// headerSize is the fixed size of the on-disk header.
+const headerSize = len(magic) + 4 + 8 + 8
+
+// maxPayload bounds the payload length accepted by Read, guarding against
+// allocating huge buffers for a corrupted length field (1 GiB is far larger
+// than any real snapshot; the full-scale CL-2 venue serialises to tens of
+// megabytes).
+const maxPayload = 1 << 30
+
+// crcTable is the CRC-64/ECMA table used for the payload checksum.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Errors reported by Read and Load. Corruption is always detected before any
+// section is decoded.
+var (
+	// ErrNotSnapshot reports a file that does not start with the snapshot
+	// magic bytes (e.g. a raw venue file from internal/serial).
+	ErrNotSnapshot = errors.New("snapshot: bad magic (not a snapshot file)")
+	// ErrTruncated reports a file shorter than its header or declared
+	// payload length.
+	ErrTruncated = errors.New("snapshot: file truncated")
+	// ErrChecksum reports a payload whose CRC-64 does not match the header.
+	ErrChecksum = errors.New("snapshot: payload checksum mismatch (file corrupted)")
+)
+
+// VersionError reports a container format version this build cannot read.
+type VersionError struct {
+	Got, Want uint32
+}
+
+// Error implements error.
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("snapshot: unsupported format version %d (this build reads version %d)", e.Got, e.Want)
+}
+
+// UnknownKindError reports an index payload kind this build cannot restore.
+type UnknownKindError struct {
+	Kind string
+}
+
+// Error implements error.
+func (e *UnknownKindError) Error() string {
+	return fmt.Sprintf("snapshot: unknown index kind %q", e.Kind)
+}
+
+// body is the gob-encoded payload: the three sections of a snapshot.
+type body struct {
+	// Kind is the index payload schema (the index's SnapshotKind).
+	Kind string
+	// Venue is the serial-encoded venue the index was built over.
+	Venue []byte
+	// Index is the payload written by the index's EncodeSnapshot.
+	Index []byte
+	// Objects is an optional gob-encoded iptree.ObjectIndexState; nil when
+	// the snapshot embeds no object index.
+	Objects []byte
+}
+
+// Snapshot is a loaded (or about-to-be-written) snapshot: the venue, the
+// restored index and an optional embedded object index.
+type Snapshot struct {
+	// Venue is the venue the index was built over, reconstructed through the
+	// normal Builder validation path.
+	Venue *model.Venue
+	// Tree is the restored IP-Tree. It is always set: for VIP-Tree snapshots
+	// it is the tree underlying VIP.
+	Tree *iptree.Tree
+	// VIP is the restored VIP-Tree; nil for IP-Tree snapshots.
+	VIP *iptree.VIPTree
+	// Objects is the embedded object index, or nil.
+	Objects *iptree.ObjectIndex
+}
+
+// Index returns the snapshot's index under the uniform capability interface:
+// the VIP-Tree when one is present, the IP-Tree otherwise.
+func (s *Snapshot) Index() index.ObjectIndexer {
+	if s.VIP != nil {
+		return s.VIP
+	}
+	return s.Tree
+}
+
+// Kind returns the payload kind of the snapshot's index.
+func (s *Snapshot) Kind() string {
+	if s.VIP != nil {
+		return iptree.SnapshotKindVIPTree
+	}
+	return iptree.SnapshotKindIPTree
+}
+
+// Write serialises the venue, the index and an optional object index
+// (pass nil to omit it) to w in the versioned container format. The index
+// must have been built over v; the mismatch is detected when the index
+// exposes its venue.
+//
+// Write buffers the payload in memory before emitting it: the header
+// carries the payload length and checksum, and w need not be seekable
+// (Read/Write round-trip through plain byte buffers in tests and
+// benchmarks). For the largest venues this costs a transient multiple of
+// the snapshot size at build time — a deliberate trade-off, since writing
+// happens once on the build box while the serve path only ever reads.
+func Write(w io.Writer, v *model.Venue, ix index.Snapshotter, objects *iptree.ObjectIndex) error {
+	if v == nil {
+		return fmt.Errorf("snapshot: nil venue")
+	}
+	if ix == nil {
+		return fmt.Errorf("snapshot: nil index")
+	}
+	if owner, ok := ix.(interface{ Venue() *model.Venue }); ok && owner.Venue() != v {
+		return fmt.Errorf("snapshot: index was built over a different venue than the one being written")
+	}
+	b := body{Kind: ix.SnapshotKind()}
+
+	var venueBuf bytes.Buffer
+	if err := serial.Write(&venueBuf, v); err != nil {
+		return fmt.Errorf("snapshot: encoding venue: %w", err)
+	}
+	b.Venue = venueBuf.Bytes()
+
+	var indexBuf bytes.Buffer
+	if err := ix.EncodeSnapshot(&indexBuf); err != nil {
+		return fmt.Errorf("snapshot: encoding index: %w", err)
+	}
+	b.Index = indexBuf.Bytes()
+
+	if objects != nil {
+		var objBuf bytes.Buffer
+		if err := gob.NewEncoder(&objBuf).Encode(objects.ExportState()); err != nil {
+			return fmt.Errorf("snapshot: encoding object index: %w", err)
+		}
+		b.Objects = objBuf.Bytes()
+	}
+
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&b); err != nil {
+		return fmt.Errorf("snapshot: encoding payload: %w", err)
+	}
+
+	header := make([]byte, headerSize)
+	copy(header, magic)
+	binary.BigEndian.PutUint32(header[8:], FormatVersion)
+	binary.BigEndian.PutUint64(header[12:], uint64(payload.Len()))
+	binary.BigEndian.PutUint64(header[20:], crc64.Checksum(payload.Bytes(), crcTable))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("snapshot: writing header: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("snapshot: writing payload: %w", err)
+	}
+	return nil
+}
+
+// Read loads a snapshot from r: it validates the header (magic, version,
+// length, checksum), reconstructs the venue and restores the index — and the
+// embedded object index, when present — without re-running construction.
+func Read(r io.Reader) (*Snapshot, error) {
+	header := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrTruncated, err)
+	}
+	if string(header[:len(magic)]) != magic {
+		return nil, ErrNotSnapshot
+	}
+	if version := binary.BigEndian.Uint32(header[8:]); version != FormatVersion {
+		return nil, &VersionError{Got: version, Want: FormatVersion}
+	}
+	length := binary.BigEndian.Uint64(header[12:])
+	if length > maxPayload {
+		return nil, fmt.Errorf("%w: declared payload length %d exceeds limit", ErrChecksum, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: reading %d-byte payload: %v", ErrTruncated, length, err)
+	}
+	if sum := crc64.Checksum(payload, crcTable); sum != binary.BigEndian.Uint64(header[20:]) {
+		return nil, ErrChecksum
+	}
+
+	var b body
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&b); err != nil {
+		return nil, fmt.Errorf("snapshot: decoding payload: %w", err)
+	}
+	venue, err := serial.Read(bytes.NewReader(b.Venue))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: restoring venue: %w", err)
+	}
+
+	s := &Snapshot{Venue: venue}
+	switch b.Kind {
+	case iptree.SnapshotKindIPTree:
+		t, err := iptree.DecodeTreeSnapshot(bytes.NewReader(b.Index), venue)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: restoring index: %w", err)
+		}
+		s.Tree = t
+	case iptree.SnapshotKindVIPTree:
+		vt, err := iptree.DecodeVIPSnapshot(bytes.NewReader(b.Index), venue)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: restoring index: %w", err)
+		}
+		s.Tree = vt.Tree
+		s.VIP = vt
+	default:
+		return nil, &UnknownKindError{Kind: b.Kind}
+	}
+
+	if b.Objects != nil {
+		var st iptree.ObjectIndexState
+		if err := gob.NewDecoder(bytes.NewReader(b.Objects)).Decode(&st); err != nil {
+			return nil, fmt.Errorf("snapshot: decoding object index: %w", err)
+		}
+		oi, err := iptree.RestoreObjectIndex(s.Tree, &st)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: restoring object index: %w", err)
+		}
+		s.Objects = oi
+	}
+	return s, nil
+}
+
+// Save writes a snapshot to a file, creating or truncating it.
+func Save(path string, v *model.Venue, ix index.Snapshotter, objects *iptree.ObjectIndex) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("snapshot: creating %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("snapshot: closing %s: %w", path, cerr)
+		}
+	}()
+	return Write(f, v, ix, objects)
+}
+
+// Load reads a snapshot from a file.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return Read(f)
+}

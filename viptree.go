@@ -48,6 +48,8 @@
 package viptree
 
 import (
+	"io"
+
 	"viptree/internal/baseline/distaware"
 	"viptree/internal/baseline/distmatrix"
 	"viptree/internal/baseline/gtree"
@@ -58,6 +60,7 @@ import (
 	"viptree/internal/iptree"
 	"viptree/internal/model"
 	"viptree/internal/serial"
+	"viptree/internal/snapshot"
 	"viptree/internal/venuegen"
 )
 
@@ -293,3 +296,46 @@ func SaveVenue(path string, v *Venue) error { return serial.Save(path, v) }
 // LoadVenue loads a venue previously written by SaveVenue, re-validating it
 // and rebuilding its door-to-door graph.
 func LoadVenue(path string) (*Venue, error) { return serial.Load(path) }
+
+// Snapshot persistence: build an index once, serialise it, and serve from the
+// loaded copy without re-running construction.
+type (
+	// Snapshotter is an index whose fully built state can be exported to a
+	// snapshot and restored without re-running construction. The IP-Tree and
+	// VIP-Tree implement it.
+	Snapshotter = index.Snapshotter
+	// IndexSnapshot is a loaded snapshot: the venue, the restored index and
+	// an optional embedded object index.
+	IndexSnapshot = snapshot.Snapshot
+)
+
+// Snapshot corruption/version errors reported by ReadSnapshot and
+// LoadSnapshot. Version mismatches are reported as *snapshot.VersionError.
+var (
+	// ErrNotSnapshot reports a file that is not a snapshot at all.
+	ErrNotSnapshot = snapshot.ErrNotSnapshot
+	// ErrSnapshotTruncated reports a short or cut-off snapshot file.
+	ErrSnapshotTruncated = snapshot.ErrTruncated
+	// ErrSnapshotChecksum reports payload corruption.
+	ErrSnapshotChecksum = snapshot.ErrChecksum
+)
+
+// WriteSnapshot serialises a fully built index (and, optionally, an object
+// index built over it — pass nil to omit) into the versioned snapshot
+// container. The venue must be the one the index was built over.
+func WriteSnapshot(w io.Writer, v *Venue, ix Snapshotter, objects *ObjectIndex) error {
+	return snapshot.Write(w, v, ix, objects)
+}
+
+// ReadSnapshot loads a snapshot, validating the header and checksum, and
+// restores the index without re-running construction. The loaded index
+// answers bit-identical queries to the one that was written.
+func ReadSnapshot(r io.Reader) (*IndexSnapshot, error) { return snapshot.Read(r) }
+
+// SaveSnapshot writes a snapshot to a file, creating or truncating it.
+func SaveSnapshot(path string, v *Venue, ix Snapshotter, objects *ObjectIndex) error {
+	return snapshot.Save(path, v, ix, objects)
+}
+
+// LoadSnapshot reads a snapshot from a file written by SaveSnapshot.
+func LoadSnapshot(path string) (*IndexSnapshot, error) { return snapshot.Load(path) }
