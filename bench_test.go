@@ -188,6 +188,27 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkKNN measures the warm kNN hot path (Algorithm 5) on the VIP-Tree
+// with allocation statistics: the warm path must report 1 alloc/op — the
+// returned result slice — with all traversal state in pooled epoch-stamped
+// dense scratch (see internal/iptree/scratch.go and the regression test
+// TestKNNAllocsResultSliceOnly).
+func BenchmarkKNN(b *testing.B) {
+	v := benchVenue("Men")
+	idx := benchIndexes("Men")
+	points := bench.Points(toModelVenue(v), 128, 17)
+	objs := bench.Objects(toModelVenue(v), 50, 18)
+	oi := idx.vip.IndexObjects(objs)
+	for _, q := range points {
+		oi.KNN(q, 5) // warm the scratch pool
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oi.KNN(points[i%len(points)], 5)
+	}
+}
+
 // BenchmarkTreeBuild measures full VIP-Tree construction from scratch: the
 // cold-start cost a serving process pays when it does NOT load a snapshot.
 // Compare against BenchmarkSnapshotLoad, which restores the identical index
@@ -197,6 +218,30 @@ func BenchmarkTreeBuild(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		viptree.MustBuildVIPTree(v)
+	}
+}
+
+// BenchmarkTreeBuildParallelism measures VIP-Tree construction at explicit
+// worker counts. The per-node/per-door build work is embarrassingly parallel
+// (the determinism property test pins that results are bit-identical), so on
+// a multi-core machine the higher-worker rows build proportionally faster;
+// on a single-core CI container they only measure the worker-pool overhead.
+func BenchmarkTreeBuildParallelism(b *testing.B) {
+	v := benchVenue("Men")
+	counts := []int{1, 2, 4}
+	if procs := runtime.GOMAXPROCS(0); procs != 1 && procs != 2 && procs != 4 {
+		counts = append(counts, procs)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := viptree.BuildVIPTreeWithOptions(v, viptree.TreeOptions{Parallelism: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,88 @@
+// Command benchjson converts `go test -bench` output read from stdin into a
+// JSON array of benchmark results, one object per benchmark line. It backs
+// the CI benchmark smoke step, which records build and kNN timings as a
+// machine-readable artifact (BENCH_build.json) so the performance trajectory
+// of the index can be tracked across commits.
+//
+// Usage:
+//
+//	go test -bench 'TreeBuild|KNN' -benchtime=1x -run '^$' . | benchjson > BENCH_build.json
+//
+// Recognised per-line metrics are the standard testing.B columns (ns/op,
+// B/op, allocs/op, MB/s) plus any custom b.ReportMetric units, which land in
+// the metrics map verbatim.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	// Name is the benchmark name including sub-benchmark path and the
+	// GOMAXPROCS suffix as printed by the testing package.
+	Name string `json:"name"`
+	// Iterations is the b.N the reported averages were measured over.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op column, the headline latency of the benchmark.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every other reported column keyed by its unit
+	// (e.g. "B/op", "allocs/op", "qps").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var results []result
+	for in.Scan() {
+		line := in.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A benchmark line is: name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			if fields[i+1] == "ns/op" {
+				r.NsPerOp = v
+			} else {
+				r.Metrics[fields[i+1]] = v
+			}
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		results = append(results, r)
+	}
+	if err := in.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

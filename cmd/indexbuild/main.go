@@ -35,19 +35,24 @@ import (
 
 func main() {
 	var (
-		venue     = flag.String("venue", "Men", "venue to build over: MC, MC-2, Men, Men-2, CL or CL-2")
-		indexName = flag.String("index", "vip", "index to build: ip, vip, distmx, distaw, gtree or road")
-		scale     = flag.String("scale", "small", "venue scale: tiny, small or full")
-		minDegree = flag.Int("t", 2, "minimum degree t for IP-Tree/VIP-Tree construction (Algorithm 1)")
-		out       = flag.String("out", "", "write a binary snapshot of the built index to this file (ip and vip only)")
-		objects   = flag.Int("objects", 0, "embed an object index over this many random objects into the snapshot (0 = none)")
-		objSeed   = flag.Int64("objseed", 1, "random seed for the embedded object set")
+		venue       = flag.String("venue", "Men", "venue to build over: MC, MC-2, Men, Men-2, CL or CL-2")
+		indexName   = flag.String("index", "vip", "index to build: ip, vip, distmx, distaw, gtree or road")
+		scale       = flag.String("scale", "small", "venue scale: tiny, small or full")
+		minDegree   = flag.Int("t", 2, "minimum degree t for IP-Tree/VIP-Tree construction (Algorithm 1)")
+		parallelism = flag.Int("parallelism", 0, "construction worker count for ip/vip (0 = GOMAXPROCS); the built index is bit-identical at any value")
+		out         = flag.String("out", "", "write a binary snapshot of the built index to this file (ip and vip only)")
+		objects     = flag.Int("objects", 0, "embed an object index over this many random objects into the snapshot (0 = none)")
+		objSeed     = flag.Int64("objseed", 1, "random seed for the embedded object set")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"indexbuild builds an index over a synthetic venue, reports construction\n"+
 				"time, memory and structural statistics, and optionally persists the built\n"+
-				"index as a snapshot (-out) for instant loading by queryrunner -load.\n\nFlags:\n")
+				"index as a snapshot (-out) for instant loading by queryrunner -load.\n\n"+
+				"For the ip and vip indexes the construction pipeline fans out over\n"+
+				"-parallelism workers and a per-phase timing breakdown is printed\n"+
+				"(leaves / hierarchy / leaf matrices / non-leaf matrices / VIP\n"+
+				"materialisation), so speedups are attributable to a phase.\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -79,16 +84,19 @@ func main() {
 	var objIndexer interface {
 		IndexObjects([]model.Location) *iptree.ObjectIndex
 	}
+	treeOpts := iptree.Options{MinDegree: *minDegree, Parallelism: *parallelism}
 	switch *indexName {
 	case "ip":
-		t := iptree.MustBuildIPTree(nv.Venue, iptree.Options{MinDegree: *minDegree})
+		t := iptree.MustBuildIPTree(nv.Venue, treeOpts)
 		memory = t.MemoryBytes()
 		printTreeStats(t.TreeStats())
+		printBuildTimings(t.BuildTimings())
 		snapshotter, objIndexer = t, t
 	case "vip":
-		t := iptree.MustBuildVIPTree(nv.Venue, iptree.Options{MinDegree: *minDegree})
+		t := iptree.MustBuildVIPTree(nv.Venue, treeOpts)
 		memory = t.MemoryBytes()
 		printTreeStats(t.TreeStats())
+		printBuildTimings(t.BuildTimings())
 		snapshotter, objIndexer = t, t
 	case "distmx":
 		m := distmatrix.Build(nv.Venue, true)
@@ -141,4 +149,14 @@ func main() {
 func printTreeStats(s iptree.Stats) {
 	fmt.Printf("tree: %d nodes, %d leaves, height %d, rho %.2f (max %d), fanout %.2f, superior doors %.2f (max %d)\n",
 		s.Nodes, s.Leaves, s.Height, s.AvgAccessDoors, s.MaxAccessDoors, s.AvgFanout, s.AvgSuperiorDoors, s.MaxSuperiorDoors)
+}
+
+func printBuildTimings(bt iptree.BuildTimings) {
+	fmt.Printf("phases: leaves %v, hierarchy %v, leaf matrices %v, non-leaf matrices %v",
+		bt.Leaves.Round(time.Microsecond), bt.Hierarchy.Round(time.Microsecond),
+		bt.LeafMatrices.Round(time.Microsecond), bt.NonLeafMatrices.Round(time.Microsecond))
+	if bt.VIPMaterialise > 0 {
+		fmt.Printf(", VIP materialisation %v", bt.VIPMaterialise.Round(time.Microsecond))
+	}
+	fmt.Println()
 }

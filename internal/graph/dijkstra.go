@@ -143,36 +143,103 @@ func (g *Graph) FromSource(s int) (dist []float64, prev []int) {
 // a node are close to each other, so the expansion settles quickly without
 // touching the rest of the graph.
 func (g *Graph) ToTargets(s int, targets []int) (dist []float64, prev []int) {
-	n := len(g.adj)
-	st := newSearchState(n)
-	if s < 0 || s >= n {
-		return st.dist, st.prev
+	return g.ToTargetsInto(s, targets, &SearchScratch{})
+}
+
+// SearchScratch holds the reusable buffers of repeated Dijkstra runs over the
+// same graph: the dense distance/predecessor/settled arrays, the priority
+// queue and the target bookkeeping. Resetting between runs touches only the
+// vertices modified by the previous run, so a sequence of localised searches
+// (one per access door of every tree node) costs O(vertices explored) rather
+// than O(graph) per run. A scratch is owned by one goroutine at a time; the
+// graph itself is only read, so concurrent searches with distinct scratches
+// are safe.
+type SearchScratch struct {
+	dist    []float64
+	prev    []int
+	settled []bool
+	touched []int
+	heap    minHeap
+	// targetStamp marks the pending targets of the current run; a stamp is
+	// current when it equals targetEpoch, so resetting the target set is O(1).
+	targetStamp []uint32
+	targetEpoch uint32
+}
+
+// reset prepares the scratch for a graph with n vertices, clearing only the
+// entries touched by the previous run.
+func (sc *SearchScratch) reset(n int) {
+	if len(sc.dist) < n {
+		sc.dist = make([]float64, n)
+		sc.prev = make([]int, n)
+		sc.settled = make([]bool, n)
+		sc.targetStamp = make([]uint32, n)
+		for i := range sc.dist {
+			sc.dist[i] = Infinity
+			sc.prev[i] = -1
+		}
+		sc.touched = sc.touched[:0]
+		return
 	}
-	pending := make(map[int]struct{}, len(targets))
+	for _, v := range sc.touched {
+		sc.dist[v] = Infinity
+		sc.prev[v] = -1
+		sc.settled[v] = false
+	}
+	sc.touched = sc.touched[:0]
+}
+
+// ToTargetsInto is ToTargets with caller-provided scratch: the returned dist
+// and prev slices alias the scratch and are valid only until its next use.
+// Recycling the scratch across runs makes repeated matrix-building searches
+// allocation-free after the first call.
+func (g *Graph) ToTargetsInto(s int, targets []int, sc *SearchScratch) (dist []float64, prev []int) {
+	n := len(g.adj)
+	sc.reset(n)
+	if s < 0 || s >= n {
+		return sc.dist, sc.prev
+	}
+	sc.targetEpoch++
+	if sc.targetEpoch == 0 { // epoch wrapped: clear the stamps and restart
+		for i := range sc.targetStamp {
+			sc.targetStamp[i] = 0
+		}
+		sc.targetEpoch = 1
+	}
+	pending := 0
 	for _, t := range targets {
-		if t >= 0 && t < n {
-			pending[t] = struct{}{}
+		if t >= 0 && t < n && sc.targetStamp[t] != sc.targetEpoch {
+			sc.targetStamp[t] = sc.targetEpoch
+			pending++
 		}
 	}
-	st.dist[s] = 0
-	h := newMinHeap(64)
+	sc.dist[s] = 0
+	sc.touched = append(sc.touched, s)
+	h := &sc.heap
+	h.items = h.items[:0]
 	h.Push(s, 0)
-	for h.Len() > 0 && len(pending) > 0 {
+	for h.Len() > 0 && pending > 0 {
 		u, d := h.PopMin()
-		if st.settled[u] {
+		if sc.settled[u] {
 			continue
 		}
-		st.settled[u] = true
-		delete(pending, u)
+		sc.settled[u] = true
+		if sc.targetStamp[u] == sc.targetEpoch {
+			sc.targetStamp[u] = 0
+			pending--
+		}
 		for _, e := range g.adj[u] {
-			if nd := d + e.Weight; nd < st.dist[e.To] {
-				st.dist[e.To] = nd
-				st.prev[e.To] = u
+			if nd := d + e.Weight; nd < sc.dist[e.To] {
+				if sc.dist[e.To] == Infinity {
+					sc.touched = append(sc.touched, e.To)
+				}
+				sc.dist[e.To] = nd
+				sc.prev[e.To] = u
 				h.Push(e.To, nd)
 			}
 		}
 	}
-	return st.dist, st.prev
+	return sc.dist, sc.prev
 }
 
 // Bounded runs Dijkstra from s and settles only vertices whose distance is

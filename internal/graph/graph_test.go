@@ -312,3 +312,75 @@ func TestMemoryBytesPositive(t *testing.T) {
 		t.Error("MemoryBytes should be positive for a non-empty graph")
 	}
 }
+
+// TestToTargetsIntoMatchesToTargets is the property test for the recycled-
+// scratch Dijkstra: a single SearchScratch reused across many runs on random
+// graphs must reproduce the fresh-state ToTargets answers exactly, including
+// predecessor arrays. This is what makes scratch reuse safe for the matrix
+// builder, which runs thousands of localised searches per tree.
+func TestToTargetsIntoMatchesToTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sc SearchScratch
+	for iter := 0; iter < 30; iter++ {
+		n := 2 + rng.Intn(40)
+		g := New(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(i-1, i, 1+rng.Float64()*10)
+		}
+		for i := 0; i < rng.Intn(3*n); i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v, 1+rng.Float64()*10)
+			}
+		}
+		for run := 0; run < 5; run++ {
+			src := rng.Intn(n)
+			targets := make([]int, 1+rng.Intn(n))
+			for i := range targets {
+				targets[i] = rng.Intn(n)
+			}
+			wantDist, wantPrev := g.ToTargets(src, targets)
+			gotDist, gotPrev := g.ToTargetsInto(src, targets, &sc)
+			for _, v := range targets {
+				if gotDist[v] != wantDist[v] {
+					t.Fatalf("iter %d run %d: dist[%d] = %v, want %v", iter, run, v, gotDist[v], wantDist[v])
+				}
+				// The predecessor chain must reach src with the same hops.
+				for cur := v; cur != src && wantPrev[cur] != -1; cur = wantPrev[cur] {
+					if gotPrev[cur] != wantPrev[cur] {
+						t.Fatalf("iter %d run %d: prev[%d] = %d, want %d", iter, run, cur, gotPrev[cur], wantPrev[cur])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestToTargetsIntoAllocFree checks that warm reuse of a SearchScratch does
+// not allocate: after the first run sized the buffers, repeated searches
+// reuse them (heap included).
+func TestToTargetsIntoAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 64
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i-1, i, 1+rng.Float64()*10)
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, 1+rng.Float64()*10)
+		}
+	}
+	targets := []int{0, n / 2, n - 1}
+	var sc SearchScratch
+	g.ToTargetsInto(0, targets, &sc) // size the buffers
+	src := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		g.ToTargetsInto(src%n, targets, &sc)
+		src++
+	})
+	if allocs != 0 {
+		t.Errorf("warm ToTargetsInto allocates %.1f allocs/op, want 0", allocs)
+	}
+}

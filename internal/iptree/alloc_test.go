@@ -106,6 +106,75 @@ func TestIPDistanceZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestKNNAllocsResultSliceOnly is the allocation-regression test for the
+// warm kNN path (Algorithm 5): once the scratch pools are warm, the only
+// allocation of a query is the returned result slice — the traversal's
+// node-distance cache, priority queue, per-object marks and result
+// accumulator all live in pooled epoch-stamped dense scratch.
+func TestKNNAllocsResultSliceOnly(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{
+		Name: "alloc-knn", Floors: 4, RoomsPerHallway: 16, Seed: 1,
+	})
+	skipUnderRace(t)
+	vt := MustBuildVIPTree(v, Options{})
+	rng := rand.New(rand.NewSource(3))
+	objs := make([]model.Location, 60)
+	for i := range objs {
+		objs[i] = v.RandomLocation(rng)
+	}
+	oi := vt.IndexObjects(objs)
+	points := make([]model.Location, 64)
+	for i := range points {
+		points[i] = v.RandomLocation(rng)
+	}
+	for _, q := range points {
+		if len(oi.KNN(q, 5)) == 0 {
+			t.Fatal("kNN returned no results; venue/objects unsuitable for the alloc test")
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		q := points[i%len(points)]
+		i++
+		oi.KNN(q, 5)
+	})
+	if allocs > 1 {
+		t.Errorf("warm KNN allocates %.1f allocs/op, want <= 1 (the result slice)", allocs)
+	}
+}
+
+// TestRangeAllocsResultSliceOnly asserts the same property for range
+// queries, which share the branch-and-bound traversal.
+func TestRangeAllocsResultSliceOnly(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{
+		Name: "alloc-range", Floors: 4, RoomsPerHallway: 16, Seed: 1,
+	})
+	skipUnderRace(t)
+	vt := MustBuildVIPTree(v, Options{})
+	rng := rand.New(rand.NewSource(5))
+	objs := make([]model.Location, 60)
+	for i := range objs {
+		objs[i] = v.RandomLocation(rng)
+	}
+	oi := vt.IndexObjects(objs)
+	points := make([]model.Location, 64)
+	for i := range points {
+		points[i] = v.RandomLocation(rng)
+	}
+	for _, q := range points {
+		oi.Range(q, 200)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		q := points[i%len(points)]
+		i++
+		oi.Range(q, 200)
+	})
+	if allocs > 1 {
+		t.Errorf("warm Range allocates %.1f allocs/op, want <= 1 (the result slice)", allocs)
+	}
+}
+
 // skipUnderRace skips allocation-count assertions when the race detector is
 // active: sync.Pool drops items under the race detector, so pooled scratch
 // appears to allocate.

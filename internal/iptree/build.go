@@ -443,43 +443,79 @@ func (t *Tree) connectedViaD2D(a, b []NodeID) bool {
 // buildLeafMatrices implements step 3: for each access door of each leaf,
 // run a Dijkstra search on the D2D graph until every door of the leaf is
 // settled, then populate distances, next-hop doors and superior doors.
+//
+// Each leaf only reads shared immutable state (the venue, the D2D graph, the
+// access-door bookkeeping of buildHierarchy) and writes leaf-owned state (its
+// matrix and the superior doors of its partitions, each partition belonging
+// to exactly one leaf), so the per-leaf loop fans out over a worker pool and
+// produces bit-identical results at any parallelism.
 func (t *Tree) buildLeafMatrices() {
+	t.superiorDoors = make([][]model.DoorID, t.venue.NumPartitions())
+	leaves := make([]NodeID, 0, len(t.nodes))
+	for i := range t.nodes {
+		if t.nodes[i].IsLeaf() {
+			leaves = append(leaves, t.nodes[i].ID)
+		}
+	}
+	workers := min(t.opts.workers(), len(leaves))
+	scratches := make([]leafScratch, max(workers, 1))
+	runParallel(len(leaves), workers, func(w, i int) {
+		t.buildOneLeafMatrix(leaves[i], &scratches[w])
+	})
+}
+
+// buildOneLeafMatrix populates the distance matrix and superior doors of a
+// single leaf, reusing the worker's scratch across leaves: door-membership
+// sets reset by epoch, Dijkstra buffers reset per touched vertex, and flat
+// superior-door marks — no per-leaf maps or per-entry allocations.
+func (t *Tree) buildOneLeafMatrix(id NodeID, sc *leafScratch) {
 	v := t.venue
 	d2d := v.D2D().Graph
-	t.superiorDoors = make([][]model.DoorID, v.NumPartitions())
+	leaf := &t.nodes[id]
+	doors := t.doorsOfLeaf[id]
+	leaf.Matrix = newMatrix(doors, leaf.AccessDoors)
 
-	for i := range t.nodes {
-		leaf := &t.nodes[i]
-		if !leaf.IsLeaf() {
-			continue
-		}
-		doors := t.doorsOfLeaf[leaf.ID]
-		leaf.Matrix = newMatrix(doors, leaf.AccessDoors)
-		inLeaf := make(map[model.DoorID]bool, len(doors))
-		for _, d := range doors {
-			inLeaf[d] = true
-		}
-		// prevOf[access door] is the Dijkstra predecessor array rooted at
-		// that access door; it doubles as the path source for next-hop and
-		// superior-door computation.
-		prevOf := make(map[model.DoorID][]int, len(leaf.AccessDoors))
-		targets := make([]int, len(doors))
-		for j, d := range doors {
-			targets[j] = int(d)
-		}
-		for _, a := range leaf.AccessDoors {
-			dist, prev := d2d.ToTargets(int(a), targets)
-			prevOf[a] = prev
-			for _, d := range doors {
-				if dist[int(d)] == graph.Infinity {
-					continue
-				}
-				next := t.leafNextHop(d, a, prev, inLeaf)
-				leaf.Matrix.set(d, a, dist[int(d)], next)
-			}
-		}
-		t.computeSuperiorDoorsOfLeaf(leaf, inLeaf, prevOf)
+	sc.inLeaf.reset(v.NumDoors())
+	sc.access.reset(v.NumDoors())
+	sc.targets = sc.targets[:0]
+	for _, d := range doors {
+		sc.inLeaf.mark(int(d))
+		sc.targets = append(sc.targets, int(d))
 	}
+	for _, a := range leaf.AccessDoors {
+		sc.access.mark(int(a))
+	}
+	// Flat superior-door marks: one slot per (partition of the leaf, door of
+	// that partition), cleared per leaf.
+	sc.supOffset = sc.supOffset[:0]
+	total := 0
+	for _, pid := range leaf.Partitions {
+		sc.supOffset = append(sc.supOffset, total)
+		total += len(v.Partition(pid).Doors)
+	}
+	if cap(sc.supMark) < total {
+		sc.supMark = make([]bool, total)
+	} else {
+		sc.supMark = sc.supMark[:total]
+		for i := range sc.supMark {
+			sc.supMark[i] = false
+		}
+	}
+
+	for ai, a := range leaf.AccessDoors {
+		dist, prev := d2d.ToTargetsInto(int(a), sc.targets, &sc.search)
+		for di, d := range doors {
+			if dist[int(d)] == graph.Infinity {
+				continue
+			}
+			next := t.leafNextHop(d, a, prev, &sc.inLeaf)
+			leaf.Matrix.setAt(di, ai, dist[int(d)], next)
+		}
+		if !t.opts.DisableSuperiorDoors {
+			t.markSuperiorDoors(leaf, a, prev, sc)
+		}
+	}
+	t.assembleSuperiorDoors(leaf, sc)
 }
 
 // leafNextHop determines the next-hop door stored in a leaf matrix for the
@@ -489,64 +525,106 @@ func (t *Tree) buildLeafMatrices() {
 // hop is the first door on the path that is an access door of at least one
 // leaf (Section 2.1.1 and Example 6); if there is no intermediate door the
 // entry is NULL.
-func (t *Tree) leafNextHop(d, a model.DoorID, prev []int, inLeaf map[model.DoorID]bool) model.DoorID {
+func (t *Tree) leafNextHop(d, a model.DoorID, prev []int, inLeaf *epochStamps) model.DoorID {
 	if d == a {
 		return NoDoor
 	}
 	// Walk the path d -> ... -> a using the predecessor array rooted at a:
-	// prev[x] is the next door after x on the path from x to a.
-	var chain []model.DoorID
+	// prev[x] is the next door after x on the path from x to a. One pass
+	// records everything the three cases below need, so no chain slice is
+	// materialised.
+	first := NoDoor       // first intermediate door on the path
+	firstAccess := NoDoor // first intermediate that is a leaf access door
+	staysInside := true
 	for cur := prev[int(d)]; cur != -1 && model.DoorID(cur) != a; cur = prev[cur] {
-		chain = append(chain, model.DoorID(cur))
+		c := model.DoorID(cur)
+		if first == NoDoor {
+			first = c
+		}
+		if !inLeaf.has(int(c)) {
+			staysInside = false
+		}
+		if firstAccess == NoDoor && t.isLeafAccessDoor[c] {
+			firstAccess = c
+		}
 	}
-	if len(chain) == 0 {
+	if first == NoDoor {
 		return NoDoor
 	}
-	staysInside := true
-	for _, c := range chain {
-		if !inLeaf[c] {
-			staysInside = false
-			break
-		}
-	}
 	if staysInside {
-		return chain[0]
+		return first
 	}
-	for _, c := range chain {
-		if t.isLeafAccessDoor[c] {
-			return c
-		}
+	if firstAccess != NoDoor {
+		return firstAccess
 	}
-	return chain[0]
+	return first
 }
 
-// computeSuperiorDoorsOfLeaf derives the superior doors (Definition 2) of
-// every partition in the leaf: the local access doors plus every door whose
-// shortest path to some global access door avoids all other doors of the
-// partition.
-func (t *Tree) computeSuperiorDoorsOfLeaf(leaf *Node, inLeaf map[model.DoorID]bool, prevOf map[model.DoorID][]int) {
+// markSuperiorDoors records which doors of the leaf's partitions are proven
+// superior (Definition 2) by access door a: the shortest path from the door
+// to a passes through no other door of the partition. It is called once per
+// access door, while that door's Dijkstra predecessor array is live; the
+// marks accumulate across access doors (a door is superior when any access
+// door proves it, so the OR over access doors is order-independent).
+func (t *Tree) markSuperiorDoors(leaf *Node, a model.DoorID, prev []int, sc *leafScratch) {
 	v := t.venue
-	accessSet := make(map[model.DoorID]bool, len(leaf.AccessDoors))
-	for _, a := range leaf.AccessDoors {
-		accessSet[a] = true
+	for pi, pid := range leaf.Partitions {
+		if doorInPartition(v, a, pid) {
+			continue // local access door, not a global one
+		}
+		part := v.Partition(pid)
+		off := sc.supOffset[pi]
+		for di, d := range part.Doors {
+			if sc.supMark[off+di] || sc.access.has(int(d)) {
+				continue // already proven, or a local access door
+			}
+			if prev[int(d)] == -1 && d != a {
+				continue // a does not reach d
+			}
+			clean := true
+			for cur := prev[int(d)]; cur != -1 && model.DoorID(cur) != a; cur = prev[cur] {
+				if doorInPartition(v, model.DoorID(cur), pid) {
+					clean = false
+					break
+				}
+			}
+			if clean {
+				sc.supMark[off+di] = true
+			}
+		}
 	}
-	for _, pid := range leaf.Partitions {
+}
+
+// doorInPartition reports whether door d is one of partition pid's doors,
+// using the door's (at most two) partition references instead of a set.
+func doorInPartition(v *model.Venue, d model.DoorID, pid model.PartitionID) bool {
+	for _, p := range v.Door(d).Partitions {
+		if p == pid {
+			return true
+		}
+	}
+	return false
+}
+
+// assembleSuperiorDoors turns the accumulated marks into the superior-door
+// lists of the leaf's partitions: the local access doors plus every marked
+// door, in partition-door order.
+func (t *Tree) assembleSuperiorDoors(leaf *Node, sc *leafScratch) {
+	v := t.venue
+	for pi, pid := range leaf.Partitions {
 		part := v.Partition(pid)
 		if t.opts.DisableSuperiorDoors {
 			t.superiorDoors[pid] = append([]model.DoorID(nil), part.Doors...)
 			continue
 		}
-		partDoors := make(map[model.DoorID]bool, len(part.Doors))
-		for _, d := range part.Doors {
-			partDoors[d] = true
-		}
+		off := sc.supOffset[pi]
 		var sup []model.DoorID
-		for _, d := range part.Doors {
-			if accessSet[d] {
+		for di, d := range part.Doors {
+			if sc.access.has(int(d)) {
 				sup = append(sup, d) // local access door
 				continue
 			}
-			if t.isSuperior(d, pid, leaf, partDoors, prevOf) {
+			if sc.supMark[off+di] {
 				sup = append(sup, d)
 			}
 		}
@@ -560,34 +638,12 @@ func (t *Tree) computeSuperiorDoorsOfLeaf(leaf *Node, inLeaf map[model.DoorID]bo
 	}
 }
 
-// isSuperior reports whether door d of partition pid is a superior door:
-// there exists a global access door a of the leaf such that the shortest
-// path from d to a passes through no other door of the partition.
-func (t *Tree) isSuperior(d model.DoorID, pid model.PartitionID, leaf *Node, partDoors map[model.DoorID]bool, prevOf map[model.DoorID][]int) bool {
-	for _, a := range leaf.AccessDoors {
-		if partDoors[a] {
-			continue // local access door, not a global one
-		}
-		prev := prevOf[a]
-		if prev == nil || prev[int(d)] == -1 && d != a {
-			continue
-		}
-		clean := true
-		for cur := prev[int(d)]; cur != -1 && model.DoorID(cur) != a; cur = prev[cur] {
-			if partDoors[model.DoorID(cur)] {
-				clean = false
-				break
-			}
-		}
-		if clean {
-			return true
-		}
-	}
-	return false
-}
-
 // buildNonLeafMatrices implements step 4: distance matrices of non-leaf
-// nodes computed bottom-up on the level-l graphs.
+// nodes computed bottom-up on the level-l graphs. Each level graph is built
+// once (sequentially — it reads the matrices of the levels below) and then
+// shared read-only by the per-node matrix builds of that level, which fan
+// out over a worker pool: every node's matrix depends only on the level
+// graph, so parallel builds are bit-identical to sequential ones.
 func (t *Tree) buildNonLeafMatrices() {
 	// Group nodes by level.
 	maxLevel := 0
@@ -601,38 +657,33 @@ func (t *Tree) buildNonLeafMatrices() {
 		byLevel[t.nodes[i].Level] = append(byLevel[t.nodes[i].Level], t.nodes[i].ID)
 	}
 
+	var ls levelScratch
+	workers := t.opts.workers()
+	scratches := make([]nodeScratch, max(workers, 1))
 	for level := 2; level <= maxLevel; level++ {
 		nodesAt := byLevel[level]
 		if len(nodesAt) == 0 {
 			continue
 		}
-		gl, doorVertex, vertexDoor := t.buildLevelGraph(level)
-		for _, id := range nodesAt {
-			n := &t.nodes[id]
+		gl := t.buildLevelGraph(level, &ls)
+		runParallel(len(nodesAt), min(workers, len(nodesAt)), func(w, i int) {
+			n := &t.nodes[nodesAt[i]]
 			if n.IsLeaf() {
-				continue
+				return
 			}
-			t.buildNodeMatrix(n, gl, doorVertex, vertexDoor)
-		}
+			t.buildNodeMatrix(n, gl, &ls, &scratches[w])
+		})
 	}
 }
 
 // buildLevelGraph constructs G_l: the vertices are the access doors of every
 // node whose parent sits at a level >= l (i.e. the nodes visible just below
 // level l), and an edge connects two doors when they are access doors of the
-// same such node, weighted by that node's matrix distance.
-func (t *Tree) buildLevelGraph(level int) (*graph.Graph, map[model.DoorID]int, []model.DoorID) {
-	doorVertex := make(map[model.DoorID]int)
-	var vertexDoor []model.DoorID
-	vertexOf := func(d model.DoorID) int {
-		if v, ok := doorVertex[d]; ok {
-			return v
-		}
-		v := len(vertexDoor)
-		doorVertex[d] = v
-		vertexDoor = append(vertexDoor, d)
-		return v
-	}
+// same such node, weighted by that node's matrix distance. The door-to-vertex
+// numbering lives in ls, a dense door-indexed table reset by epoch and reused
+// across levels.
+func (t *Tree) buildLevelGraph(level int, ls *levelScratch) *graph.Graph {
+	ls.reset(t.venue.NumDoors())
 	g := graph.New(0)
 	for i := range t.nodes {
 		n := &t.nodes[i]
@@ -657,7 +708,7 @@ func (t *Tree) buildLevelGraph(level int) (*graph.Graph, map[model.DoorID]int, [
 				if w == Infinite {
 					continue
 				}
-				g.AddEdge(vertexOf(a), vertexOf(b), w)
+				g.AddEdge(ls.vertexOf(a), ls.vertexOf(b), w)
 			}
 		}
 	}
@@ -665,30 +716,34 @@ func (t *Tree) buildLevelGraph(level int) (*graph.Graph, map[model.DoorID]int, [
 	// present in every level graph, otherwise separate buildings would be
 	// unreachable from one another above the leaf level.
 	for _, e := range t.venue.OutdoorEdges {
-		if _, ok := doorVertex[e.From]; !ok {
+		from, ok := ls.lookup(e.From)
+		if !ok {
 			continue
 		}
-		if _, ok := doorVertex[e.To]; !ok {
+		to, ok := ls.lookup(e.To)
+		if !ok {
 			continue
 		}
-		g.AddEdge(doorVertex[e.From], doorVertex[e.To], e.Weight)
+		g.AddEdge(from, to, e.Weight)
 	}
 	// Make sure every vertex exists in the graph even if isolated.
-	g.EnsureVertex(len(vertexDoor) - 1)
-	return g, doorVertex, vertexDoor
+	g.EnsureVertex(len(ls.vertexDoor) - 1)
+	return g
 }
 
 // buildNodeMatrix populates the distance matrix of a non-leaf node from the
 // level graph: rows and columns are the union of its children's access
 // doors, and the next-hop entry is the first door of that union on the
-// shortest path (Fig 3, node N7).
-func (t *Tree) buildNodeMatrix(n *Node, gl *graph.Graph, doorVertex map[model.DoorID]int, vertexDoor []model.DoorID) {
-	doorSet := make(map[model.DoorID]bool)
+// shortest path (Fig 3, node N7). It only reads ls (the level's vertex
+// numbering) and gl, so concurrent calls with distinct node scratches are
+// safe.
+func (t *Tree) buildNodeMatrix(n *Node, gl *graph.Graph, ls *levelScratch, sc *nodeScratch) {
+	sc.inNode.reset(t.venue.NumDoors())
 	var doors []model.DoorID
 	for _, c := range n.Children {
 		for _, d := range t.nodes[c].AccessDoors {
-			if !doorSet[d] {
-				doorSet[d] = true
+			if !sc.inNode.has(int(d)) {
+				sc.inNode.mark(int(d))
 				doors = append(doors, d)
 			}
 		}
@@ -696,47 +751,53 @@ func (t *Tree) buildNodeMatrix(n *Node, gl *graph.Graph, doorVertex map[model.Do
 	sort.Slice(doors, func(i, j int) bool { return doors[i] < doors[j] })
 	n.Matrix = newMatrix(doors, doors)
 
-	targets := make([]int, 0, len(doors))
+	sc.targets = sc.targets[:0]
 	for _, d := range doors {
-		if v, ok := doorVertex[d]; ok {
-			targets = append(targets, v)
+		if v, ok := ls.lookup(d); ok {
+			sc.targets = append(sc.targets, v)
 		}
 	}
-	for _, from := range doors {
-		src, ok := doorVertex[from]
+	for fi, from := range doors {
+		src, ok := ls.lookup(from)
 		if !ok {
 			continue
 		}
-		dist, prev := gl.ToTargets(src, targets)
-		for _, to := range doors {
+		dist, prev := gl.ToTargetsInto(src, sc.targets, &sc.search)
+		for ti, to := range doors {
 			if to == from {
-				n.Matrix.set(from, from, 0, NoDoor)
+				n.Matrix.setAt(fi, fi, 0, NoDoor)
 				continue
 			}
-			tv, ok := doorVertex[to]
+			tv, ok := ls.lookup(to)
 			if !ok || dist[tv] == graph.Infinity {
 				continue
 			}
-			// Reconstruct the path from `from` to `to` and pick the first
-			// intermediate door that belongs to the children's access
-			// doors.
-			path := graph.PathOnPrev(prev, src, tv)
-			next := NoDoor
-			for _, pv := range path[1 : len(path)-1] {
-				d := vertexDoor[pv]
-				if doorSet[d] {
-					next = d
-					break
-				}
-			}
-			// If intermediate vertices exist but none belongs to this
-			// node's children, keep the first one anyway so that path
-			// decomposition never silently drops doors; the decomposition
-			// routine falls back to a graph search for such edges.
-			if next == NoDoor && len(path) > 2 {
-				next = vertexDoor[path[1]]
-			}
-			n.Matrix.set(from, to, dist[tv], next)
+			n.Matrix.setAt(fi, ti, dist[tv], t.levelNextHop(prev, src, tv, ls, &sc.inNode))
 		}
 	}
+}
+
+// levelNextHop picks the next-hop entry for a non-leaf matrix cell: the first
+// intermediate door on the shortest path from src to tv that belongs to the
+// node's matrix doors. The predecessor array is rooted at src, so the walk
+// runs backwards from tv; the last matching door seen is the one closest to
+// src, i.e. the first on the forward path — no path slice is materialised.
+func (t *Tree) levelNextHop(prev []int, src, tv int, ls *levelScratch, inNode *epochStamps) model.DoorID {
+	next := NoDoor
+	firstAfterSrc := -1
+	for cur := prev[tv]; cur != -1 && cur != src; cur = prev[cur] {
+		d := ls.vertexDoor[cur]
+		if inNode.has(int(d)) {
+			next = d
+		}
+		firstAfterSrc = cur
+	}
+	// If intermediate vertices exist but none belongs to this node's
+	// children, keep the first one anyway so that path decomposition never
+	// silently drops doors; the decomposition routine falls back to a graph
+	// search for such edges.
+	if next == NoDoor && firstAfterSrc != -1 {
+		next = ls.vertexDoor[firstAfterSrc]
+	}
+	return next
 }

@@ -2,6 +2,7 @@ package iptree
 
 import (
 	"math"
+	"sort"
 
 	"viptree/internal/model"
 )
@@ -14,6 +15,83 @@ const NoDoor model.DoorID = -1
 // Infinite is the distance stored for unreachable door pairs.
 const Infinite = math.MaxFloat64
 
+// doorIndex maps door IDs to their position in an ordered door slice without
+// a hash map: lookups binary-search a sorted view of the doors. The door sets
+// of a matrix are small (ρ doors for non-leaf nodes, the doors of one leaf
+// otherwise), so the search is a handful of cache-resident comparisons —
+// much cheaper than hashing on both the build and query hot paths.
+type doorIndex struct {
+	// sorted is the door set in ascending order. The builder produces sorted
+	// door sets, so this usually aliases the original slice.
+	sorted []model.DoorID
+	// pos maps positions in sorted back to positions in the original slice;
+	// nil when the original slice was already sorted (the identity mapping).
+	pos []int32
+}
+
+// newDoorIndex builds the lookup structure over doors. The slice is aliased,
+// not copied, when it is already in ascending order.
+func newDoorIndex(doors []model.DoorID) doorIndex {
+	for i := 1; i < len(doors); i++ {
+		if doors[i] <= doors[i-1] {
+			return permutedDoorIndex(doors)
+		}
+	}
+	return doorIndex{sorted: doors}
+}
+
+// permutedDoorIndex handles door sets that are not ascending (possible only
+// in hand-crafted snapshot payloads): it sorts a copy and remembers the
+// permutation back to the original positions.
+func permutedDoorIndex(doors []model.DoorID) doorIndex {
+	idx := doorIndex{
+		sorted: append([]model.DoorID(nil), doors...),
+		pos:    make([]int32, len(doors)),
+	}
+	for i := range idx.pos {
+		idx.pos[i] = int32(i)
+	}
+	sort.Sort(&idx)
+	return idx
+}
+
+// sort.Interface over (sorted, pos) in lockstep.
+func (ix *doorIndex) Len() int           { return len(ix.sorted) }
+func (ix *doorIndex) Less(i, j int) bool { return ix.sorted[i] < ix.sorted[j] }
+func (ix *doorIndex) Swap(i, j int) {
+	ix.sorted[i], ix.sorted[j] = ix.sorted[j], ix.sorted[i]
+	ix.pos[i], ix.pos[j] = ix.pos[j], ix.pos[i]
+}
+
+// find returns the position of door d in the original slice.
+func (ix *doorIndex) find(d model.DoorID) (int, bool) {
+	lo, hi := 0, len(ix.sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.sorted[mid] < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(ix.sorted) || ix.sorted[lo] != d {
+		return 0, false
+	}
+	if ix.pos != nil {
+		return int(ix.pos[lo]), true
+	}
+	return lo, true
+}
+
+// memoryBytes estimates the memory used by the lookup structure, excluding a
+// sorted slice that aliases the door set it indexes.
+func (ix *doorIndex) memoryBytes() int64 {
+	if ix.pos == nil {
+		return 24
+	}
+	return int64(len(ix.sorted))*8 + int64(len(ix.pos))*4 + 48
+}
+
 // Matrix is a distance matrix of an IP-Tree node. For leaf nodes the rows
 // are every door of the node and the columns its access doors; for non-leaf
 // nodes rows and columns are both the union of the children's access doors.
@@ -22,8 +100,8 @@ const Infinite = math.MaxFloat64
 type Matrix struct {
 	rows   []model.DoorID
 	cols   []model.DoorID
-	rowIdx map[model.DoorID]int
-	colIdx map[model.DoorID]int
+	rowIdx doorIndex
+	colIdx doorIndex
 	dist   []float64
 	next   []model.DoorID
 }
@@ -34,16 +112,10 @@ func newMatrix(rows, cols []model.DoorID) *Matrix {
 	m := &Matrix{
 		rows:   rows,
 		cols:   cols,
-		rowIdx: make(map[model.DoorID]int, len(rows)),
-		colIdx: make(map[model.DoorID]int, len(cols)),
+		rowIdx: newDoorIndex(rows),
+		colIdx: newDoorIndex(cols),
 		dist:   make([]float64, len(rows)*len(cols)),
 		next:   make([]model.DoorID, len(rows)*len(cols)),
-	}
-	for i, d := range rows {
-		m.rowIdx[d] = i
-	}
-	for i, d := range cols {
-		m.colIdx[d] = i
 	}
 	for i := range m.dist {
 		m.dist[i] = Infinite
@@ -59,33 +131,32 @@ func (m *Matrix) Rows() []model.DoorID { return m.rows }
 func (m *Matrix) Cols() []model.DoorID { return m.cols }
 
 // HasRow reports whether door d is a row of the matrix.
-func (m *Matrix) HasRow(d model.DoorID) bool { _, ok := m.rowIdx[d]; return ok }
+func (m *Matrix) HasRow(d model.DoorID) bool { _, ok := m.rowIdx.find(d); return ok }
 
 // HasCol reports whether door d is a column of the matrix.
-func (m *Matrix) HasCol(d model.DoorID) bool { _, ok := m.colIdx[d]; return ok }
+func (m *Matrix) HasCol(d model.DoorID) bool { _, ok := m.colIdx.find(d); return ok }
 
 // Has reports whether the matrix stores an entry from row door a to column
 // door b.
 func (m *Matrix) Has(a, b model.DoorID) bool { return m.HasRow(a) && m.HasCol(b) }
 
 func (m *Matrix) index(row, col model.DoorID) (int, bool) {
-	i, ok := m.rowIdx[row]
+	i, ok := m.rowIdx.find(row)
 	if !ok {
 		return 0, false
 	}
-	j, ok := m.colIdx[col]
+	j, ok := m.colIdx.find(col)
 	if !ok {
 		return 0, false
 	}
 	return i*len(m.cols) + j, true
 }
 
-// set records the distance and next-hop door for the entry (row, col).
-func (m *Matrix) set(row, col model.DoorID, dist float64, next model.DoorID) {
-	idx, ok := m.index(row, col)
-	if !ok {
-		return
-	}
+// setAt records the entry for the row/col positions directly (both aligned
+// with Rows()/Cols()); build loops iterate positionally, so the matrix has
+// no door-ID-keyed mutator.
+func (m *Matrix) setAt(row, col int, dist float64, next model.DoorID) {
+	idx := row*len(m.cols) + col
 	m.dist[idx] = dist
 	m.next[idx] = next
 }
@@ -110,8 +181,41 @@ func (m *Matrix) Next(a, b model.DoorID) model.DoorID {
 	return m.next[idx]
 }
 
+// rowIndexOf returns the position of door d among the rows.
+func (m *Matrix) rowIndexOf(d model.DoorID) (int, bool) { return m.rowIdx.find(d) }
+
+// colIndexOf returns the position of door d among the columns.
+func (m *Matrix) colIndexOf(d model.DoorID) (int, bool) { return m.colIdx.find(d) }
+
+// distAt reads the distance at a (row, col) position pair obtained from
+// rowIndexOf/colIndexOf, skipping the door lookups on loops that resolve
+// positions once and then sweep many entries.
+func (m *Matrix) distAt(row, col int) float64 { return m.dist[row*len(m.cols)+col] }
+
+// nextAt reads the next-hop door at a (row, col) position pair.
+func (m *Matrix) nextAt(row, col int) model.DoorID { return m.next[row*len(m.cols)+col] }
+
+// locate returns the position of the entry relating doors a and b, trying
+// the (a, b) orientation first and falling back to (b, a) — the orientation
+// rule of decompositionNode (leaf matrices are rectangular, so an entry may
+// exist only with the doors swapped).
+func (m *Matrix) locate(a, b model.DoorID) (row, col int, ok bool) {
+	if ra, okR := m.rowIdx.find(a); okR {
+		if cb, okC := m.colIdx.find(b); okC {
+			return ra, cb, true
+		}
+	}
+	if rb, okR := m.rowIdx.find(b); okR {
+		if ca, okC := m.colIdx.find(a); okC {
+			return rb, ca, true
+		}
+	}
+	return 0, 0, false
+}
+
 // memoryBytes estimates the memory used by the matrix.
 func (m *Matrix) memoryBytes() int64 {
 	cells := int64(len(m.dist))
-	return cells*16 + int64(len(m.rows)+len(m.cols))*24 + 96
+	return cells*16 + int64(len(m.rows)+len(m.cols))*8 +
+		m.rowIdx.memoryBytes() + m.colIdx.memoryBytes() + 96
 }

@@ -1,7 +1,10 @@
 package iptree
 
 import (
+	"cmp"
+	"slices"
 	"sort"
+	"sync"
 
 	"viptree/internal/index"
 	"viptree/internal/model"
@@ -35,6 +38,10 @@ type ObjectIndex struct {
 	// subtreeHasObjects marks nodes whose subtree contains at least one
 	// object, letting Algorithm 5 skip empty branches.
 	subtreeHasObjects map[NodeID]bool
+	// scratchPool recycles per-query traversal scratch (objScratch), keeping
+	// warm kNN/Range queries down to the result-slice allocation and safe
+	// for concurrent callers.
+	scratchPool sync.Pool
 }
 
 // IndexObjects embeds the object set into the tree and returns the object
@@ -134,9 +141,55 @@ func (oi *ObjectIndex) Range(q model.Location, r float64) []index.ObjectResult {
 	return oi.branchAndBound(q, 0, r)
 }
 
+// queuedNode is an entry of the best-first priority queue of Algorithm 5.
+type queuedNode struct {
+	node    NodeID
+	mindist float64
+}
+
+// pushQueued adds an entry to the binary min-heap (ordered by mindist).
+func pushQueued(h []queuedNode, it queuedNode) []queuedNode {
+	h = append(h, it)
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[p].mindist <= h[i].mindist {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+// popQueued removes and returns the entry with the smallest mindist.
+func popQueued(h []queuedNode) ([]queuedNode, queuedNode) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= len(h) {
+			break
+		}
+		small := l
+		if r := l + 1; r < len(h) && h[r].mindist < h[l].mindist {
+			small = r
+		}
+		if h[i].mindist <= h[small].mindist {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return h, top
+}
+
 // branchAndBound is the shared best-first traversal: with k > 0 it behaves as
 // a kNN search (radius ignored unless smaller); with k == 0 it collects every
-// object within the radius.
+// object within the radius. All working state lives in pooled scratch, so the
+// warm path allocates only the returned result slice and the method is safe
+// for concurrent callers.
 func (oi *ObjectIndex) branchAndBound(q model.Location, k int, radius float64) []index.ObjectResult {
 	t := oi.tree
 	// Step 1 (line 2 of Algorithm 5): distances from q to the access doors
@@ -144,97 +197,65 @@ func (oi *ObjectIndex) branchAndBound(q model.Location, k int, radius float64) [
 	qLeaf := t.Leaf(q.Partition)
 	sc := t.getDistScratch()
 	defer t.putDistScratch(sc)
+	oc := oi.getObjScratch()
+	defer oi.putObjScratch(oc)
 	sd := &sc.src
 	sd.reset(t.venue.NumDoors())
 	t.distancesToNode(q, t.root, sd)
-	// nodeDists caches dist(q, a) for the access doors of the nodes the
+	// oc.nodes caches dist(q, a) for the access doors of the nodes the
 	// traversal touches, aligned with each node's AccessDoors (Infinite when
 	// unreachable). Ancestors of Leaf(q) come from the Algorithm 2 run.
-	nodeDists := make(map[NodeID][]float64)
+	nd := &oc.nodes
+	nd.reset(len(t.nodes))
 	for _, n := range sd.nodeOrder {
 		ads := t.nodes[n].AccessDoors
-		ds := make([]float64, len(ads))
+		ds := nd.put(n, len(ads))
 		for i, a := range ads {
 			ds[i], _ = sd.tab.get(a)
 		}
-		nodeDists[n] = ds
 	}
 
-	results := newResultCollector(k, radius)
-	// Priority queue over (node, mindist).
-	type queued struct {
-		node    NodeID
-		mindist float64
-	}
-	heap := []queued{}
-	push := func(it queued) {
-		heap = append(heap, it)
-		for i := len(heap) - 1; i > 0; {
-			p := (i - 1) / 2
-			if heap[p].mindist <= heap[i].mindist {
-				break
-			}
-			heap[p], heap[i] = heap[i], heap[p]
-			i = p
-		}
-	}
-	pop := func() queued {
-		top := heap[0]
-		last := len(heap) - 1
-		heap[0] = heap[last]
-		heap = heap[:last]
-		for i := 0; ; {
-			l := 2*i + 1
-			if l >= len(heap) {
-				break
-			}
-			small := l
-			if r := l + 1; r < len(heap) && heap[r].mindist < heap[l].mindist {
-				small = r
-			}
-			if heap[i].mindist <= heap[small].mindist {
-				break
-			}
-			heap[i], heap[small] = heap[small], heap[i]
-			i = small
-		}
-		return top
-	}
-
+	results := resultCollector{k: k, radius: radius, results: oc.results[:0]}
+	heap := oc.heap[:0]
 	if oi.subtreeHasObjects[t.root] {
-		push(queued{node: t.root, mindist: 0})
+		heap = pushQueued(heap, queuedNode{node: t.root, mindist: 0})
 	}
 	for len(heap) > 0 {
-		cur := pop()
+		var cur queuedNode
+		heap, cur = popQueued(heap)
 		if cur.mindist > results.bound() {
 			break
 		}
 		node := &t.nodes[cur.node]
 		if node.IsLeaf() {
-			oi.scanLeaf(q, qLeaf, cur.node, nodeDists, results)
+			oi.scanLeaf(q, qLeaf, cur.node, nd, oc, &results)
 			continue
 		}
 		for _, c := range node.Children {
 			if !oi.subtreeHasObjects[c] {
 				continue
 			}
-			md := oi.childMinDist(q, qLeaf, cur.node, c, nodeDists)
+			md := oi.childMinDist(q, qLeaf, cur.node, c, nd)
 			if md <= results.bound() {
-				push(queued{node: c, mindist: md})
+				heap = pushQueued(heap, queuedNode{node: c, mindist: md})
 			}
 		}
 	}
-	return results.sorted()
+	// Hand the grown backing arrays back to the scratch before pooling it.
+	oc.heap = heap[:0]
+	out := results.finish()
+	oc.results = results.results[:0]
+	return out
 }
 
 // childMinDist computes mindist(q, child) and caches the access-door
 // distances of the child for use further down the tree (Lemmas 8 and 9).
-func (oi *ObjectIndex) childMinDist(q model.Location, qLeaf NodeID, parent, child NodeID, nodeDists map[NodeID][]float64) float64 {
+func (oi *ObjectIndex) childMinDist(q model.Location, qLeaf NodeID, parent, child NodeID, nd *nodeDistTable) float64 {
 	t := oi.tree
 	if t.IsAncestor(child, qLeaf) {
 		return 0
 	}
-	if d, ok := nodeDists[child]; ok {
+	if d, ok := nd.get(child); ok {
 		return minOf(d)
 	}
 	mat := t.nodes[parent].Matrix
@@ -248,10 +269,10 @@ func (oi *ObjectIndex) childMinDist(q model.Location, qLeaf NodeID, parent, chil
 		// access-door distances with the parent matrix.
 		baseNode = parent
 	}
-	baseDists := nodeDists[baseNode]
+	baseDists, _ := nd.get(baseNode)
 	baseDoors := t.nodes[baseNode].AccessDoors
 	childAD := t.nodes[child].AccessDoors
-	dists := make([]float64, len(childAD))
+	dists := nd.put(child, len(childAD))
 	for i, di := range childAD {
 		best := Infinite
 		if baseDists == nil {
@@ -275,7 +296,6 @@ func (oi *ObjectIndex) childMinDist(q model.Location, qLeaf NodeID, parent, chil
 		}
 		dists[i] = best
 	}
-	nodeDists[child] = dists
 	return minOf(dists)
 }
 
@@ -290,7 +310,7 @@ func minOf(ds []float64) float64 {
 }
 
 // scanLeaf evaluates every object in the leaf and updates the result set.
-func (oi *ObjectIndex) scanLeaf(q model.Location, qLeaf, leaf NodeID, nodeDists map[NodeID][]float64, results *resultCollector) {
+func (oi *ObjectIndex) scanLeaf(q model.Location, qLeaf, leaf NodeID, nd *nodeDistTable, oc *objScratch, results *resultCollector) {
 	t := oi.tree
 	if leaf == qLeaf {
 		// Objects co-located with the query in the same leaf: compute the
@@ -308,9 +328,11 @@ func (oi *ObjectIndex) scanLeaf(q model.Location, qLeaf, leaf NodeID, nodeDists 
 		}
 		return
 	}
-	accessDist := nodeDists[leaf]
+	accessDist, _ := nd.get(leaf)
 	lists := oi.accessLists[leaf]
-	best := make(map[int]float64)
+	// Per-object best distances live in the scratch's dense stamped table;
+	// one marking generation per scanned leaf.
+	oc.bumpObjEpoch(len(oi.objects))
 	for ai := range t.nodes[leaf].AccessDoors {
 		qd := accessDist[ai]
 		if qd == Infinite {
@@ -318,30 +340,28 @@ func (oi *ObjectIndex) scanLeaf(q model.Location, qLeaf, leaf NodeID, nodeDists 
 		}
 		for _, e := range lists[ai] {
 			total := qd + e.dist
-			if cur, ok := best[e.objectID]; !ok || total < cur {
-				best[e.objectID] = total
+			if !oc.objSeen.has(e.objectID) || total < oc.objDist[e.objectID] {
+				oc.objSeen.mark(e.objectID)
+				oc.objDist[e.objectID] = total
 			}
 		}
 	}
 	// Add in ascending object-ID order so that ties at the kNN boundary
-	// resolve deterministically (map iteration order is random).
+	// resolve deterministically.
 	for _, id := range oi.objectsInLeaf[leaf] {
-		if d, ok := best[id]; ok {
-			results.add(id, d)
+		if oc.objSeen.has(id) {
+			results.add(id, oc.objDist[id])
 		}
 	}
 }
 
 // resultCollector accumulates query results for kNN (bounded size) or range
-// (bounded radius) queries.
+// (bounded radius) queries. The results slice is scratch-backed; finish
+// copies the final set into a caller-owned slice.
 type resultCollector struct {
 	k       int
 	radius  float64
 	results []index.ObjectResult
-}
-
-func newResultCollector(k int, radius float64) *resultCollector {
-	return &resultCollector{k: k, radius: radius}
 }
 
 // bound returns the pruning distance: the current k-th best distance for kNN
@@ -390,12 +410,20 @@ func (rc *resultCollector) add(objectID int, dist float64) {
 	}
 }
 
-func (rc *resultCollector) sorted() []index.ObjectResult {
-	sort.Slice(rc.results, func(i, j int) bool {
-		if rc.results[i].Dist != rc.results[j].Dist {
-			return rc.results[i].Dist < rc.results[j].Dist
+// finish sorts the accumulated results in place (ascending distance, ties by
+// object ID) and copies them into a fresh slice — the only allocation of a
+// warm query.
+func (rc *resultCollector) finish() []index.ObjectResult {
+	slices.SortFunc(rc.results, func(a, b index.ObjectResult) int {
+		if a.Dist != b.Dist {
+			return cmp.Compare(a.Dist, b.Dist)
 		}
-		return rc.results[i].ObjectID < rc.results[j].ObjectID
+		return cmp.Compare(a.ObjectID, b.ObjectID)
 	})
-	return rc.results
+	if len(rc.results) == 0 {
+		return nil
+	}
+	out := make([]index.ObjectResult, len(rc.results))
+	copy(out, rc.results)
+	return out
 }

@@ -1,0 +1,152 @@
+package iptree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"viptree/internal/model"
+	"viptree/internal/venuegen"
+)
+
+// This file property-tests the parallel construction pipeline: a build with
+// Parallelism: N must be bit-identical to a build with Parallelism: 1 —
+// identical exported state, identical Distance/Path/KNN/Range answers, and
+// snapshots written from either build must load interchangeably. Workers
+// only write item-owned state (a node's matrix, a door's VIP entries), so
+// this holds by construction; the test pins it against regressions. Run
+// under -race (as CI does) it also proves the worker pool is data-race free.
+
+// determinismVenues returns the venue mix used by the determinism tests:
+// multi-floor buildings of varying shapes and a multi-building campus
+// (exercising outdoor edges in the level graphs).
+func determinismVenues(t *testing.T) map[string]*model.Venue {
+	t.Helper()
+	venues := map[string]*model.Venue{}
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := venuegen.BuildingConfig{
+			Name:            fmt.Sprintf("par-b%d", seed),
+			Floors:          2 + int(seed),
+			RoomsPerHallway: 8 + 4*int(seed),
+			Seed:            seed,
+		}
+		venues[cfg.Name] = venuegen.MustBuilding(cfg)
+	}
+	venues["par-campus"] = venuegen.MustCampus(venuegen.CampusConfig{
+		Name:      "par-campus",
+		Buildings: 3,
+		Building:  venuegen.BuildingConfig{Floors: 2, RoomsPerHallway: 8},
+		Jitter:    true,
+		Seed:      7,
+	})
+	return venues
+}
+
+// TestParallelBuildDeterminism asserts that parallel and sequential builds
+// produce DeepEqual trees (via their exported state — the tree topology,
+// every matrix entry, superior doors and VIP entries) and identical query
+// answers over random workloads.
+func TestParallelBuildDeterminism(t *testing.T) {
+	for name, v := range determinismVenues(t) {
+		t.Run(name, func(t *testing.T) {
+			seq := MustBuildVIPTree(v, Options{Parallelism: 1})
+			par := MustBuildVIPTree(v, Options{Parallelism: 4})
+			if !reflect.DeepEqual(seq.ExportState(), par.ExportState()) {
+				t.Fatal("parallel VIP-Tree state differs from sequential build")
+			}
+			assertSameAnswers(t, v, seq, par)
+		})
+	}
+}
+
+// assertSameAnswers compares Distance, Path, KNN and Range answers of two
+// VIP-Trees over the same venue on a random workload, requiring exact (==)
+// distances and identical door/object sequences.
+func assertSameAnswers(t *testing.T, v *model.Venue, a, b *VIPTree) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	objs := make([]model.Location, 40)
+	for i := range objs {
+		objs[i] = v.RandomLocation(rng)
+	}
+	oiA, oiB := a.IndexObjects(objs), b.IndexObjects(objs)
+	for i := 0; i < 200; i++ {
+		s, d := v.RandomLocation(rng), v.RandomLocation(rng)
+		if da, db := a.Distance(s, d), b.Distance(s, d); da != db {
+			t.Fatalf("Distance(%v, %v): %v vs %v", s, d, da, db)
+		}
+		pda, doorsA := a.Path(s, d)
+		pdb, doorsB := b.Path(s, d)
+		if pda != pdb || !reflect.DeepEqual(doorsA, doorsB) {
+			t.Fatalf("Path(%v, %v): (%v, %v) vs (%v, %v)", s, d, pda, doorsA, pdb, doorsB)
+		}
+		if i%4 == 0 {
+			q := v.RandomLocation(rng)
+			if ka, kb := oiA.KNN(q, 5), oiB.KNN(q, 5); !reflect.DeepEqual(ka, kb) {
+				t.Fatalf("KNN(%v, 5): %v vs %v", q, ka, kb)
+			}
+			if ra, rb := oiA.Range(q, 150), oiB.Range(q, 150); !reflect.DeepEqual(ra, rb) {
+				t.Fatalf("Range(%v, 150): %v vs %v", q, ra, rb)
+			}
+		}
+	}
+}
+
+// TestParallelBuildSnapshotInterchange asserts that snapshot payloads written
+// from a parallel build and a sequential build are interchangeable: each
+// decodes into a tree whose state equals the other build. No format change is
+// involved — matrix lookup tables are derived state rebuilt on load.
+func TestParallelBuildSnapshotInterchange(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{
+		Name: "par-snap", Floors: 3, RoomsPerHallway: 12, Seed: 5,
+	})
+	seq := MustBuildVIPTree(v, Options{Parallelism: 1})
+	par := MustBuildVIPTree(v, Options{Parallelism: 4})
+
+	var bufSeq, bufPar bytes.Buffer
+	if err := seq.EncodeSnapshot(&bufSeq); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.EncodeSnapshot(&bufPar); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufSeq.Bytes(), bufPar.Bytes()) {
+		t.Fatal("snapshot payloads of sequential and parallel builds differ")
+	}
+	fromPar, err := DecodeVIPSnapshot(bytes.NewReader(bufPar.Bytes()), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.ExportState(), fromPar.ExportState()) {
+		t.Fatal("tree loaded from parallel-build snapshot differs from sequential build")
+	}
+	assertSameAnswers(t, v, seq, fromPar)
+}
+
+// TestParallelismOptionResolution pins the worker-count resolution rule:
+// explicit parallelism is respected, zero selects GOMAXPROCS.
+func TestParallelismOptionResolution(t *testing.T) {
+	if got := (Options{Parallelism: 3}).workers(); got != 3 {
+		t.Errorf("workers() = %d, want 3", got)
+	}
+	if got := (Options{}).workers(); got < 1 {
+		t.Errorf("workers() = %d, want >= 1", got)
+	}
+}
+
+// TestRunParallelCoversAllItems checks the worker pool visits every index
+// exactly once at several worker counts.
+func TestRunParallelCoversAllItems(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16} {
+		const n = 103
+		counts := make([]int32, n)
+		runParallel(n, workers, func(w, i int) { counts[i]++ })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: item %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}

@@ -129,16 +129,11 @@ func (t *Tree) decompose(a, b model.DoorID, budget *int) ([]model.DoorID, bool) 
 	if !aAccess && !bAccess {
 		return []model.DoorID{a, b}, true
 	}
-	node, swap, ok := t.decompositionNode(a, b)
+	mat, row, col, ok := t.decompositionEntry(a, b)
 	if !ok {
 		return nil, false
 	}
-	var next model.DoorID
-	if swap {
-		next = t.nodes[node].Matrix.Next(b, a)
-	} else {
-		next = t.nodes[node].Matrix.Next(a, b)
-	}
+	next := mat.nextAt(row, col)
 	// Lemma 3: a NULL next hop means the edge is final.
 	if next == NoDoor {
 		return []model.DoorID{a, b}, true
@@ -157,64 +152,61 @@ func (t *Tree) decompose(a, b model.DoorID, budget *int) ([]model.DoorID, bool) 
 	return append(left, right[1:]...), true
 }
 
-// decompositionNode finds the lowest node whose distance matrix stores an
-// entry relating doors a and b. Leaf matrices are rectangular (rows are all
-// doors, columns only the access doors), so the entry may only exist in the
-// (b, a) orientation; the second return value reports that the caller must
-// look the entry up with the doors swapped. The door returned by that lookup
-// still lies on the shortest path between a and b, so the decomposition
-// remains valid in either orientation.
-func (t *Tree) decompositionNode(a, b model.DoorID) (NodeID, bool, bool) {
-	bestNode := invalidNode
+// decompositionEntry finds the lowest node whose distance matrix stores an
+// entry relating doors a and b and returns that matrix together with the
+// oriented (row, col) position of the entry. Leaf matrices are rectangular
+// (rows are all doors, columns only the access doors), so the entry may only
+// exist in the (b, a) orientation; the position returned by locate already
+// accounts for that, and the next-hop door read from it still lies on the
+// shortest path between a and b, so the decomposition remains valid in
+// either orientation.
+func (t *Tree) decompositionEntry(a, b model.DoorID) (*Matrix, int, int, bool) {
+	var bestMat *Matrix
+	bestRow, bestCol := 0, 0
 	bestLevel := int(^uint(0) >> 1)
-	bestSwap := false
-	consider := func(n NodeID, swap bool) {
+	// The candidate nodes whose matrix can mention door d are the leaves
+	// containing d (their matrices' rows are all of their doors) and the
+	// parents of every node for which d is an access door (their matrices'
+	// rows are the children's access doors). The four loops below visit them
+	// in that order for both doors, without materialising the candidate list
+	// — this routine runs once per edge of every decomposed path, and during
+	// VIP materialisation once per matrix next-hop entry. Candidates at or
+	// above the best level so far are skipped before any door lookup (they
+	// can never win), which short-circuits everything after the first
+	// leaf-level hit.
+	visit := func(n NodeID) {
 		lvl := t.nodes[n].Level
-		if lvl < bestLevel {
-			bestNode, bestLevel, bestSwap = n, lvl, swap
+		if lvl >= bestLevel {
+			return
 		}
-	}
-	for _, n := range t.matrixNodesOfDoor(a) {
 		mat := t.nodes[n].Matrix
 		if mat == nil {
-			continue
+			return
 		}
-		if mat.Has(a, b) {
-			consider(n, false)
-		} else if mat.Has(b, a) {
-			consider(n, true)
+		if row, col, ok := mat.locate(a, b); ok {
+			bestMat, bestRow, bestCol, bestLevel = mat, row, col, lvl
 		}
 	}
-	for _, n := range t.matrixNodesOfDoor(b) {
-		mat := t.nodes[n].Matrix
-		if mat == nil {
-			continue
-		}
-		if mat.Has(a, b) {
-			consider(n, false)
-		} else if mat.Has(b, a) {
-			consider(n, true)
-		}
+	for _, n := range t.leavesOfDoor[a] {
+		visit(n)
 	}
-	if bestNode == invalidNode {
-		return invalidNode, false, false
-	}
-	return bestNode, bestSwap, true
-}
-
-// matrixNodesOfDoor lists the nodes whose distance matrix mentions door d:
-// the leaves containing d (their matrices' rows are all of their doors) and
-// the parents of every node for which d is an access door (their matrices'
-// rows are the children's access doors).
-func (t *Tree) matrixNodesOfDoor(d model.DoorID) []NodeID {
-	var out []NodeID
-	out = append(out, t.leavesOfDoor[d]...)
-	for _, n := range t.accessNodesOfDoor[d] {
+	for _, n := range t.accessNodesOfDoor[a] {
 		if p := t.nodes[n].Parent; p != invalidNode {
-			out = append(out, p)
+			visit(p)
 		}
 	}
-	return out
+	for _, n := range t.leavesOfDoor[b] {
+		visit(n)
+	}
+	for _, n := range t.accessNodesOfDoor[b] {
+		if p := t.nodes[n].Parent; p != invalidNode {
+			visit(p)
+		}
+	}
+	if bestMat == nil {
+		return nil, 0, 0, false
+	}
+	return bestMat, bestRow, bestCol, true
 }
 
 // fallbackPath recovers the door sequence between two doors with a plain

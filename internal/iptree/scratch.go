@@ -1,6 +1,7 @@
 package iptree
 
 import (
+	"viptree/internal/index"
 	"viptree/internal/model"
 )
 
@@ -13,40 +14,30 @@ import (
 // and safe for concurrent callers.
 
 // doorTable is a dense map from door ID to (distance, via-door), reset in
-// O(1) by bumping the epoch: an entry is present only when its stamp equals
-// the current epoch.
+// O(1) through an epoch-stamped membership set (see epochStamps in
+// buildscratch.go): an entry is present only when its door is stamped.
 type doorTable struct {
-	dist  []float64
-	via   []model.DoorID
-	stamp []uint32
-	epoch uint32
+	dist []float64
+	via  []model.DoorID
+	seen epochStamps
 }
 
 // reset prepares the table for a venue with n doors, invalidating all
 // entries. It allocates only on first use (or if the venue grew).
 func (dt *doorTable) reset(n int) {
-	if len(dt.stamp) < n {
+	if len(dt.dist) < n {
 		dt.dist = make([]float64, n)
 		dt.via = make([]model.DoorID, n)
-		dt.stamp = make([]uint32, n)
-		dt.epoch = 1
-		return
 	}
-	dt.epoch++
-	if dt.epoch == 0 { // epoch wrapped: clear the stamps and restart
-		for i := range dt.stamp {
-			dt.stamp[i] = 0
-		}
-		dt.epoch = 1
-	}
+	dt.seen.reset(n)
 }
 
 // has reports whether door d has an entry in the current epoch.
-func (dt *doorTable) has(d model.DoorID) bool { return dt.stamp[d] == dt.epoch }
+func (dt *doorTable) has(d model.DoorID) bool { return dt.seen.has(int(d)) }
 
 // get returns the recorded distance to door d and whether one exists.
 func (dt *doorTable) get(d model.DoorID) (float64, bool) {
-	if dt.stamp[d] != dt.epoch {
+	if !dt.seen.has(int(d)) {
 		return Infinite, false
 	}
 	return dt.dist[d], true
@@ -56,12 +47,12 @@ func (dt *doorTable) get(d model.DoorID) (float64, bool) {
 func (dt *doorTable) set(d model.DoorID, dist float64, via model.DoorID) {
 	dt.dist[d] = dist
 	dt.via[d] = via
-	dt.stamp[d] = dt.epoch
+	dt.seen.mark(int(d))
 }
 
 // viaOf returns the recorded via-door of d, or NoDoor when d has no entry.
 func (dt *doorTable) viaOf(d model.DoorID) model.DoorID {
-	if dt.stamp[d] != dt.epoch {
+	if !dt.seen.has(int(d)) {
 		return NoDoor
 	}
 	return dt.via[d]
@@ -122,3 +113,76 @@ func (vt *VIPTree) getVIPScratch() *vipScratch {
 }
 
 func (vt *VIPTree) putVIPScratch(sc *vipScratch) { vt.vipPool.Put(sc) }
+
+// nodeDistTable caches, per tree node, the distances from the query location
+// to the node's access doors (aligned with Node.AccessDoors) — the nodeDists
+// working set of Algorithm 5. The per-node slices are reset by epoch and
+// their backing arrays recycled across queries, so a warm kNN/Range query
+// never reallocates them.
+type nodeDistTable struct {
+	vals [][]float64
+	seen epochStamps
+}
+
+// reset prepares the table for a tree with n nodes, invalidating all entries.
+func (nt *nodeDistTable) reset(n int) {
+	if len(nt.vals) < n {
+		nt.vals = make([][]float64, n)
+	}
+	nt.seen.reset(n)
+}
+
+// get returns the cached access-door distances of node n, if present.
+func (nt *nodeDistTable) get(n NodeID) ([]float64, bool) {
+	if !nt.seen.has(int(n)) {
+		return nil, false
+	}
+	return nt.vals[n], true
+}
+
+// put stamps node n and returns its distance slice resized to size, reusing
+// the backing array from earlier queries whenever it is large enough.
+func (nt *nodeDistTable) put(n NodeID, size int) []float64 {
+	s := nt.vals[n]
+	if cap(s) < size {
+		s = make([]float64, size)
+	}
+	s = s[:size]
+	nt.vals[n] = s
+	nt.seen.mark(int(n))
+	return s
+}
+
+// objScratch is the reusable state of one kNN/Range traversal (Algorithm 5):
+// the per-node access-door distance cache, the best-first priority queue, the
+// per-object best distances of leaf scans and the result accumulator. It is
+// recycled through the object index's pool, keeping the warm query path down
+// to a single allocation (the returned result slice).
+type objScratch struct {
+	nodes nodeDistTable
+	heap  []queuedNode
+	// objDist[id] records the best distance to object id seen by the current
+	// leaf scan; entries are valid when id is in the objSeen stamped set.
+	objDist []float64
+	objSeen epochStamps
+	results []index.ObjectResult
+}
+
+// bumpObjEpoch starts a fresh per-object marking generation for a set of n
+// objects (one generation per scanned leaf).
+func (sc *objScratch) bumpObjEpoch(n int) {
+	if len(sc.objDist) < n {
+		sc.objDist = make([]float64, n)
+	}
+	sc.objSeen.reset(n)
+}
+
+func (oi *ObjectIndex) getObjScratch() *objScratch {
+	sc, _ := oi.scratchPool.Get().(*objScratch)
+	if sc == nil {
+		sc = &objScratch{}
+	}
+	return sc
+}
+
+func (oi *ObjectIndex) putObjScratch(sc *objScratch) { oi.scratchPool.Put(sc) }

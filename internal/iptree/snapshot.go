@@ -35,7 +35,7 @@ const (
 
 // MatrixState is the serialisable form of a node's distance matrix: the row
 // and column door sets plus the dense distance and next-hop arrays in
-// row-major order. The row/column lookup maps are rebuilt on restore.
+// row-major order. The row/column lookup tables are rebuilt on restore.
 type MatrixState struct {
 	Rows []model.DoorID
 	Cols []model.DoorID
@@ -412,21 +412,14 @@ func restoreMatrix(ms *MatrixState, numDoors, nodeID int) (*Matrix, error) {
 		return nil, fmt.Errorf("iptree: restore: node %d matrix has %d dist / %d next entries for %dx%d doors",
 			nodeID, len(ms.Dist), len(ms.Next), len(ms.Rows), len(ms.Cols))
 	}
-	m := &Matrix{
+	return &Matrix{
 		rows:   ms.Rows,
 		cols:   ms.Cols,
-		rowIdx: make(map[model.DoorID]int, len(ms.Rows)),
-		colIdx: make(map[model.DoorID]int, len(ms.Cols)),
+		rowIdx: newDoorIndex(ms.Rows),
+		colIdx: newDoorIndex(ms.Cols),
 		dist:   ms.Dist,
 		next:   ms.Next,
-	}
-	for i, d := range ms.Rows {
-		m.rowIdx[d] = i
-	}
-	for i, d := range ms.Cols {
-		m.colIdx[d] = i
-	}
-	return m, nil
+	}, nil
 }
 
 // checkDoorIDs validates that every door ID is a valid dense index, with

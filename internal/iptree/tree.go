@@ -25,6 +25,7 @@ package iptree
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"viptree/internal/index"
 	"viptree/internal/model"
@@ -85,6 +86,13 @@ type Options struct {
 	// node with an arbitrary neighbour instead of the one maximising the
 	// number of shared access doors.
 	NaiveMerge bool
+	// Parallelism bounds the number of worker goroutines used by the
+	// construction phases that fan out per node or per door (leaf matrices,
+	// non-leaf matrices, VIP materialisation). Zero selects GOMAXPROCS.
+	// The built tree is bit-identical at every parallelism, because workers
+	// only write state owned by their item (a node's matrix, a door's VIP
+	// entries); Parallelism is therefore not recorded in snapshots.
+	Parallelism int
 }
 
 func (o Options) minDegree() int {
@@ -121,7 +129,33 @@ type Tree struct {
 	// warm Distance/Path/KNN paths allocation-free and safe for concurrent
 	// callers.
 	distPool sync.Pool
+
+	// timings records the wall-clock cost of each construction phase; zero
+	// for trees restored from a snapshot.
+	timings BuildTimings
 }
+
+// BuildTimings is the wall-clock duration of every construction phase, the
+// breakdown behind the paper's one-off construction cost. Snapshot-restored
+// trees report zero timings (they skipped construction entirely).
+type BuildTimings struct {
+	// Leaves is step 1: grouping partitions into leaf nodes.
+	Leaves time.Duration
+	// Hierarchy is step 2 (Algorithm 1): merging nodes level by level.
+	Hierarchy time.Duration
+	// LeafMatrices is step 3: Dijkstra searches populating leaf matrices
+	// and superior doors. Parallelised per leaf.
+	LeafMatrices time.Duration
+	// NonLeafMatrices is step 4: level graphs and non-leaf matrices.
+	// Parallelised per node within each level.
+	NonLeafMatrices time.Duration
+	// VIPMaterialise is the per-door ancestor materialisation of Section
+	// 2.2; zero for plain IP-Trees. Parallelised per door.
+	VIPMaterialise time.Duration
+}
+
+// BuildTimings returns the recorded construction-phase durations.
+func (t *Tree) BuildTimings() BuildTimings { return t.timings }
 
 // BuildIPTree constructs an IP-Tree over the venue.
 func BuildIPTree(v *model.Venue, opts Options) (*Tree, error) {
@@ -129,10 +163,18 @@ func BuildIPTree(v *model.Venue, opts Options) (*Tree, error) {
 		return nil, fmt.Errorf("iptree: venue is empty")
 	}
 	t := &Tree{venue: v, opts: opts}
+	phase := time.Now()
 	t.buildLeaves()
+	t.timings.Leaves = time.Since(phase)
+	phase = time.Now()
 	t.buildHierarchy()
+	t.timings.Hierarchy = time.Since(phase)
+	phase = time.Now()
 	t.buildLeafMatrices()
+	t.timings.LeafMatrices = time.Since(phase)
+	phase = time.Now()
 	t.buildNonLeafMatrices()
+	t.timings.NonLeafMatrices = time.Since(phase)
 	return t, nil
 }
 

@@ -2,6 +2,7 @@ package iptree
 
 import (
 	"sync"
+	"time"
 
 	"viptree/internal/model"
 )
@@ -68,12 +69,20 @@ func MustBuildVIPTree(v *model.Venue, opts Options) *VIPTree {
 }
 
 // NewVIPTree materialises the per-door ancestor distances on top of an
-// existing IP-Tree. The IP-Tree is shared, not copied.
+// existing IP-Tree. The IP-Tree is shared, not copied. Every door's entries
+// depend only on the (read-only) tree, so the per-door loop fans out over a
+// worker pool (Options.Parallelism) with bit-identical results at any
+// parallelism.
 func NewVIPTree(t *Tree) *VIPTree {
-	vt := &VIPTree{Tree: t, entries: make([]doorEntries, t.venue.NumDoors())}
-	for d := 0; d < t.venue.NumDoors(); d++ {
-		vt.materialiseDoor(model.DoorID(d))
-	}
+	start := time.Now()
+	numDoors := t.venue.NumDoors()
+	vt := &VIPTree{Tree: t, entries: make([]doorEntries, numDoors)}
+	workers := min(t.opts.workers(), numDoors)
+	scratches := make([]vipScratchBuild, max(workers, 1))
+	runParallel(numDoors, workers, func(w, i int) {
+		vt.materialiseDoor(model.DoorID(i), &scratches[w])
+	})
+	t.timings.VIPMaterialise = time.Since(start)
 	return vt
 }
 
@@ -82,73 +91,91 @@ func (vt *VIPTree) Name() string { return "VIP-Tree" }
 
 // materialiseDoor computes the VIP entries of a single door by climbing the
 // tree from every leaf containing it, exactly like Algorithm 2 but with the
-// door itself as the source. Construction-time maps are fine here; the
-// result is flattened into dense per-door slices for the query hot path.
-func (vt *VIPTree) materialiseDoor(d model.DoorID) {
+// door itself as the source. The distance/via working set is the worker's
+// dense epoch-stamped door table (no per-door maps); only the flattened
+// per-door entry slices consumed by the query hot path are allocated.
+func (vt *VIPTree) materialiseDoor(d model.DoorID, sc *vipScratchBuild) {
 	t := vt.Tree
-	dist := make(map[model.DoorID]float64)
-	via := make(map[model.DoorID]model.DoorID)
+	sc.reset(t.venue.NumDoors(), len(t.nodes))
+	tab := &sc.tab
 
-	var climb []NodeID
 	for _, leaf := range t.leavesOfDoor[d] {
 		// Seed with the leaf matrix distances from d to the leaf's access
-		// doors (d is a row of every matrix of a leaf containing it).
+		// doors (d is a row of every matrix of a leaf containing it, so its
+		// row position is resolved once and the columns swept positionally).
 		mat := t.nodes[leaf].Matrix
-		for _, a := range t.nodes[leaf].AccessDoors {
-			md := mat.Dist(d, a)
-			if md == Infinite {
-				continue
-			}
-			if cur, ok := dist[a]; !ok || md < cur {
-				dist[a] = md
-				if a == d {
-					via[a] = NoDoor
-				} else {
-					via[a] = d
+		if ri, ok := mat.rowIndexOf(d); ok {
+			for _, a := range t.nodes[leaf].AccessDoors {
+				ci, ok := mat.colIndexOf(a)
+				if !ok {
+					continue
+				}
+				md := mat.distAt(ri, ci)
+				if md == Infinite {
+					continue
+				}
+				if cur, ok := tab.get(a); !ok || md < cur {
+					if a == d {
+						tab.set(a, md, NoDoor)
+					} else {
+						tab.set(a, md, d)
+					}
 				}
 			}
 		}
 		for cur := leaf; cur != invalidNode; cur = t.nodes[cur].Parent {
-			climb = append(climb, cur)
+			sc.climb = append(sc.climb, cur)
 		}
 	}
 	// Propagate upwards along every climb path (deduplicating nodes).
-	seen := make(map[NodeID]bool)
-	var order []NodeID
-	for _, n := range climb {
-		if !seen[n] {
-			seen[n] = true
-			order = append(order, n)
+	for _, n := range sc.climb {
+		if !sc.nodeSeen.has(int(n)) {
+			sc.nodeSeen.mark(int(n))
+			sc.order = append(sc.order, n)
 		}
 	}
 	// Process in increasing level so children are handled before parents.
-	sortNodesByLevel(t, order)
-	for _, n := range order {
+	sortNodesByLevel(t, sc.order)
+	for _, n := range sc.order {
 		node := &t.nodes[n]
 		if node.IsLeaf() {
 			continue
 		}
+		// Resolve the matrix row of every child access door once per node;
+		// the propagation loop below then reads entries positionally. Doors
+		// without a row would contribute only Infinite entries and are
+		// dropped up front.
+		sc.propDoors = sc.propDoors[:0]
+		sc.propRows = sc.propRows[:0]
+		for _, c := range node.Children {
+			for _, di := range t.nodes[c].AccessDoors {
+				if ri, ok := node.Matrix.rowIndexOf(di); ok {
+					sc.propDoors = append(sc.propDoors, di)
+					sc.propRows = append(sc.propRows, int32(ri))
+				}
+			}
+		}
 		// Propagate from whichever children already have distances.
 		for _, dAccess := range node.AccessDoors {
 			best, bestVia := Infinite, NoDoor
-			if cur, ok := dist[dAccess]; ok {
+			if cur, ok := tab.get(dAccess); ok {
 				best = cur
-				bestVia = via[dAccess]
+				bestVia = tab.viaOf(dAccess)
 			}
-			for _, c := range node.Children {
-				for _, di := range t.nodes[c].AccessDoors {
-					base, ok := dist[di]
+			if ci, ok := node.Matrix.colIndexOf(dAccess); ok {
+				for k, di := range sc.propDoors {
+					base, ok := tab.get(di)
 					if !ok {
 						continue
 					}
-					md := node.Matrix.Dist(di, dAccess)
+					md := node.Matrix.distAt(int(sc.propRows[k]), ci)
 					if md == Infinite {
 						continue
 					}
 					if base+md < best {
 						best = base + md
 						if di == dAccess {
-							bestVia = via[di]
+							bestVia = tab.viaOf(di)
 						} else {
 							bestVia = di
 						}
@@ -156,8 +183,7 @@ func (vt *VIPTree) materialiseDoor(d model.DoorID) {
 				}
 			}
 			if best < Infinite {
-				dist[dAccess] = best
-				via[dAccess] = bestVia
+				tab.set(dAccess, best, bestVia)
 			}
 		}
 	}
@@ -165,19 +191,19 @@ func (vt *VIPTree) materialiseDoor(d model.DoorID) {
 	// first door on the path (computed by decomposing the first hop of the
 	// via chain).
 	de := doorEntries{
-		nodes:   make([]NodeID, 0, len(order)),
-		perNode: make([][]vipEntry, 0, len(order)),
+		nodes:   make([]NodeID, 0, len(sc.order)),
+		perNode: make([][]vipEntry, 0, len(sc.order)),
 	}
-	for _, n := range order {
+	for _, n := range sc.order {
 		node := &t.nodes[n]
 		es := make([]vipEntry, len(node.AccessDoors))
 		for i, a := range node.AccessDoors {
-			dv, ok := dist[a]
+			dv, ok := tab.get(a)
 			if !ok {
 				es[i] = vipEntry{dist: Infinite, next: NoDoor}
 				continue
 			}
-			es[i] = vipEntry{dist: dv, next: vt.firstDoorOnPath(d, a, via)}
+			es[i] = vipEntry{dist: dv, next: vt.firstDoorOnPath(d, a, tab)}
 		}
 		de.nodes = append(de.nodes, n)
 		de.perNode = append(de.perNode, es)
@@ -203,7 +229,7 @@ func sortNodesByLevel(t *Tree, nodes []NodeID) {
 // firstDoorOnPath returns the first door after src on the shortest path from
 // src to target, following the via chain recorded during materialisation and
 // decomposing the first partial edge with the distance matrices.
-func (vt *VIPTree) firstDoorOnPath(src, target model.DoorID, via map[model.DoorID]model.DoorID) model.DoorID {
+func (vt *VIPTree) firstDoorOnPath(src, target model.DoorID, tab *doorTable) model.DoorID {
 	if src == target {
 		return NoDoor
 	}
@@ -211,8 +237,12 @@ func (vt *VIPTree) firstDoorOnPath(src, target model.DoorID, via map[model.DoorI
 	// to src on the chain is the first partial hop.
 	first := target
 	for cur := target; cur != NoDoor; {
-		prev, ok := via[cur]
-		if !ok || prev == NoDoor || prev == src {
+		if !tab.has(cur) {
+			first = cur
+			break
+		}
+		prev := tab.viaOf(cur)
+		if prev == NoDoor || prev == src {
 			first = cur
 			break
 		}
@@ -236,16 +266,11 @@ func (vt *VIPTree) firstDoorOfEdge(a, b model.DoorID, budget int) model.DoorID {
 		if !aAccess && !bAccess {
 			return b
 		}
-		node, swap, ok := t.decompositionNode(a, b)
+		mat, row, col, ok := t.decompositionEntry(a, b)
 		if !ok {
 			break
 		}
-		var next model.DoorID
-		if swap {
-			next = t.nodes[node].Matrix.Next(b, a)
-		} else {
-			next = t.nodes[node].Matrix.Next(a, b)
-		}
+		next := mat.nextAt(row, col)
 		if next == NoDoor {
 			return b
 		}

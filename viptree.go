@@ -104,8 +104,13 @@ type (
 	// VIPTree is the Vivid IP-Tree index (IP-Tree plus per-door
 	// materialised ancestor distances).
 	VIPTree = iptree.VIPTree
-	// TreeOptions configures IP-Tree/VIP-Tree construction.
+	// TreeOptions configures IP-Tree/VIP-Tree construction, including the
+	// construction worker count (Parallelism; builds are bit-identical at
+	// any value) and the paper's ablation switches.
 	TreeOptions = iptree.Options
+	// TreeBuildTimings reports the per-phase construction wall clock of a
+	// built tree (Tree.BuildTimings).
+	TreeBuildTimings = iptree.BuildTimings
 	// TreeStats reports ρ, f, M and related structural statistics.
 	TreeStats = iptree.Stats
 	// ObjectIndex embeds a set of objects into a tree for kNN/range queries.
