@@ -8,6 +8,7 @@ package viptree_test
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"testing"
@@ -207,6 +208,99 @@ func BenchmarkKNN(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		oi.KNN(points[i%len(points)], 5)
 	}
+}
+
+// BenchmarkObjectUpdate measures the object-update path of the mutable
+// object layer on the full-scale Menzies venue: "move" relocates one object
+// on a built index (touching only the source and target leaves), "rebuild"
+// re-embeds the entire object set the way an immutable index would have to
+// after any fleet movement. The ns/op ratio between the two rows is the
+// paper's update-locality advantage; the acceptance bar is move being at
+// least 100x faster than rebuild.
+func BenchmarkObjectUpdate(b *testing.B) {
+	// The paper-scale venue is built here, not via benchVenueSpecs, so the
+	// venue-sweeping benchmarks do not start constructing full-scale
+	// baseline indexes.
+	v := viptree.Menzies(viptree.ScaleFull)
+	tree := viptree.MustBuildVIPTree(v)
+	objs := bench.Objects(toModelVenue(v), 1000, 7)
+	locs := bench.Points(toModelVenue(v), 4096, 8)
+	b.Run("Men-full/move", func(b *testing.B) {
+		oi := tree.IndexObjects(objs)
+		// Warm up: let the per-leaf backing arrays reach steady-state
+		// capacity so the measurement reflects the allocation-free path.
+		for i := 0; i < 512; i++ {
+			if err := oi.Move(i%len(objs), locs[(i*7)%len(locs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := oi.Move(i%len(objs), locs[i%len(locs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "moves/s")
+	})
+	b.Run("Men-full/rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tree.IndexObjects(objs)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rebuilds/s")
+	})
+}
+
+// BenchmarkEngineMixed measures engine throughput on an HTAP-style mixed
+// workload: 90% kNN reads, 10% object moves, executed sequentially and over
+// the batch worker pool. Reads hold a per-leaf shard read lock only while
+// scanning that leaf (branch pruning is lock-free on the atomic subtree
+// counts), so the qps/ups split shows how little the write stream taxes the
+// read path.
+func BenchmarkEngineMixed(b *testing.B) {
+	v := benchVenue("Men")
+	idx := benchIndexes("Men")
+	objs := bench.Objects(toModelVenue(v), 100, 9)
+	points := bench.Points(toModelVenue(v), 4096, 10)
+	rng := rand.New(rand.NewSource(11))
+	ops := make([]viptree.Query, 4096)
+	for i := range ops {
+		if rng.Float64() < 0.10 {
+			ops[i] = viptree.Query{Kind: viptree.QueryMove, ObjectID: rng.Intn(len(objs)), S: points[i]}
+		} else {
+			ops[i] = viptree.Query{Kind: viptree.QueryKNN, S: points[i], K: 5}
+		}
+	}
+	reportMix := func(b *testing.B, eng *viptree.Engine) {
+		s := eng.Stats()
+		b.ReportMetric(float64(s.Reads())/b.Elapsed().Seconds(), "qps")
+		b.ReportMetric(float64(s.Updates())/b.Elapsed().Seconds(), "ups")
+	}
+	b.Run("90-10/sequential", func(b *testing.B) {
+		eng := viptree.NewEngine(idx.vip, viptree.EngineOptions{Objects: idx.vip.IndexObjects(objs)})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if r := eng.Execute(ops[i%len(ops)]); r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+		reportMix(b, eng)
+	})
+	b.Run("90-10/batch", func(b *testing.B) {
+		eng := viptree.NewEngine(idx.vip, viptree.EngineOptions{Objects: idx.vip.IndexObjects(objs)})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, r := range eng.ExecuteBatch(ops) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+		reportMix(b, eng)
+	})
 }
 
 // BenchmarkTreeBuild measures full VIP-Tree construction from scratch: the

@@ -11,18 +11,27 @@
 // cross-checked against the exact D2D ground truth and kNN/range results
 // against a brute-force scan, which is how CI guards the on-disk format.
 //
+// With -update-ratio the workload becomes a mixed read/write stream: the
+// given fraction of operations are object updates (moves of random objects
+// to random locations) interleaved with the chosen read query, served
+// concurrently by the engine against the live object index — the
+// moving-objects scenario the IP-Tree/VIP-Tree object layer is built for.
+// Throughput is then reported separately as QPS (reads) and UPS (updates).
+//
 // Usage:
 //
 //	queryrunner -venue Men-2 -index vip -query distance -n 10000
 //	queryrunner -venue CL -index distaw -query knn -k 5 -objects 50
 //	queryrunner -venue Men -index vip -query distance -n 100000 -parallel 8
 //	queryrunner -load men-vip.snap -query distance -n 10000 -verify
+//	queryrunner -venue Men -index vip -query knn -n 50000 -update-ratio 0.1 -parallel 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -43,28 +52,34 @@ import (
 
 func main() {
 	var (
-		venue     = flag.String("venue", "Men", "venue to query: MC, MC-2, Men, Men-2, CL or CL-2 (ignored with -load)")
-		indexName = flag.String("index", "vip", "index to build: ip, vip, distmx, distaw, gtree or road (ignored with -load)")
-		scale     = flag.String("scale", "small", "venue scale: tiny, small or full (ignored with -load)")
-		query     = flag.String("query", "distance", "query type: distance, path, knn or range")
-		n         = flag.Int("n", 1000, "number of queries to run")
-		k         = flag.Int("k", 5, "k for kNN queries")
-		objects   = flag.Int("objects", 50, "number of indexed objects for kNN/range queries (ignored when the snapshot embeds an object index)")
-		radius    = flag.Float64("r", 100, "radius in metres for range queries")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		parallel  = flag.Int("parallel", 1, "engine worker count (0 = GOMAXPROCS)")
-		load      = flag.String("load", "", "serve from this index snapshot (written by indexbuild -out) instead of building")
-		verify    = flag.Bool("verify", false, "cross-check every result against the exact D2D ground truth")
+		venue       = flag.String("venue", "Men", "venue to query: MC, MC-2, Men, Men-2, CL or CL-2 (ignored with -load)")
+		indexName   = flag.String("index", "vip", "index to build: ip, vip, distmx, distaw, gtree or road (ignored with -load)")
+		scale       = flag.String("scale", "small", "venue scale: tiny, small or full (ignored with -load)")
+		query       = flag.String("query", "distance", "query type: distance, path, knn or range")
+		n           = flag.Int("n", 1000, "number of queries to run")
+		k           = flag.Int("k", 5, "k for kNN queries")
+		objects     = flag.Int("objects", 50, "number of indexed objects for kNN/range queries (ignored when the snapshot embeds an object index)")
+		radius      = flag.Float64("r", 100, "radius in metres for range queries")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		parallel    = flag.Int("parallel", 1, "engine worker count (0 = GOMAXPROCS)")
+		load        = flag.String("load", "", "serve from this index snapshot (written by indexbuild -out) instead of building")
+		verify      = flag.Bool("verify", false, "cross-check every result against the exact D2D ground truth")
+		updateRatio = flag.Float64("update-ratio", 0, "fraction of operations that are object updates (moves) in [0,1); requires a mutable object index (ip/vip)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"queryrunner drives a query workload through the concurrent engine and\n"+
 				"reports latency and throughput. It either builds an index (-venue/-index)\n"+
 				"or serves instantly from a snapshot (-load). -verify cross-checks every\n"+
-				"answer against the exact ground truth.\n\nFlags:\n")
+				"answer against the exact ground truth. -update-ratio mixes object moves\n"+
+				"into the stream and reports QPS (reads) and UPS (updates) separately.\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *updateRatio < 0 || *updateRatio >= 1 {
+		fmt.Fprintln(os.Stderr, "-update-ratio must be in [0,1)")
+		os.Exit(2)
+	}
 
 	var (
 		v    *model.Venue
@@ -109,8 +124,40 @@ func main() {
 		objs = bench.Objects(v, *objects, *seed+7)
 		oq = ix.NewObjectQuerier(objs)
 	}
+	// Live object IDs and locations: a snapshot saved from a mutated index
+	// may contain deleted slots, which must be neither move targets nor part
+	// of the verification ground truth.
+	liveIDs := make([]int, 0, len(objs))
+	if mi, ok := oq.(*iptree.ObjectIndex); ok {
+		live := make([]model.Location, 0, len(objs))
+		for id := range objs {
+			if loc, alive := mi.Location(id); alive {
+				liveIDs = append(liveIDs, id)
+				live = append(live, loc)
+			}
+		}
+		objs = live
+	} else {
+		for id := range objs {
+			liveIDs = append(liveIDs, id)
+		}
+	}
 
 	eng := engine.New(ix, engine.Options{Workers: *parallel, Objects: oq})
+	if *updateRatio > 0 {
+		if eng.Mutable() == nil {
+			fmt.Fprintf(os.Stderr, "index %s does not support live object updates; use -index ip or vip (or a tree snapshot)\n", ix.Name())
+			os.Exit(2)
+		}
+		if *verify && (*query == "knn" || *query == "range") {
+			fmt.Fprintln(os.Stderr, "-verify cannot check knn/range results while objects move; drop -verify or -update-ratio")
+			os.Exit(2)
+		}
+		if len(objs) == 0 {
+			fmt.Fprintln(os.Stderr, "-update-ratio needs at least one object (-objects)")
+			os.Exit(2)
+		}
+	}
 
 	var queries []engine.Query
 	switch *query {
@@ -138,6 +185,25 @@ func main() {
 	if len(queries) == 0 {
 		fmt.Fprintln(os.Stderr, "no queries to run (-n 0)")
 		os.Exit(2)
+	}
+
+	// Mix object updates into the stream: each selected slot becomes a move
+	// of a random object to a random location, exercising the mutable object
+	// layer concurrently with the reads around it.
+	reads, updates := len(queries), 0
+	if *updateRatio > 0 {
+		rng := rand.New(rand.NewSource(*seed + 99))
+		for i := range queries {
+			if rng.Float64() < *updateRatio {
+				queries[i] = engine.Query{
+					Kind:     engine.KindMove,
+					ObjectID: liveIDs[rng.Intn(len(liveIDs))],
+					S:        v.RandomLocation(rng),
+				}
+				updates++
+			}
+		}
+		reads = len(queries) - updates
 	}
 
 	// Warm the pooled scratch so the measurement reflects steady state.
@@ -176,6 +242,13 @@ func main() {
 
 	workers := eng.Workers()
 	perQuery := float64(total.Microseconds()) / float64(len(queries))
+	if updates > 0 {
+		qps := float64(reads) / total.Seconds()
+		ups := float64(updates) / total.Seconds()
+		fmt.Printf("%s %s %s+moves: %d ops (%d reads / %d updates), %d workers (%d cores), %.2f us/op, %.0f qps, %.0f ups (total %v)\n",
+			v.Name, ix.Name(), *query, len(queries), reads, updates, workers, runtime.NumCPU(), perQuery, qps, ups, total)
+		return
+	}
 	qps := float64(len(queries)) / total.Seconds()
 	fmt.Printf("%s %s %s: %d queries, %d workers (%d cores), %.2f us/query, %.0f qps (total %v)\n",
 		v.Name, ix.Name(), *query, len(queries), workers, runtime.NumCPU(), perQuery, qps, total)

@@ -1,7 +1,10 @@
 // Shopping-centre navigation: a visitor at a shopping centre asks for the
 // walking route to a specific shop and for all amenities within a given
 // walking range — the paper's in-store navigation and "accessible toilets
-// within 100 metres" scenarios.
+// within 100 metres" scenarios. The second half demonstrates the mutable
+// object layer: service carts are moved (and one retired, one deployed)
+// between queries, with each update touching only the leaf containing the
+// cart — no re-indexing.
 //
 // Run with:
 //
@@ -72,4 +75,35 @@ func main() {
 	for _, res := range amenityIndex.KNN(entrance, 3) {
 		fmt.Printf("top-3 nearest amenity: #%d at %.0f m\n", res.ObjectID, res.Dist)
 	}
+
+	// Some amenities are mobile: the cleaning crew relocates a few charging
+	// kiosks overnight. The object index is mutable, so each relocation
+	// updates just the leaf (or two) containing the kiosk — the queries
+	// keep serving throughout, no re-indexing.
+	fmt.Println("\nrelocating the 3 nearest amenities to random spots...")
+	for _, res := range amenityIndex.KNN(entrance, 3) {
+		if err := amenityIndex.Move(res.ObjectID, mall.RandomLocation(rng)); err != nil {
+			log.Fatalf("moving amenity #%d: %v", res.ObjectID, err)
+		}
+	}
+	// One kiosk is retired and a fresh one deployed right at the entrance;
+	// the retired slot's ID is recycled for the newcomer.
+	if err := amenityIndex.Delete(0); err != nil {
+		log.Fatalf("retiring amenity #0: %v", err)
+	}
+	newID, err := amenityIndex.Insert(entrance)
+	if err != nil {
+		log.Fatalf("deploying entrance kiosk: %v", err)
+	}
+	fmt.Printf("retired amenity #0, deployed a kiosk at the entrance as #%d (%d objects, update epoch %d)\n",
+		newID, amenityIndex.NumObjects(), amenityIndex.Epoch())
+
+	// The same queries now reflect the moved fleet.
+	for _, res := range amenityIndex.KNN(entrance, 3) {
+		loc, _ := amenityIndex.Location(res.ObjectID)
+		fmt.Printf("top-3 nearest amenity now: #%d in %-20s at %.0f m\n",
+			res.ObjectID, mall.Partition(loc.Partition).Name, res.Dist)
+	}
+	within = amenityIndex.Range(entrance, walkingRange)
+	fmt.Printf("%d amenities are within %.0f m of the entrance after the moves\n", len(within), walkingRange)
 }

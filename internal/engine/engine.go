@@ -3,12 +3,19 @@
 // structs, single-query execution, and a batch API driven by a worker-pool
 // executor.
 //
-// The engine is the substrate a query service builds on. It holds an
-// immutable index (any of the six implementations — IP-Tree, VIP-Tree,
-// DistMx, DistAw, G-tree, ROAD) plus an optional object querier for kNN and
-// range queries, and is safe for use by many goroutines at once: the indexes
-// are read-only after construction and the hot paths draw their scratch from
+// The engine is the substrate a query service builds on. It holds an index
+// (any of the six implementations — IP-Tree, VIP-Tree, DistMx, DistAw,
+// G-tree, ROAD) plus an optional object querier for kNN and range queries,
+// and is safe for use by many goroutines at once: the distance indexes are
+// read-only after construction and the hot paths draw their scratch from
 // sync.Pool, so parallel callers neither race nor contend on allocations.
+//
+// When the object querier is mutable (index.MutableObjectIndexer — the
+// IP-Tree/VIP-Tree object index), the engine additionally executes object
+// updates (KindInsert, KindDelete, KindMove), concurrently with reads and
+// freely mixed within one batch — the HTAP-style read/write mix a live
+// tracking service needs. Against an immutable querier, update kinds
+// return ErrImmutableObjects.
 //
 //	eng := engine.New(vipTree, engine.Options{Objects: objectIndex})
 //	results := eng.ExecuteBatch(queries) // fans out over a worker pool
@@ -33,7 +40,9 @@ import (
 // Kind selects the query type executed by the engine.
 type Kind uint8
 
-// The query kinds supported by the engine.
+// The query kinds supported by the engine. KindInsert, KindDelete and
+// KindMove are object updates: they mutate the attached object querier and
+// can be mixed freely with read kinds in one ExecuteBatch.
 const (
 	// KindDistance is a shortest-distance query between S and T.
 	KindDistance Kind = iota
@@ -43,6 +52,13 @@ const (
 	KindKNN
 	// KindRange is a range query around S with parameter Radius.
 	KindRange
+	// KindInsert inserts an object at S; the allocated ID is returned in
+	// Result.ObjectID.
+	KindInsert
+	// KindDelete deletes the object identified by ObjectID.
+	KindDelete
+	// KindMove relocates the object identified by ObjectID to S.
+	KindMove
 	numKinds
 )
 
@@ -57,15 +73,27 @@ func (k Kind) String() string {
 		return "knn"
 	case KindRange:
 		return "range"
+	case KindInsert:
+		return "insert"
+	case KindDelete:
+		return "delete"
+	case KindMove:
+		return "move"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
 }
 
+// IsUpdate reports whether the kind mutates the object set.
+func (k Kind) IsUpdate() bool {
+	return k == KindInsert || k == KindDelete || k == KindMove
+}
+
 // Query is one typed query submitted to the engine.
 type Query struct {
 	Kind Kind
-	// S is the query source (distance/path) or the query point (kNN/range).
+	// S is the query source (distance/path), the query point (kNN/range),
+	// or the object location (insert/move).
 	S model.Location
 	// T is the query target; only used by distance and path queries.
 	T model.Location
@@ -73,6 +101,8 @@ type Query struct {
 	K int
 	// Radius is the distance bound of a range query, in metres.
 	Radius float64
+	// ObjectID addresses the object of a delete or move.
+	ObjectID int
 }
 
 // Result is the outcome of one query.
@@ -83,8 +113,12 @@ type Result struct {
 	Doors []model.DoorID
 	// Objects are the kNN or range results, ascending by distance.
 	Objects []index.ObjectResult
+	// ObjectID is the ID allocated by an insert, or the ID addressed by a
+	// delete or move.
+	ObjectID int
 	// Err reports queries the engine could not execute (e.g. an object
-	// query without an attached object querier).
+	// query without an attached object querier, or an update against an
+	// immutable one).
 	Err error
 }
 
@@ -93,6 +127,10 @@ var (
 	// ErrNoObjectIndex is returned for kNN/range queries when the engine
 	// was built without an object querier.
 	ErrNoObjectIndex = errors.New("engine: no object querier attached (set Options.Objects)")
+	// ErrImmutableObjects is returned for insert/delete/move queries when
+	// the attached object querier does not implement
+	// index.MutableObjectIndexer.
+	ErrImmutableObjects = errors.New("engine: object querier does not support updates")
 	// ErrUnknownKind is returned for queries with an invalid Kind.
 	ErrUnknownKind = errors.New("engine: unknown query kind")
 )
@@ -107,11 +145,14 @@ type Options struct {
 	Objects index.ObjectQuerier
 }
 
-// Engine executes queries against one index. It is immutable after New and
-// safe for concurrent use.
+// Engine executes queries against one index. Its configuration is immutable
+// after New and it is safe for concurrent use; when the attached object
+// querier is mutable (index.MutableObjectIndexer), object updates may run
+// concurrently with reads — including mixed within one batch.
 type Engine struct {
 	idx     index.Index
 	objects index.ObjectQuerier
+	mutable index.MutableObjectIndexer // nil when objects is immutable
 	workers int
 	counts  [numKinds]atomic.Int64
 }
@@ -122,7 +163,8 @@ func New(idx index.Index, opts Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{idx: idx, objects: opts.Objects, workers: w}
+	mut, _ := opts.Objects.(index.MutableObjectIndexer)
+	return &Engine{idx: idx, objects: opts.Objects, mutable: mut, workers: w}
 }
 
 // Index returns the underlying index.
@@ -161,6 +203,48 @@ func (e *Engine) Range(q model.Location, r float64) ([]index.ObjectResult, error
 	return e.objects.Range(q, r), nil
 }
 
+// Mutable returns the attached object querier's update capability, or nil
+// when the engine has no object querier or an immutable one.
+func (e *Engine) Mutable() index.MutableObjectIndexer { return e.mutable }
+
+// updatable reports whether object updates can be executed.
+func (e *Engine) updatable() error {
+	if e.objects == nil {
+		return ErrNoObjectIndex
+	}
+	if e.mutable == nil {
+		return ErrImmutableObjects
+	}
+	return nil
+}
+
+// Insert adds an object to the attached object index and returns its ID.
+func (e *Engine) Insert(loc model.Location) (int, error) {
+	if err := e.updatable(); err != nil {
+		return 0, err
+	}
+	e.counts[KindInsert].Add(1)
+	return e.mutable.Insert(loc)
+}
+
+// Delete removes an object from the attached object index.
+func (e *Engine) Delete(id int) error {
+	if err := e.updatable(); err != nil {
+		return err
+	}
+	e.counts[KindDelete].Add(1)
+	return e.mutable.Delete(id)
+}
+
+// Move relocates an object of the attached object index.
+func (e *Engine) Move(id int, loc model.Location) error {
+	if err := e.updatable(); err != nil {
+		return err
+	}
+	e.counts[KindMove].Add(1)
+	return e.mutable.Move(id, loc)
+}
+
 // Execute runs a single query.
 func (e *Engine) Execute(q Query) Result {
 	switch q.Kind {
@@ -175,6 +259,13 @@ func (e *Engine) Execute(q Query) Result {
 	case KindRange:
 		objs, err := e.Range(q.S, q.Radius)
 		return Result{Objects: objs, Err: err}
+	case KindInsert:
+		id, err := e.Insert(q.S)
+		return Result{ObjectID: id, Err: err}
+	case KindDelete:
+		return Result{ObjectID: q.ObjectID, Err: e.Delete(q.ObjectID)}
+	case KindMove:
+		return Result{ObjectID: q.ObjectID, Err: e.Move(q.ObjectID, q.S)}
 	default:
 		return Result{Err: ErrUnknownKind}
 	}
@@ -227,13 +318,21 @@ func (e *Engine) ExecuteBatchWorkers(queries []Query, workers int) []Result {
 	return out
 }
 
-// Stats reports the number of queries executed per kind since New.
+// Stats reports the number of operations executed per kind since New: the
+// four read kinds plus the three object-update kinds.
 type Stats struct {
 	Distance, Path, KNN, Range int64
+	Insert, Delete, Move       int64
 }
 
-// Total returns the total number of executed queries.
-func (s Stats) Total() int64 { return s.Distance + s.Path + s.KNN + s.Range }
+// Total returns the total number of executed operations (reads and updates).
+func (s Stats) Total() int64 { return s.Reads() + s.Updates() }
+
+// Reads returns the number of executed read queries.
+func (s Stats) Reads() int64 { return s.Distance + s.Path + s.KNN + s.Range }
+
+// Updates returns the number of executed object updates.
+func (s Stats) Updates() int64 { return s.Insert + s.Delete + s.Move }
 
 // Stats returns a snapshot of the engine's query counters.
 func (e *Engine) Stats() Stats {
@@ -242,5 +341,8 @@ func (e *Engine) Stats() Stats {
 		Path:     e.counts[KindPath].Load(),
 		KNN:      e.counts[KindKNN].Load(),
 		Range:    e.counts[KindRange].Load(),
+		Insert:   e.counts[KindInsert].Load(),
+		Delete:   e.counts[KindDelete].Load(),
+		Move:     e.counts[KindMove].Load(),
 	}
 }

@@ -194,3 +194,141 @@ func floatEqual(a, b float64) bool {
 	}
 	return math.Abs(a-b) < 1e-9
 }
+
+// TestUpdateKinds drives the three object-update kinds through Execute and
+// verifies their effect is visible to subsequent queries.
+func TestUpdateKinds(t *testing.T) {
+	v := testVenue(t)
+	vip := iptree.MustBuildVIPTree(v, iptree.Options{})
+	rng := rand.New(rand.NewSource(31))
+	objects := make([]model.Location, 5)
+	for i := range objects {
+		objects[i] = v.RandomLocation(rng)
+	}
+	eng := engine.New(vip, engine.Options{Objects: vip.IndexObjects(objects)})
+	if eng.Mutable() == nil {
+		t.Fatal("tree object index not reported as mutable")
+	}
+	q := v.RandomLocation(rng)
+
+	res := eng.Execute(engine.Query{Kind: engine.KindInsert, S: q})
+	if res.Err != nil {
+		t.Fatalf("insert: %v", res.Err)
+	}
+	id := res.ObjectID
+	if knn, err := eng.KNN(q, 1); err != nil || len(knn) != 1 || knn[0].ObjectID != id {
+		t.Fatalf("1-NN after insert = %v (%v), want object %d", knn, err, id)
+	}
+	res = eng.Execute(engine.Query{Kind: engine.KindMove, ObjectID: id, S: v.RandomLocation(rng)})
+	if res.Err != nil || res.ObjectID != id {
+		t.Fatalf("move: %+v", res)
+	}
+	res = eng.Execute(engine.Query{Kind: engine.KindDelete, ObjectID: id})
+	if res.Err != nil {
+		t.Fatalf("delete: %v", res.Err)
+	}
+	res = eng.Execute(engine.Query{Kind: engine.KindDelete, ObjectID: id})
+	if res.Err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	s := eng.Stats()
+	if s.Insert != 1 || s.Move != 1 || s.Delete != 2 {
+		t.Errorf("update stats = %+v", s)
+	}
+	if s.Updates() != 4 || s.Reads() != 1 || s.Total() != 5 {
+		t.Errorf("aggregate stats = %+v (updates %d, reads %d)", s, s.Updates(), s.Reads())
+	}
+	for _, k := range []engine.Kind{engine.KindInsert, engine.KindDelete, engine.KindMove} {
+		if !k.IsUpdate() {
+			t.Errorf("%v.IsUpdate() = false", k)
+		}
+	}
+	if engine.KindKNN.IsUpdate() {
+		t.Error("KindKNN.IsUpdate() = true")
+	}
+}
+
+// TestUpdatesAgainstImmutableQuerier verifies update kinds fail cleanly when
+// the attached object querier (here: a baseline's) cannot be mutated, and
+// when no querier is attached at all.
+func TestUpdatesAgainstImmutableQuerier(t *testing.T) {
+	v := testVenue(t)
+	rng := rand.New(rand.NewSource(37))
+	objects := []model.Location{v.RandomLocation(rng)}
+	gt := gtree.Build(v, gtree.Options{})
+	eng := engine.New(gt, engine.Options{Objects: gt.NewObjectQuerier(objects)})
+	if eng.Mutable() != nil {
+		t.Fatal("baseline object querier reported as mutable")
+	}
+	res := eng.Execute(engine.Query{Kind: engine.KindInsert, S: v.RandomLocation(rng)})
+	if res.Err != engine.ErrImmutableObjects {
+		t.Errorf("insert on baseline: err = %v, want ErrImmutableObjects", res.Err)
+	}
+	if err := eng.Move(0, v.RandomLocation(rng)); err != engine.ErrImmutableObjects {
+		t.Errorf("move on baseline: err = %v, want ErrImmutableObjects", err)
+	}
+	none := engine.New(gt, engine.Options{})
+	if err := none.Delete(0); err != engine.ErrNoObjectIndex {
+		t.Errorf("delete without querier: err = %v, want ErrNoObjectIndex", err)
+	}
+}
+
+// TestMixedBatchUnderRace executes batches mixing reads with object updates
+// over the worker pool, from several goroutines at once — the HTAP-style
+// workload the mutable object layer exists for. Run under -race in CI, it
+// proves the engine's update path is data-race free; here it additionally
+// checks every operation succeeded and the object count balances.
+func TestMixedBatchUnderRace(t *testing.T) {
+	v := testVenue(t)
+	vip := iptree.MustBuildVIPTree(v, iptree.Options{})
+	rng := rand.New(rand.NewSource(41))
+	objects := make([]model.Location, 30)
+	for i := range objects {
+		objects[i] = v.RandomLocation(rng)
+	}
+	oi := vip.IndexObjects(objects)
+	eng := engine.New(vip, engine.Options{Workers: 4, Objects: oi})
+
+	const callers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + c)))
+			qs := make([]engine.Query, 120)
+			for i := range qs {
+				switch {
+				case i%10 == 0:
+					// Each caller moves only its own object, so every
+					// update must succeed.
+					qs[i] = engine.Query{Kind: engine.KindMove, ObjectID: c, S: v.RandomLocation(rng)}
+				case i%3 == 0:
+					qs[i] = engine.Query{Kind: engine.KindKNN, S: v.RandomLocation(rng), K: 5}
+				case i%3 == 1:
+					qs[i] = engine.Query{Kind: engine.KindRange, S: v.RandomLocation(rng), Radius: 80}
+				default:
+					qs[i] = engine.Query{Kind: engine.KindDistance, S: v.RandomLocation(rng), T: v.RandomLocation(rng)}
+				}
+			}
+			for _, r := range eng.ExecuteBatch(qs) {
+				if r.Err != nil {
+					errs <- r.Err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("mixed batch error: %v", err)
+	}
+	if n := oi.NumObjects(); n != len(objects) {
+		t.Errorf("NumObjects() after move-only workload = %d, want %d", n, len(objects))
+	}
+	if got := eng.Stats().Updates(); got != callers*12 {
+		t.Errorf("Stats().Updates() = %d, want %d", got, callers*12)
+	}
+}

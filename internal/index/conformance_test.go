@@ -37,6 +37,10 @@ var (
 	_ index.Snapshotter = (*iptree.VIPTree)(nil)
 )
 
+// Compile-time assertion for the mutable-object capability: the shared
+// IP-Tree/VIP-Tree object index supports live Insert/Delete/Move.
+var _ index.MutableObjectIndexer = (*iptree.ObjectIndex)(nil)
+
 func allIndexers(t *testing.T, v *model.Venue) []index.ObjectIndexer {
 	t.Helper()
 	ip, err := iptree.BuildIPTree(v, iptree.Options{})
@@ -169,6 +173,91 @@ func TestSnapshotterConformance(t *testing.T) {
 	for name := range wantSnapshotter {
 		if !seen[name] {
 			t.Errorf("conformance table lists %q but no index reported that name", name)
+		}
+	}
+}
+
+// TestMutableObjectIndexerConformance pins down which object queriers
+// implement the live-update capability: exactly those of the IP-Tree and
+// VIP-Tree. The table mirrors the paper's claim — object updates on the
+// proposed index touch only the affected leaf, while the baselines would
+// need a rebuild — so adding or losing the capability must be a deliberate
+// change here. For implementers, the three updates must take effect and be
+// visible to subsequent queries.
+func TestMutableObjectIndexerConformance(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{
+		Name: "mutable", Floors: 2, RoomsPerHallway: 8, Seed: 5,
+	})
+	wantMutable := map[string]bool{
+		"IP-Tree":  true,
+		"VIP-Tree": true,
+		"DistMx":   false,
+		"DistAw":   false,
+		"G-tree":   false,
+		"ROAD":     false,
+	}
+	rng := rand.New(rand.NewSource(2))
+	objects := make([]model.Location, 10)
+	for i := range objects {
+		objects[i] = v.RandomLocation(rng)
+	}
+	seen := map[string]bool{}
+	for _, ixr := range allIndexers(t, v) {
+		name := ixr.Name()
+		seen[name] = true
+		want, known := wantMutable[name]
+		if !known {
+			t.Errorf("index %q missing from the mutable conformance table", name)
+			continue
+		}
+		oq := ixr.NewObjectQuerier(objects)
+		mut, got := oq.(index.MutableObjectIndexer)
+		if got != want {
+			t.Errorf("index %q: object querier implements MutableObjectIndexer = %v, want %v", name, got, want)
+			continue
+		}
+		if !got {
+			continue
+		}
+		if n := mut.NumObjects(); n != len(objects) {
+			t.Errorf("index %q: NumObjects() = %d, want %d", name, n, len(objects))
+		}
+		// Insert an object at a query point: it must become the 1-NN.
+		q := v.RandomLocation(rng)
+		id, err := mut.Insert(q)
+		if err != nil {
+			t.Errorf("index %q: Insert: %v", name, err)
+			continue
+		}
+		if knn := mut.KNN(q, 1); len(knn) != 1 || knn[0].ObjectID != id {
+			t.Errorf("index %q: 1-NN after Insert = %v, want object %d", name, knn, id)
+		}
+		// Move it far away and back: queries must track the location.
+		if err := mut.Move(id, v.RandomLocation(rng)); err != nil {
+			t.Errorf("index %q: Move: %v", name, err)
+		}
+		if err := mut.Move(id, q); err != nil {
+			t.Errorf("index %q: Move back: %v", name, err)
+		}
+		if knn := mut.KNN(q, 1); len(knn) != 1 || knn[0].ObjectID != id {
+			t.Errorf("index %q: 1-NN after Move = %v, want object %d", name, knn, id)
+		}
+		// Delete it: it must disappear from results.
+		if err := mut.Delete(id); err != nil {
+			t.Errorf("index %q: Delete: %v", name, err)
+		}
+		for _, r := range mut.KNN(q, len(objects)+1) {
+			if r.ObjectID == id {
+				t.Errorf("index %q: deleted object %d still in kNN results", name, id)
+			}
+		}
+		if n := mut.NumObjects(); n != len(objects) {
+			t.Errorf("index %q: NumObjects() after insert+delete = %d, want %d", name, n, len(objects))
+		}
+	}
+	for name := range wantMutable {
+		if !seen[name] {
+			t.Errorf("mutable conformance table lists %q but no index reported that name", name)
 		}
 	}
 }

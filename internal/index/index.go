@@ -12,13 +12,18 @@
 // (viptree/internal/engine), the benchmark harness and the experiment
 // driver.
 //
-// Indexes may additionally implement the optional Snapshotter capability:
-// exporting their fully built state so viptree/internal/snapshot can persist
-// it and restore it later without re-running construction. The IP-Tree and
-// VIP-Tree implement it; conformance_test.go pins down the exact set.
+// Indexes may additionally implement two optional capabilities, both pinned
+// by conformance_test.go. Snapshotter exports the fully built state so
+// viptree/internal/snapshot can persist it and restore it later without
+// re-running construction; the IP-Tree and VIP-Tree implement it.
+// MutableObjectIndexer marks object queriers whose object set can be
+// mutated (Insert/Delete/Move) while queries are served; the IP-Tree and
+// VIP-Tree object indexes implement it.
 //
-// All implementations are immutable after construction and safe for
-// concurrent queries from multiple goroutines.
+// The distance half of every implementation is immutable after construction
+// and safe for concurrent queries from multiple goroutines; object queriers
+// are likewise safe for concurrent queries, and the mutable ones also for
+// queries concurrent with updates.
 package index
 
 import (
@@ -113,6 +118,30 @@ type ObjectIndexer interface {
 	// the querier answering kNN and range queries over it. Object IDs are
 	// the slice positions.
 	NewObjectQuerier(objects []model.Location) ObjectQuerier
+}
+
+// MutableObjectIndexer is an ObjectQuerier whose embedded object set can be
+// mutated in place while queries are being served: objects are inserted,
+// deleted and moved with cost bounded by the affected part of the index
+// (for the tree indexes: the leaf, or pair of leaves, containing the
+// object) instead of a full rebuild. Implementations are safe for
+// concurrent use — updates may run while kNN/Range queries are in flight.
+//
+// The IP-Tree and VIP-Tree object indexes implement the capability (their
+// update locality is the paper's central advantage over G-tree-style
+// indexes); the baselines do not, and a fleet movement on them forces a
+// rebuild through NewObjectQuerier. conformance_test.go pins down the set.
+type MutableObjectIndexer interface {
+	ObjectQuerier
+	// Insert adds an object at the location and returns its ID. IDs of
+	// deleted objects may be reused.
+	Insert(loc model.Location) (int, error)
+	// Delete removes the object with the given ID.
+	Delete(id int) error
+	// Move relocates the object with the given ID.
+	Move(id int, loc model.Location) error
+	// NumObjects returns the number of live objects.
+	NumObjects() int
 }
 
 // Full is the complete capability surface: Distance, Path, KNN, Range,

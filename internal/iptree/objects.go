@@ -2,9 +2,12 @@ package iptree
 
 import (
 	"cmp"
+	"errors"
+	"fmt"
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"viptree/internal/index"
 	"viptree/internal/model"
@@ -12,80 +15,179 @@ import (
 
 // This file implements indexing of indoor objects and the k-nearest-
 // neighbour and range queries of Section 3.4 (Algorithm 5 with the mindist
-// optimisations of Lemmas 8 and 9).
+// optimisations of Lemmas 8 and 9), plus the object-update operations
+// (Insert, Delete, Move) that make the index suitable for moving indoor
+// objects — the paper's central advantage over G-tree-style indexes, whose
+// object updates touch large parts of the structure. Here an update touches
+// only the leaf (or, for a cross-leaf move, the two leaves) containing the
+// object.
+
+// ObjectID identifies an object in an ObjectIndex. IDs handed out by
+// IndexObjects are the positions in the object slice; IDs handed out by
+// Insert reuse deleted slots before growing the set. It aliases int so that
+// index.ObjectResult.ObjectID carries the same values.
+type ObjectID = int
+
+// Errors reported by the object-update operations.
+var (
+	// ErrNoSuchObject reports an update addressing an object ID that was
+	// never allocated or has been deleted.
+	ErrNoSuchObject = errors.New("iptree: no such object")
+)
 
 // objEntry is an object together with its distance from a specific access
 // door of the leaf containing it.
 type objEntry struct {
-	objectID int
+	objectID ObjectID
 	dist     float64
 }
+
+// cmpObjEntry orders access-list entries by ascending distance, breaking
+// ties on the object ID so that list order — and therefore the order in
+// which equidistant objects reach the result collector — is deterministic
+// and independent of insertion history.
+func cmpObjEntry(a, b objEntry) int {
+	if a.dist != b.dist {
+		return cmp.Compare(a.dist, b.dist)
+	}
+	return cmp.Compare(a.objectID, b.objectID)
+}
+
+// leafObjects is the embedded-object state of one leaf, guarded by the
+// leaf's shard lock: updates mutate it in place (holding the write lock),
+// leaf scans read it under the read lock. In-place mutation keeps an object
+// update down to a couple of in-array shifts — no per-update reallocation
+// of the leaf's lists — which is what makes Move two orders of magnitude
+// cheaper than a rebuild even on trees with few, large leaves.
+type leafObjects struct {
+	// ids lists the leaf's objects in ascending ObjectID order.
+	ids []ObjectID
+	// locs[i] is the location of ids[i] (kept here so query threads never
+	// touch the writer-owned object table).
+	locs []model.Location
+	// lists[ai] lists the leaf's objects sorted by (distance from the
+	// leaf's ai-th access door, ObjectID), aligned with Node.AccessDoors.
+	lists [][]objEntry
+	// maxID is an exclusive upper bound on the IDs ever present in ids,
+	// sizing the per-query dense object scratch. It never shrinks.
+	maxID int
+}
+
+// objShards is the number of writer locks the leaves are sharded over; a
+// power of two so the shard of a leaf is a mask away.
+const objShards = 64
 
 // ObjectIndex embeds a set of objects into an IP-Tree (or VIP-Tree): each
 // object records the leaf that contains it, and every access door of a leaf
 // keeps the list of the leaf's objects sorted by distance from that door.
-// An ObjectIndex is immutable after construction and safe for concurrent
-// queries.
+//
+// The index is mutable and safe for concurrent use: Insert, Delete and Move
+// update only the leaf (or two leaves) containing the object, in place,
+// under that leaf's shard of the reader/writer lock array; kNN and Range
+// queries take the read side only around the scan of each populated leaf
+// they reach (branch pruning reads the atomic subtree counts and never
+// locks). Updates on different shards proceed in parallel; updates on the
+// same leaf serialise.
+//
+// Consistency model: every query observes each leaf atomically (the leaf's
+// lock covers the scan), so per-leaf state is never torn. A cross-leaf Move
+// is not atomic with respect to concurrent queries: a query overlapping the
+// move may see the object at its old location, its new location, or — in a
+// narrow window — at both (deduplicated to the nearer one) or neither.
+// Objects not being mutated are always reported exactly. Quiescent queries
+// (no concurrent updates) are exact.
 type ObjectIndex struct {
-	tree    *Tree
-	name    string
+	tree *Tree
+	name string
+
+	// shards is the sharded per-leaf reader/writer lock array: an update
+	// write-locks the shard(s) of the leaf (or leaves) it touches, a query
+	// read-locks a leaf's shard only while scanning that leaf.
+	shards [objShards]sync.RWMutex
+	// leafData[n] is the object state of leaf n, guarded by the leaf's
+	// shard; nil until the leaf first receives an object (and always nil
+	// for non-leaf nodes).
+	leafData []*leafObjects
+	// subtreeCount[n] counts the objects in the subtree rooted at n, letting
+	// Algorithm 5 skip empty branches without locking; counts (rather than
+	// booleans) let deletes un-mark branches that become empty.
+	subtreeCount []atomic.Int64
+	// leafColPos[leaf][ai] is the column position of the leaf's ai-th access
+	// door in the leaf's matrix (-1 when absent), precomputed once so object
+	// updates sweep the matrix positionally instead of binary-searching
+	// per entry. Immutable after construction.
+	leafColPos [][]int32
+	// epoch increments on every completed update; it versions the object
+	// set for stats, tests and cache invalidation by callers.
+	epoch atomic.Uint64
+	// tableMu guards the object table below (id allocation, the free list,
+	// and the authoritative object locations and leaf assignments).
+	tableMu sync.Mutex
+	// objects[id] is the location of object id; stale for deleted slots.
 	objects []model.Location
-	// objectsInLeaf lists object IDs per leaf node.
-	objectsInLeaf map[NodeID][]int
-	// accessLists[leaf][i] lists the leaf's objects sorted by distance from
-	// the leaf's i-th access door (aligned with Node.AccessDoors).
-	accessLists map[NodeID][][]objEntry
-	// subtreeHasObjects marks nodes whose subtree contains at least one
-	// object, letting Algorithm 5 skip empty branches.
-	subtreeHasObjects map[NodeID]bool
+	// objLeaf[id] is the leaf containing object id, or invalidNode when the
+	// slot is free.
+	objLeaf []NodeID
+	// free lists deleted slots available for reuse (popped from the end).
+	free []ObjectID
+	// alive is the number of live objects.
+	alive int
+
 	// scratchPool recycles per-query traversal scratch (objScratch), keeping
 	// warm kNN/Range queries down to the result-slice allocation and safe
 	// for concurrent callers.
 	scratchPool sync.Pool
 }
 
+// newObjectIndex returns an empty object index over the tree.
+func newObjectIndex(t *Tree, name string) *ObjectIndex {
+	oi := &ObjectIndex{
+		tree:         t,
+		name:         name,
+		leafData:     make([]*leafObjects, len(t.nodes)),
+		subtreeCount: make([]atomic.Int64, len(t.nodes)),
+		leafColPos:   make([][]int32, len(t.nodes)),
+	}
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		if !n.IsLeaf() || n.Matrix == nil {
+			continue
+		}
+		pos := make([]int32, len(n.AccessDoors))
+		for ai, a := range n.AccessDoors {
+			if p, ok := n.Matrix.colIndexOf(a); ok {
+				pos[ai] = int32(p)
+			} else {
+				pos[ai] = -1
+			}
+		}
+		oi.leafColPos[i] = pos
+	}
+	return oi
+}
+
 // IndexObjects embeds the object set into the tree and returns the object
 // index used by KNN and Range queries. Object IDs are the slice positions.
+// The returned index accepts further Insert/Delete/Move updates.
 func (t *Tree) IndexObjects(objects []model.Location) *ObjectIndex {
-	oi := &ObjectIndex{
-		tree:              t,
-		name:              t.Name(),
-		objects:           objects,
-		objectsInLeaf:     make(map[NodeID][]int),
-		accessLists:       make(map[NodeID][][]objEntry),
-		subtreeHasObjects: make(map[NodeID]bool),
-	}
-	v := t.venue
+	oi := newObjectIndex(t, t.Name())
+	oi.objects = append(oi.objects, objects...)
+	oi.objLeaf = make([]NodeID, len(objects))
+	oi.alive = len(objects)
+	// Group object IDs by leaf; iterating in ID order keeps every per-leaf
+	// ID list ascending by construction.
+	perLeaf := make([][]ObjectID, len(t.nodes))
 	for id, o := range objects {
 		leaf := t.Leaf(o.Partition)
-		oi.objectsInLeaf[leaf] = append(oi.objectsInLeaf[leaf], id)
-		for n := leaf; n != invalidNode; n = t.nodes[n].Parent {
-			oi.subtreeHasObjects[n] = true
-		}
+		oi.objLeaf[id] = leaf
+		perLeaf[leaf] = append(perLeaf[leaf], id)
 	}
-	for leaf, ids := range oi.objectsInLeaf {
-		node := &t.nodes[leaf]
-		lists := make([][]objEntry, len(node.AccessDoors))
-		for ai, a := range node.AccessDoors {
-			entries := make([]objEntry, 0, len(ids))
-			for _, id := range ids {
-				o := objects[id]
-				best := Infinite
-				for _, dp := range v.Partition(o.Partition).Doors {
-					md := node.Matrix.Dist(dp, a)
-					if md == Infinite {
-						continue
-					}
-					if d := v.DistToDoor(o, dp) + md; d < best {
-						best = d
-					}
-				}
-				entries = append(entries, objEntry{objectID: id, dist: best})
-			}
-			sort.Slice(entries, func(i, j int) bool { return entries[i].dist < entries[j].dist })
-			lists[ai] = entries
+	for leaf, ids := range perLeaf {
+		if len(ids) == 0 {
+			continue
 		}
-		oi.accessLists[leaf] = lists
+		oi.leafData[leaf] = oi.buildLeaf(NodeID(leaf), ids)
+		oi.addCountPath(NodeID(leaf), int64(len(ids)))
 	}
 	return oi
 }
@@ -99,43 +201,359 @@ func (vt *VIPTree) IndexObjects(objects []model.Location) *ObjectIndex {
 	return oi
 }
 
+// buildLeaf constructs the immutable snapshot of one leaf from scratch: ids
+// must be ascending, and locations are read from the object table (callers
+// hold the table exclusively or are single-threaded).
+func (oi *ObjectIndex) buildLeaf(leaf NodeID, ids []ObjectID) *leafObjects {
+	node := &oi.tree.nodes[leaf]
+	lo := &leafObjects{
+		ids:   ids,
+		locs:  make([]model.Location, len(ids)),
+		lists: make([][]objEntry, len(node.AccessDoors)),
+		maxID: ids[len(ids)-1] + 1,
+	}
+	for i, id := range ids {
+		lo.locs[i] = oi.objects[id]
+	}
+	dists := make([]float64, len(node.AccessDoors))
+	flat := make([]objEntry, len(node.AccessDoors)*len(ids))
+	for ai := range node.AccessDoors {
+		lo.lists[ai] = flat[ai*len(ids) : (ai+1)*len(ids) : (ai+1)*len(ids)]
+	}
+	for i, id := range ids {
+		oi.accessDists(leaf, lo.locs[i], dists)
+		for ai := range lo.lists {
+			lo.lists[ai][i] = objEntry{objectID: id, dist: dists[ai]}
+		}
+	}
+	for ai := range lo.lists {
+		slices.SortFunc(lo.lists[ai], cmpObjEntry)
+	}
+	return lo
+}
+
+// accessDists computes the distance from an object location inside the leaf
+// to every access door of the leaf, into dists (length: the access-door
+// count): per door the best combination of walking to one of the
+// partition's doors and the leaf matrix from there (Section 3.4). Row and
+// column positions are resolved once and the flat matrix swept positionally,
+// which keeps an object update a few microseconds.
+func (oi *ObjectIndex) accessDists(leaf NodeID, o model.Location, dists []float64) {
+	t := oi.tree
+	mat := t.nodes[leaf].Matrix
+	cols := oi.leafColPos[leaf]
+	for ai := range dists {
+		dists[ai] = Infinite
+	}
+	for _, dp := range t.venue.Partition(o.Partition).Doors {
+		row, ok := mat.rowIndexOf(dp)
+		if !ok {
+			continue
+		}
+		walk := t.venue.DistToDoor(o, dp)
+		for ai, col := range cols {
+			if col < 0 {
+				continue
+			}
+			md := mat.distAt(row, int(col))
+			if md == Infinite {
+				continue
+			}
+			if d := walk + md; d < dists[ai] {
+				dists[ai] = d
+			}
+		}
+	}
+}
+
+// shard returns the reader/writer lock guarding the leaf.
+func (oi *ObjectIndex) shard(leaf NodeID) *sync.RWMutex {
+	return &oi.shards[int(leaf)&(objShards-1)]
+}
+
+// addCountPath adds delta to the object count of every node from the leaf up
+// to the root.
+func (oi *ObjectIndex) addCountPath(leaf NodeID, delta int64) {
+	for n := leaf; n != invalidNode; n = oi.tree.nodes[n].Parent {
+		oi.subtreeCount[n].Add(delta)
+	}
+}
+
+// leafFor validates the location and returns the leaf containing it.
+func (oi *ObjectIndex) leafFor(loc model.Location) (NodeID, error) {
+	if int(loc.Partition) < 0 || int(loc.Partition) >= oi.tree.venue.NumPartitions() {
+		return invalidNode, fmt.Errorf("iptree: object partition %d out of range [0,%d)",
+			loc.Partition, oi.tree.venue.NumPartitions())
+	}
+	return oi.tree.Leaf(loc.Partition), nil
+}
+
+// Insert adds an object at the location and returns its ID, reusing the slot
+// of a previously deleted object when one is free. Cost is bounded by the
+// size of the leaf containing the location.
+func (oi *ObjectIndex) Insert(loc model.Location) (ObjectID, error) {
+	leaf, err := oi.leafFor(loc)
+	if err != nil {
+		return 0, err
+	}
+	s := oi.shard(leaf)
+	s.Lock()
+	defer s.Unlock()
+	oi.tableMu.Lock()
+	var id ObjectID
+	if n := len(oi.free); n > 0 {
+		id = oi.free[n-1]
+		oi.free = oi.free[:n-1]
+		oi.objects[id] = loc
+	} else {
+		id = len(oi.objects)
+		oi.objects = append(oi.objects, loc)
+		oi.objLeaf = append(oi.objLeaf, invalidNode)
+	}
+	oi.objLeaf[id] = leaf
+	oi.alive++
+	oi.tableMu.Unlock()
+	oi.insertIntoLeaf(leaf, id, loc)
+	oi.addCountPath(leaf, 1)
+	oi.epoch.Add(1)
+	return id, nil
+}
+
+// Delete removes the object. Cost is bounded by the size of the leaf
+// containing it.
+func (oi *ObjectIndex) Delete(id ObjectID) error {
+	for {
+		leaf, err := oi.currentLeaf(id)
+		if err != nil {
+			return err
+		}
+		s := oi.shard(leaf)
+		s.Lock()
+		oi.tableMu.Lock()
+		if oi.objLeaf[id] != leaf {
+			// The object moved between the leaf read and the lock; retry
+			// with the lock of its current leaf.
+			oi.tableMu.Unlock()
+			s.Unlock()
+			continue
+		}
+		oi.objLeaf[id] = invalidNode
+		oi.free = append(oi.free, id)
+		oi.alive--
+		oi.tableMu.Unlock()
+		oi.removeFromLeaf(leaf, id)
+		oi.addCountPath(leaf, -1)
+		oi.epoch.Add(1)
+		s.Unlock()
+		return nil
+	}
+}
+
+// Move relocates the object to the new location. Cost is bounded by the
+// sizes of the source and target leaves: only their access lists are
+// touched, every other leaf of the tree is unaffected — the update locality
+// that makes the index suitable for moving indoor objects.
+func (oi *ObjectIndex) Move(id ObjectID, loc model.Location) error {
+	dst, err := oi.leafFor(loc)
+	if err != nil {
+		return err
+	}
+	for {
+		src, err := oi.currentLeaf(id)
+		if err != nil {
+			return err
+		}
+		// Lock the shards of both leaves in index order (once when shared)
+		// so concurrent cross-leaf moves cannot deadlock.
+		sa, sb := oi.shard(src), oi.shard(dst)
+		if sa == sb {
+			sa.Lock()
+		} else if int(src)&(objShards-1) < int(dst)&(objShards-1) {
+			sa.Lock()
+			sb.Lock()
+		} else {
+			sb.Lock()
+			sa.Lock()
+		}
+		unlock := func() {
+			sa.Unlock()
+			if sb != sa {
+				sb.Unlock()
+			}
+		}
+		oi.tableMu.Lock()
+		if oi.objLeaf[id] != src {
+			oi.tableMu.Unlock()
+			unlock()
+			continue
+		}
+		oi.objects[id] = loc
+		oi.objLeaf[id] = dst
+		oi.tableMu.Unlock()
+		if src == dst {
+			oi.removeFromLeaf(src, id)
+			oi.insertIntoLeaf(src, id, loc)
+		} else {
+			// Apply the arrival before the departure (and bump counts in the
+			// same order) so concurrent queries over-approximate: while both
+			// leaves are locked no reader can observe either, and readers of
+			// other branches transiently see ancestor counts at or above the
+			// true value — branches never un-mark while an object is in
+			// flight.
+			oi.insertIntoLeaf(dst, id, loc)
+			oi.addCountPath(dst, 1)
+			oi.removeFromLeaf(src, id)
+			oi.addCountPath(src, -1)
+		}
+		oi.epoch.Add(1)
+		unlock()
+		return nil
+	}
+}
+
+// currentLeaf returns the leaf currently containing the object, or
+// ErrNoSuchObject for unallocated or deleted IDs.
+func (oi *ObjectIndex) currentLeaf(id ObjectID) (NodeID, error) {
+	oi.tableMu.Lock()
+	defer oi.tableMu.Unlock()
+	if id < 0 || id >= len(oi.objLeaf) || oi.objLeaf[id] == invalidNode {
+		return invalidNode, fmt.Errorf("%w: id %d", ErrNoSuchObject, id)
+	}
+	return oi.objLeaf[id], nil
+}
+
+// insertIntoLeaf adds the object to the leaf's state in place (the caller
+// holds the leaf's shard write lock): the ID and location lists gain one
+// entry at their sorted position, and each access list gains the object at
+// the position given by its distance from that access door (ties broken on
+// ObjectID). Cost is a couple of in-array shifts per access list — no list
+// is rebuilt, and allocation happens only when a backing array must grow.
+func (oi *ObjectIndex) insertIntoLeaf(leaf NodeID, id ObjectID, loc model.Location) {
+	lo := oi.leafData[leaf]
+	if lo == nil {
+		lo = &leafObjects{lists: make([][]objEntry, len(oi.tree.nodes[leaf].AccessDoors))}
+		oi.leafData[leaf] = lo
+	}
+	pos := sort.SearchInts(lo.ids, id)
+	lo.ids = slices.Insert(lo.ids, pos, id)
+	lo.locs = slices.Insert(lo.locs, pos, loc)
+	lo.maxID = max(lo.maxID, id+1)
+	var distBuf [16]float64
+	dists := distBuf[:]
+	if len(lo.lists) > len(distBuf) {
+		dists = make([]float64, len(lo.lists))
+	}
+	dists = dists[:len(lo.lists)]
+	oi.accessDists(leaf, loc, dists)
+	for ai := range lo.lists {
+		e := objEntry{objectID: id, dist: dists[ai]}
+		list := lo.lists[ai]
+		i := sort.Search(len(list), func(j int) bool { return cmpObjEntry(list[j], e) > 0 })
+		lo.lists[ai] = slices.Insert(list, i, e)
+	}
+}
+
+// removeFromLeaf deletes the object from the leaf's state in place (the
+// caller holds the leaf's shard write lock), shifting each access list over
+// the removed entry. The leafObjects value and its backing arrays are kept
+// for reuse even when the leaf empties.
+func (oi *ObjectIndex) removeFromLeaf(leaf NodeID, id ObjectID) {
+	lo := oi.leafData[leaf]
+	if lo == nil {
+		return
+	}
+	pos := sort.SearchInts(lo.ids, id)
+	if pos >= len(lo.ids) || lo.ids[pos] != id {
+		return
+	}
+	lo.ids = slices.Delete(lo.ids, pos, pos+1)
+	lo.locs = slices.Delete(lo.locs, pos, pos+1)
+	for ai, list := range lo.lists {
+		if i := slices.IndexFunc(list, func(e objEntry) bool { return e.objectID == id }); i >= 0 {
+			lo.lists[ai] = slices.Delete(list, i, i+1)
+		}
+	}
+}
+
 // Name implements index.ObjectQuerier.
 func (oi *ObjectIndex) Name() string { return oi.name }
 
-// Objects returns the indexed object set.
-func (oi *ObjectIndex) Objects() []model.Location { return oi.objects }
+// Objects returns a copy of the object table. Slots of deleted objects hold
+// their last location; use Location to distinguish live objects.
+func (oi *ObjectIndex) Objects() []model.Location {
+	oi.tableMu.Lock()
+	defer oi.tableMu.Unlock()
+	out := make([]model.Location, len(oi.objects))
+	copy(out, oi.objects)
+	return out
+}
+
+// Location returns the current location of the object and whether it is
+// alive.
+func (oi *ObjectIndex) Location(id ObjectID) (model.Location, bool) {
+	oi.tableMu.Lock()
+	defer oi.tableMu.Unlock()
+	if id < 0 || id >= len(oi.objLeaf) || oi.objLeaf[id] == invalidNode {
+		return model.Location{}, false
+	}
+	return oi.objects[id], true
+}
+
+// NumObjects returns the number of live objects.
+func (oi *ObjectIndex) NumObjects() int {
+	oi.tableMu.Lock()
+	defer oi.tableMu.Unlock()
+	return oi.alive
+}
+
+// Epoch returns the update epoch: it increments on every completed Insert,
+// Delete or Move, versioning the object set for caches and tests.
+func (oi *ObjectIndex) Epoch() uint64 { return oi.epoch.Load() }
 
 // Tree returns the tree the objects are embedded in.
 func (oi *ObjectIndex) Tree() *Tree { return oi.tree }
 
-// MemoryBytes estimates the memory used by the object lists.
+// MemoryBytes estimates the memory used by the object lists and the object
+// table.
 func (oi *ObjectIndex) MemoryBytes() int64 {
 	var total int64
-	for _, lists := range oi.accessLists {
-		for _, es := range lists {
-			total += int64(len(es))*16 + 48
+	for i := range oi.leafData {
+		sh := oi.shard(NodeID(i))
+		sh.RLock()
+		lo := oi.leafData[i]
+		if lo == nil {
+			sh.RUnlock()
+			continue
 		}
+		total += int64(len(lo.ids))*(8+32) + 48
+		for _, es := range lo.lists {
+			total += int64(len(es))*16 + 24
+		}
+		sh.RUnlock()
 	}
-	for _, ids := range oi.objectsInLeaf {
-		total += int64(len(ids)) * 8
-	}
+	oi.tableMu.Lock()
+	total += int64(len(oi.objects))*32 + int64(len(oi.objLeaf))*8 + int64(len(oi.free))*8
+	oi.tableMu.Unlock()
+	total += int64(len(oi.leafData)) * 8
+	total += int64(len(oi.subtreeCount)) * 8
 	return total
 }
 
-// KNN returns the k objects nearest to q, sorted by ascending distance
-// (Algorithm 5). Fewer than k results are returned if the object set is
-// smaller than k or parts of it are unreachable.
+// KNN returns the k objects nearest to q, sorted by ascending distance with
+// ties broken on ascending ObjectID (Algorithm 5). Fewer than k results are
+// returned if the object set is smaller than k or parts of it are
+// unreachable.
 func (oi *ObjectIndex) KNN(q model.Location, k int) []index.ObjectResult {
-	if k <= 0 || len(oi.objects) == 0 {
+	if k <= 0 || oi.subtreeCount[oi.tree.root].Load() == 0 {
 		return nil
 	}
 	return oi.branchAndBound(q, k, Infinite)
 }
 
 // Range returns every object within distance r of q, sorted by ascending
-// distance (Section 3.4).
+// distance with ties broken on ascending ObjectID (Section 3.4).
 func (oi *ObjectIndex) Range(q model.Location, r float64) []index.ObjectResult {
-	if len(oi.objects) == 0 {
+	if oi.subtreeCount[oi.tree.root].Load() == 0 {
 		return nil
 	}
 	return oi.branchAndBound(q, 0, r)
@@ -189,7 +607,10 @@ func popQueued(h []queuedNode) ([]queuedNode, queuedNode) {
 // a kNN search (radius ignored unless smaller); with k == 0 it collects every
 // object within the radius. All working state lives in pooled scratch, so the
 // warm path allocates only the returned result slice and the method is safe
-// for concurrent callers.
+// for concurrent callers — including callers concurrent with updates:
+// branch pruning reads the atomic subtree counts without locking, and each
+// leaf scan holds that leaf's shard read lock only for the duration of the
+// scan.
 func (oi *ObjectIndex) branchAndBound(q model.Location, k int, radius float64) []index.ObjectResult {
 	t := oi.tree
 	// Step 1 (line 2 of Algorithm 5): distances from q to the access doors
@@ -217,7 +638,7 @@ func (oi *ObjectIndex) branchAndBound(q model.Location, k int, radius float64) [
 
 	results := resultCollector{k: k, radius: radius, results: oc.results[:0]}
 	heap := oc.heap[:0]
-	if oi.subtreeHasObjects[t.root] {
+	if oi.subtreeCount[t.root].Load() > 0 {
 		heap = pushQueued(heap, queuedNode{node: t.root, mindist: 0})
 	}
 	for len(heap) > 0 {
@@ -232,7 +653,7 @@ func (oi *ObjectIndex) branchAndBound(q model.Location, k int, radius float64) [
 			continue
 		}
 		for _, c := range node.Children {
-			if !oi.subtreeHasObjects[c] {
+			if oi.subtreeCount[c].Load() == 0 {
 				continue
 			}
 			md := oi.childMinDist(q, qLeaf, cur.node, c, nd)
@@ -310,14 +731,25 @@ func minOf(ds []float64) float64 {
 }
 
 // scanLeaf evaluates every object in the leaf and updates the result set.
+// The scan holds the leaf's shard read lock, so it observes the leaf before
+// or after any given update, never mid-update; the lock covers one leaf
+// scan only, never the whole traversal, so updates interleave freely with
+// the rest of the query.
 func (oi *ObjectIndex) scanLeaf(q model.Location, qLeaf, leaf NodeID, nd *nodeDistTable, oc *objScratch, results *resultCollector) {
 	t := oi.tree
+	sh := oi.shard(leaf)
+	sh.RLock()
+	defer sh.RUnlock()
+	lo := oi.leafData[leaf]
+	if lo == nil {
+		return
+	}
 	if leaf == qLeaf {
 		// Objects co-located with the query in the same leaf: compute the
 		// exact local distance on the D2D graph (cheap: the doors involved
 		// are close together).
-		for _, id := range oi.objectsInLeaf[leaf] {
-			o := oi.objects[id]
+		for i, id := range lo.ids {
+			o := lo.locs[i]
 			var d float64
 			if o.Partition == q.Partition {
 				d = directIntraPartition(t.venue, q, o)
@@ -329,16 +761,15 @@ func (oi *ObjectIndex) scanLeaf(q model.Location, qLeaf, leaf NodeID, nd *nodeDi
 		return
 	}
 	accessDist, _ := nd.get(leaf)
-	lists := oi.accessLists[leaf]
 	// Per-object best distances live in the scratch's dense stamped table;
 	// one marking generation per scanned leaf.
-	oc.bumpObjEpoch(len(oi.objects))
+	oc.bumpObjEpoch(lo.maxID)
 	for ai := range t.nodes[leaf].AccessDoors {
 		qd := accessDist[ai]
 		if qd == Infinite {
 			continue
 		}
-		for _, e := range lists[ai] {
+		for _, e := range lo.lists[ai] {
 			total := qd + e.dist
 			if !oc.objSeen.has(e.objectID) || total < oc.objDist[e.objectID] {
 				oc.objSeen.mark(e.objectID)
@@ -348,7 +779,7 @@ func (oi *ObjectIndex) scanLeaf(q model.Location, qLeaf, leaf NodeID, nd *nodeDi
 	}
 	// Add in ascending object-ID order so that ties at the kNN boundary
 	// resolve deterministically.
-	for _, id := range oi.objectsInLeaf[leaf] {
+	for _, id := range lo.ids {
 		if oc.objSeen.has(id) {
 			results.add(id, oc.objDist[id])
 		}
@@ -382,7 +813,7 @@ func (rc *resultCollector) bound() float64 {
 	return worst
 }
 
-func (rc *resultCollector) add(objectID int, dist float64) {
+func (rc *resultCollector) add(objectID ObjectID, dist float64) {
 	if dist > rc.radius {
 		return
 	}

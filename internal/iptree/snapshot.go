@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"slices"
 	"sort"
 
 	"viptree/internal/model"
@@ -173,23 +174,29 @@ func (vt *VIPTree) ExportState() *VIPState {
 }
 
 // ExportState exports the built state of the object index. Leaves are
-// exported in ascending node-ID order so the encoding is deterministic.
-// Like Tree.ExportState, the result partially aliases the live index and
-// must be treated as read-only.
+// exported in ascending node-ID order (with ascending object IDs inside each
+// leaf) so the encoding is deterministic. The export is taken with every
+// shard read-locked, so it captures a consistent point-in-time state even
+// while updates are in flight; because updates mutate leaf state in place,
+// the state is a deep copy, safe to encode after the locks are released.
 func (oi *ObjectIndex) ExportState() *ObjectIndexState {
-	st := &ObjectIndexState{Name: oi.name, Objects: oi.objects}
-	leaves := make([]NodeID, 0, len(oi.objectsInLeaf))
-	for leaf := range oi.objectsInLeaf {
-		leaves = append(leaves, leaf)
+	for i := range oi.shards {
+		oi.shards[i].RLock()
 	}
-	sort.Slice(leaves, func(i, j int) bool { return leaves[i] < leaves[j] })
-	for _, leaf := range leaves {
-		ls := LeafObjectsState{
-			Leaf:        leaf,
-			ObjectIDs:   oi.objectsInLeaf[leaf],
-			AccessLists: make([][]ObjectEntryState, len(oi.accessLists[leaf])),
+	oi.tableMu.Lock()
+	st := &ObjectIndexState{Name: oi.name, Objects: make([]model.Location, len(oi.objects))}
+	copy(st.Objects, oi.objects)
+	oi.tableMu.Unlock()
+	for leaf, lo := range oi.leafData {
+		if lo == nil || len(lo.ids) == 0 {
+			continue
 		}
-		for ai, es := range oi.accessLists[leaf] {
+		ls := LeafObjectsState{
+			Leaf:        NodeID(leaf),
+			ObjectIDs:   append([]int(nil), lo.ids...),
+			AccessLists: make([][]ObjectEntryState, len(lo.lists)),
+		}
+		for ai, es := range lo.lists {
 			out := make([]ObjectEntryState, len(es))
 			for j, e := range es {
 				out[j] = ObjectEntryState{ObjectID: e.objectID, Dist: e.dist}
@@ -197,6 +204,9 @@ func (oi *ObjectIndex) ExportState() *ObjectIndexState {
 			ls.AccessLists[ai] = out
 		}
 		st.Leaves = append(st.Leaves, ls)
+	}
+	for i := range oi.shards {
+		oi.shards[i].RUnlock()
 	}
 	return st
 }
@@ -340,8 +350,12 @@ func RestoreVIPTree(v *model.Venue, st *VIPState) (*VIPTree, error) {
 }
 
 // RestoreObjectIndex reconstructs an object index over a restored tree from
-// an exported state. The subtree-occupancy bitmap is rebuilt by climbing the
-// tree from every populated leaf.
+// an exported state. Derived state — leaf assignments, subtree object
+// counts, the free list of deleted slots — is rebuilt from the per-leaf
+// object lists; object IDs and access lists are normalised to the
+// deterministic ascending / (distance, ID) orders, so states written by
+// older builds (which recorded insertion order) restore into the same
+// layout a fresh build produces.
 func RestoreObjectIndex(t *Tree, st *ObjectIndexState) (*ObjectIndex, error) {
 	if t == nil || st == nil {
 		return nil, fmt.Errorf("iptree: restore: nil tree or object state")
@@ -351,45 +365,80 @@ func RestoreObjectIndex(t *Tree, st *ObjectIndexState) (*ObjectIndex, error) {
 			return nil, fmt.Errorf("iptree: restore: object %d partition %d out of range", i, o.Partition)
 		}
 	}
-	oi := &ObjectIndex{
-		tree:              t,
-		name:              st.Name,
-		objects:           st.Objects,
-		objectsInLeaf:     make(map[NodeID][]int, len(st.Leaves)),
-		accessLists:       make(map[NodeID][][]objEntry, len(st.Leaves)),
-		subtreeHasObjects: make(map[NodeID]bool),
+	oi := newObjectIndex(t, st.Name)
+	oi.objects = append(oi.objects, st.Objects...)
+	oi.objLeaf = make([]NodeID, len(st.Objects))
+	for i := range oi.objLeaf {
+		oi.objLeaf[i] = invalidNode
 	}
 	for _, ls := range st.Leaves {
 		if int(ls.Leaf) < 0 || int(ls.Leaf) >= len(t.nodes) || !t.nodes[ls.Leaf].IsLeaf() {
 			return nil, fmt.Errorf("iptree: restore: object leaf %d is not a leaf node", ls.Leaf)
 		}
-		if _, dup := oi.objectsInLeaf[ls.Leaf]; dup {
+		if oi.leafData[ls.Leaf] != nil {
 			return nil, fmt.Errorf("iptree: restore: duplicate object leaf %d", ls.Leaf)
+		}
+		if len(ls.ObjectIDs) == 0 {
+			continue
 		}
 		if len(ls.AccessLists) != len(t.nodes[ls.Leaf].AccessDoors) {
 			return nil, fmt.Errorf("iptree: restore: leaf %d has %d access lists for %d access doors",
 				ls.Leaf, len(ls.AccessLists), len(t.nodes[ls.Leaf].AccessDoors))
 		}
-		for _, id := range ls.ObjectIDs {
+		ids := make([]ObjectID, len(ls.ObjectIDs))
+		copy(ids, ls.ObjectIDs)
+		sort.Ints(ids)
+		for i, id := range ids {
 			if id < 0 || id >= len(st.Objects) {
 				return nil, fmt.Errorf("iptree: restore: leaf %d references object %d out of range", ls.Leaf, id)
 			}
+			if i > 0 && ids[i-1] == id {
+				return nil, fmt.Errorf("iptree: restore: leaf %d lists object %d twice", ls.Leaf, id)
+			}
+			if oi.objLeaf[id] != invalidNode {
+				return nil, fmt.Errorf("iptree: restore: object %d appears in leaves %d and %d", id, oi.objLeaf[id], ls.Leaf)
+			}
+			if home := t.Leaf(st.Objects[id].Partition); home != ls.Leaf {
+				return nil, fmt.Errorf("iptree: restore: object %d recorded in leaf %d but located in leaf %d", id, ls.Leaf, home)
+			}
+			oi.objLeaf[id] = ls.Leaf
 		}
-		lists := make([][]objEntry, len(ls.AccessLists))
+		lo := &leafObjects{
+			ids:   ids,
+			locs:  make([]model.Location, len(ids)),
+			lists: make([][]objEntry, len(ls.AccessLists)),
+			maxID: ids[len(ids)-1] + 1,
+		}
+		for i, id := range ids {
+			lo.locs[i] = st.Objects[id]
+		}
 		for ai, es := range ls.AccessLists {
+			if len(es) != len(ids) {
+				return nil, fmt.Errorf("iptree: restore: leaf %d access list %d has %d entries for %d objects",
+					ls.Leaf, ai, len(es), len(ids))
+			}
 			out := make([]objEntry, len(es))
 			for j, e := range es {
-				if e.ObjectID < 0 || e.ObjectID >= len(st.Objects) {
+				if e.ObjectID < 0 || e.ObjectID >= len(oi.objLeaf) {
 					return nil, fmt.Errorf("iptree: restore: leaf %d access list references object %d out of range", ls.Leaf, e.ObjectID)
+				}
+				if oi.objLeaf[e.ObjectID] != ls.Leaf {
+					return nil, fmt.Errorf("iptree: restore: leaf %d access list references object %d not in the leaf", ls.Leaf, e.ObjectID)
 				}
 				out[j] = objEntry{objectID: e.ObjectID, dist: e.Dist}
 			}
-			lists[ai] = out
+			slices.SortFunc(out, cmpObjEntry)
+			lo.lists[ai] = out
 		}
-		oi.objectsInLeaf[ls.Leaf] = ls.ObjectIDs
-		oi.accessLists[ls.Leaf] = lists
-		for n := ls.Leaf; n != invalidNode; n = t.nodes[n].Parent {
-			oi.subtreeHasObjects[n] = true
+		oi.leafData[ls.Leaf] = lo
+		oi.addCountPath(ls.Leaf, int64(len(ids)))
+		oi.alive += len(ids)
+	}
+	// Slots referenced by no leaf are free for reuse; pushing them in
+	// descending order makes Insert hand out the smallest free ID first.
+	for id := len(oi.objLeaf) - 1; id >= 0; id-- {
+		if oi.objLeaf[id] == invalidNode {
+			oi.free = append(oi.free, ObjectID(id))
 		}
 	}
 	return oi, nil

@@ -257,4 +257,76 @@ func TestRestoreObjectIndexRejectsCorruptState(t *testing.T) {
 	if _, err := RestoreObjectIndex(tree, st); err == nil {
 		t.Fatal("RestoreObjectIndex accepted misaligned access lists")
 	}
+
+	st = gobClone(t, base)
+	st.Leaves[0].AccessLists[0][0].ObjectID = len(objects) + 3
+	if _, err := RestoreObjectIndex(tree, st); err == nil {
+		t.Fatal("RestoreObjectIndex accepted an out-of-range access-list object ID")
+	}
+
+	st = gobClone(t, base)
+	st.Leaves[0].AccessLists[0][0].ObjectID = -1
+	if _, err := RestoreObjectIndex(tree, st); err == nil {
+		t.Fatal("RestoreObjectIndex accepted a negative access-list object ID")
+	}
+}
+
+// TestMutatedObjectIndexRoundTrip exports an object index after a sequence
+// of Insert/Delete/Move updates and verifies the restored copy answers
+// bit-identical queries — including ID stability across deleted slots — and
+// that a second export of the restored index reproduces the state exactly.
+func TestMutatedObjectIndexRoundTrip(t *testing.T) {
+	v := snapshotTestVenue(t)
+	tree := MustBuildIPTree(v, Options{})
+	rng := rand.New(rand.NewSource(29))
+	objects := make([]model.Location, 14)
+	for i := range objects {
+		objects[i] = v.RandomLocation(rng)
+	}
+	oi := tree.IndexObjects(objects)
+	for op := 0; op < 120; op++ {
+		switch rng.Intn(3) {
+		case 0:
+			if _, err := oi.Insert(v.RandomLocation(rng)); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			// Deleting an already-deleted slot is fine to skip.
+			if err := oi.Delete(rng.Intn(len(oi.Objects()))); err != nil && !strings.Contains(err.Error(), "no such object") {
+				t.Fatal(err)
+			}
+		default:
+			if err := oi.Move(rng.Intn(len(oi.Objects())), v.RandomLocation(rng)); err != nil && !strings.Contains(err.Error(), "no such object") {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := gobClone(t, oi.ExportState())
+	restored, err := RestoreObjectIndex(tree, st)
+	if err != nil {
+		t.Fatalf("RestoreObjectIndex: %v", err)
+	}
+	if restored.NumObjects() != oi.NumObjects() {
+		t.Fatalf("restored NumObjects = %d, want %d", restored.NumObjects(), oi.NumObjects())
+	}
+	for i := 0; i < 40; i++ {
+		q := v.RandomLocation(rng)
+		if got, want := restored.KNN(q, 6), oi.KNN(q, 6); !reflect.DeepEqual(got, want) {
+			t.Fatalf("restored KNN(%v) = %v, want %v", q, got, want)
+		}
+		if got, want := restored.Range(q, 150), oi.Range(q, 150); !reflect.DeepEqual(got, want) {
+			t.Fatalf("restored Range(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if again := restored.ExportState(); !reflect.DeepEqual(gobClone(t, again), st) {
+		t.Fatal("re-exported state differs from the original export")
+	}
+	// The restored index keeps accepting updates, reusing freed slots.
+	id, err := restored.Insert(v.RandomLocation(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, alive := restored.Location(id); !alive {
+		t.Fatal("object inserted into restored index is not alive")
+	}
 }

@@ -44,6 +44,19 @@
 //		{Kind: viptree.QueryKNN, S: s, K: 5},
 //	})
 //
+// # Moving objects
+//
+// The object index is mutable: Insert, Delete and Move update only the
+// leaf (or pair of leaves) containing the object and are safe to call
+// while queries are being served — the paper's moving-objects scenario.
+// Updates can also be submitted through the engine (QueryInsert,
+// QueryDelete, QueryMove), freely mixed with reads in one batch:
+//
+//	objIndex := tree.IndexObjects(objects)
+//	id, _ := objIndex.Insert(loc)   // cost: the leaf containing loc
+//	_ = objIndex.Move(id, elsewhere) // cost: source + target leaf
+//	_ = objIndex.Delete(id)
+//
 // See the examples directory for complete programs.
 package viptree
 
@@ -113,10 +126,19 @@ type (
 	TreeBuildTimings = iptree.BuildTimings
 	// TreeStats reports ρ, f, M and related structural statistics.
 	TreeStats = iptree.Stats
-	// ObjectIndex embeds a set of objects into a tree for kNN/range queries.
+	// ObjectIndex embeds a set of objects into a tree for kNN/range
+	// queries. It is mutable: Insert, Delete and Move update only the leaf
+	// (or pair of leaves) containing the object and run safely while
+	// queries are being served.
 	ObjectIndex = iptree.ObjectIndex
+	// ObjectID identifies an object within an ObjectIndex.
+	ObjectID = iptree.ObjectID
 	// ObjectResult is a single kNN or range query result.
 	ObjectResult = index.ObjectResult
+	// MutableObjectIndexer is the capability interface of object queriers
+	// that support live Insert/Delete/Move; the IP-Tree and VIP-Tree
+	// object indexes implement it.
+	MutableObjectIndexer = index.MutableObjectIndexer
 	// DistanceQuerier is the query interface shared by all indexes.
 	DistanceQuerier = index.DistanceQuerier
 	// ObjectQuerier is the object-query interface shared by all indexes.
@@ -153,17 +175,31 @@ type (
 	QueryResult = engine.Result
 )
 
-// Query kinds accepted by Engine.Execute and Engine.ExecuteBatch.
+// Query kinds accepted by Engine.Execute and Engine.ExecuteBatch. The first
+// four are reads; QueryInsert, QueryDelete and QueryMove are object updates
+// executed against a mutable object index (the IP-Tree/VIP-Tree ObjectIndex)
+// and can be mixed freely with reads in one batch.
 const (
 	QueryDistance = engine.KindDistance
 	QueryPath     = engine.KindPath
 	QueryKNN      = engine.KindKNN
 	QueryRange    = engine.KindRange
+	QueryInsert   = engine.KindInsert
+	QueryDelete   = engine.KindDelete
+	QueryMove     = engine.KindMove
 )
 
 // ErrNoObjectIndex is reported by kNN/range queries on an engine built
 // without an object querier.
 var ErrNoObjectIndex = engine.ErrNoObjectIndex
+
+// ErrImmutableObjects is reported by insert/delete/move queries on an engine
+// whose object querier does not support live updates (the baselines).
+var ErrImmutableObjects = engine.ErrImmutableObjects
+
+// ErrNoSuchObject is reported by object updates addressing an ID that was
+// never allocated or has been deleted.
+var ErrNoSuchObject = iptree.ErrNoSuchObject
 
 // NewEngine returns a concurrent query engine over the index. Attach an
 // object querier through EngineOptions.Objects to serve kNN and range
