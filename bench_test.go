@@ -146,6 +146,30 @@ func BenchmarkDistance(b *testing.B) {
 	}
 }
 
+// BenchmarkPath measures the warm shortest-path hot path of every index on
+// cross-leaf pairs, with allocation statistics: the VIP-Tree and IP-Tree
+// rows must report 1 alloc/op — the returned door slice — with the partial
+// path, via-chain unwind and Algorithm-4 expansion all running on pooled
+// scratch (see internal/iptree/path.go and the regression tests
+// TestIPPathAllocsResultSliceOnly / TestVIPPathAllocsResultSliceOnly).
+func BenchmarkPath(b *testing.B) {
+	v := benchVenue("Men")
+	idx := benchIndexes("Men")
+	pairs := crossLeafPairs(v, idx.ip, 512, 42)
+	if len(pairs) == 0 {
+		b.Skip("no cross-leaf pairs")
+	}
+	for _, comp := range distCompetitors(idx) {
+		b.Run(comp.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				comp.path(p.S, p.T)
+			}
+		})
+	}
+}
+
 // BenchmarkEngineThroughput measures aggregate engine throughput (QPS) for
 // the single-threaded execution path and the parallel paths (RunParallel
 // per-call fan-in and the batch worker pool). On a multi-core machine the

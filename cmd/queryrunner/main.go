@@ -143,7 +143,10 @@ func main() {
 		}
 	}
 
-	eng := engine.New(ix, engine.Options{Workers: *parallel, Objects: oq})
+	// Latency sampling is a fixed ring of atomic slots: recording is one
+	// clock read plus one slot write per operation, so the hot loop stays
+	// allocation-free even with percentiles enabled.
+	eng := engine.New(ix, engine.Options{Workers: *parallel, Objects: oq, LatencySampleSize: 1 << 14})
 	if *updateRatio > 0 {
 		if eng.Mutable() == nil {
 			fmt.Fprintf(os.Stderr, "index %s does not support live object updates; use -index ip or vip (or a tree snapshot)\n", ix.Name())
@@ -206,12 +209,14 @@ func main() {
 		reads = len(queries) - updates
 	}
 
-	// Warm the pooled scratch so the measurement reflects steady state.
+	// Warm the pooled scratch so the measurement reflects steady state, and
+	// drop the warm-up samples from the latency ring.
 	warm := queries
 	if len(warm) > 64 {
 		warm = warm[:64]
 	}
 	eng.ExecuteBatch(warm)
+	eng.ResetLatencies()
 
 	start := time.Now()
 	results := eng.ExecuteBatch(queries)
@@ -242,16 +247,28 @@ func main() {
 
 	workers := eng.Workers()
 	perQuery := float64(total.Microseconds()) / float64(len(queries))
+	latencies := formatQuantiles(eng)
 	if updates > 0 {
 		qps := float64(reads) / total.Seconds()
 		ups := float64(updates) / total.Seconds()
-		fmt.Printf("%s %s %s+moves: %d ops (%d reads / %d updates), %d workers (%d cores), %.2f us/op, %.0f qps, %.0f ups (total %v)\n",
-			v.Name, ix.Name(), *query, len(queries), reads, updates, workers, runtime.NumCPU(), perQuery, qps, ups, total)
+		fmt.Printf("%s %s %s+moves: %d ops (%d reads / %d updates), %d workers (%d cores), %.2f us/op, %.0f qps, %.0f ups, %s (total %v)\n",
+			v.Name, ix.Name(), *query, len(queries), reads, updates, workers, runtime.NumCPU(), perQuery, qps, ups, latencies, total)
 		return
 	}
 	qps := float64(len(queries)) / total.Seconds()
-	fmt.Printf("%s %s %s: %d queries, %d workers (%d cores), %.2f us/query, %.0f qps (total %v)\n",
-		v.Name, ix.Name(), *query, len(queries), workers, runtime.NumCPU(), perQuery, qps, total)
+	fmt.Printf("%s %s %s: %d queries, %d workers (%d cores), %.2f us/query, %.0f qps, %s (total %v)\n",
+		v.Name, ix.Name(), *query, len(queries), workers, runtime.NumCPU(), perQuery, qps, latencies, total)
+}
+
+// formatQuantiles renders the p50/p95/p99 per-operation latencies sampled by
+// the engine's ring buffer during the measured batch.
+func formatQuantiles(eng *engine.Engine) string {
+	qs := eng.LatencyQuantiles(0.50, 0.95, 0.99)
+	if qs == nil {
+		return "latency n/a"
+	}
+	return fmt.Sprintf("p50 %s / p95 %s / p99 %s",
+		qs[0].Round(100*time.Nanosecond), qs[1].Round(100*time.Nanosecond), qs[2].Round(100*time.Nanosecond))
 }
 
 // verifyResults cross-checks every engine result against the exact D2D

@@ -12,6 +12,7 @@ package distaware
 
 import (
 	"sort"
+	"unsafe"
 
 	"viptree/internal/index"
 	"viptree/internal/model"
@@ -50,11 +51,20 @@ func (ix *Index) Path(s, t model.Location) (float64, []model.DoorID) {
 // MemoryBytes reports the memory of the auxiliary structures (the D2D graph
 // is shared with the venue; DistAw itself stores almost nothing).
 func (ix *Index) MemoryBytes() int64 {
-	var total int64 = 64
+	total := int64(unsafe.Sizeof(*ix))
 	for _, ids := range ix.objectsInPartition {
-		total += int64(len(ids)) * 8
+		total += int64(len(ids))*int64(unsafe.Sizeof(int(0))) + mapEntryBytes(unsafe.Sizeof(model.PartitionID(0)), unsafe.Sizeof([]int(nil)))
 	}
+	total += int64(len(ix.objects)) * int64(unsafe.Sizeof(model.Location{}))
 	return total
+}
+
+// mapEntryBytes estimates the resident size of one Go map entry with the
+// given key and value sizes: payload plus the runtime's per-entry bucket
+// bookkeeping (tophash byte and amortised overflow/load-factor overhead,
+// ~16 bytes). Shared convention across the baseline estimators.
+func mapEntryBytes(key, value uintptr) int64 {
+	return int64(key) + int64(value) + 16
 }
 
 // IndexObjects registers the object set for kNN and range queries and

@@ -12,6 +12,7 @@ package distmatrix
 import (
 	"sort"
 	"sync/atomic"
+	"unsafe"
 
 	"viptree/internal/graph"
 	"viptree/internal/index"
@@ -219,7 +220,8 @@ func (m *Matrix) NewObjectQuerier(objects []model.Location) index.ObjectQuerier 
 
 // MemoryBytes reports the O(D²) storage of the matrix.
 func (m *Matrix) MemoryBytes() int64 {
-	return int64(m.n)*int64(m.n)*12 + 64
+	cell := int64(unsafe.Sizeof(float64(0)) + unsafe.Sizeof(int32(0)))
+	return int64(m.n)*int64(m.n)*cell + int64(unsafe.Sizeof(*m))
 }
 
 // ObjectIndex answers kNN and range queries with the distance matrix: this is

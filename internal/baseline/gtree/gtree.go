@@ -14,6 +14,7 @@ package gtree
 
 import (
 	"sort"
+	"unsafe"
 
 	"viptree/internal/graph"
 	"viptree/internal/index"
@@ -297,9 +298,12 @@ func (n *gnode) matDist(a, b int) float64 {
 // MemoryBytes reports the memory consumed by the matrices and border lists.
 func (t *Tree) MemoryBytes() int64 {
 	var total int64
+	matEntry := int64(unsafe.Sizeof([2]int{})+unsafe.Sizeof(float64(0))) + 16 // key + value + map bookkeeping
 	for i := range t.nodes {
 		n := &t.nodes[i]
-		total += int64(len(n.mat))*(16+16) + int64(len(n.borders)+len(n.vertices))*8 + 96
+		total += int64(len(n.mat))*matEntry +
+			int64(len(n.borders)+len(n.vertices))*int64(unsafe.Sizeof(int(0))) +
+			int64(unsafe.Sizeof(*n))
 	}
 	return total
 }

@@ -14,6 +14,7 @@ package road
 
 import (
 	"sort"
+	"unsafe"
 
 	"viptree/internal/graph"
 	"viptree/internal/index"
@@ -117,10 +118,16 @@ func (ix *Index) Name() string { return "ROAD" }
 // MemoryBytes reports the memory consumed by the route overlay.
 func (ix *Index) MemoryBytes() int64 {
 	var total int64
+	shortcutEntry := int64(unsafe.Sizeof([2]int{})+unsafe.Sizeof(float64(0))) + 16 // key + value + map bookkeeping
+	memberEntry := int64(unsafe.Sizeof(int(0))+unsafe.Sizeof(false)) + 16
 	for i := range ix.rnets {
 		rn := &ix.rnets[i]
-		total += int64(len(rn.shortcut))*(16+16) + int64(len(rn.vertices)+len(rn.borders))*8 + 96
+		total += int64(len(rn.shortcut))*shortcutEntry +
+			int64(len(rn.member))*memberEntry +
+			int64(len(rn.vertices)+len(rn.borders))*int64(unsafe.Sizeof(int(0))) +
+			int64(unsafe.Sizeof(*rn))
 	}
+	total += int64(len(ix.rnetOf)) * int64(unsafe.Sizeof(int(0)))
 	return total
 }
 

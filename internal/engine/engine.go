@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"viptree/internal/index"
 	"viptree/internal/model"
@@ -143,6 +144,13 @@ type Options struct {
 	// Objects answers kNN and range queries; leave nil for a distance-only
 	// engine.
 	Objects index.ObjectQuerier
+	// LatencySampleSize enables per-operation latency sampling: the engine
+	// records the duration of every Execute into a fixed ring of this many
+	// slots (rounded up to a power of two), overwriting the oldest samples.
+	// Recording is one clock read and one atomic slot write — no allocation,
+	// no locking — so it is safe to leave on in serving processes; zero
+	// disables sampling entirely.
+	LatencySampleSize int
 }
 
 // Engine executes queries against one index. Its configuration is immutable
@@ -155,6 +163,7 @@ type Engine struct {
 	mutable index.MutableObjectIndexer // nil when objects is immutable
 	workers int
 	counts  [numKinds]atomic.Int64
+	lat     *latencyRing // nil when sampling is disabled
 }
 
 // New returns an engine over the index.
@@ -164,7 +173,11 @@ func New(idx index.Index, opts Options) *Engine {
 		w = runtime.GOMAXPROCS(0)
 	}
 	mut, _ := opts.Objects.(index.MutableObjectIndexer)
-	return &Engine{idx: idx, objects: opts.Objects, mutable: mut, workers: w}
+	e := &Engine{idx: idx, objects: opts.Objects, mutable: mut, workers: w}
+	if opts.LatencySampleSize > 0 {
+		e.lat = newLatencyRing(opts.LatencySampleSize)
+	}
+	return e
 }
 
 // Index returns the underlying index.
@@ -245,8 +258,20 @@ func (e *Engine) Move(id int, loc model.Location) error {
 	return e.mutable.Move(id, loc)
 }
 
-// Execute runs a single query.
+// Execute runs a single query. With latency sampling enabled (see
+// Options.LatencySampleSize) the operation's duration is recorded into the
+// engine's sample ring.
 func (e *Engine) Execute(q Query) Result {
+	if e.lat != nil {
+		start := time.Now()
+		r := e.execute(q)
+		e.lat.record(time.Since(start))
+		return r
+	}
+	return e.execute(q)
+}
+
+func (e *Engine) execute(q Query) Result {
 	switch q.Kind {
 	case KindDistance:
 		return Result{Dist: e.Distance(q.S, q.T)}

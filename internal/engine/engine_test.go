@@ -332,3 +332,36 @@ func TestMixedBatchUnderRace(t *testing.T) {
 		t.Errorf("Stats().Updates() = %d, want %d", got, callers*12)
 	}
 }
+
+// TestLatencySampling exercises the latency ring: quantiles are nil without
+// sampling, monotone with it, reset drops the warm-up samples, and recording
+// under the parallel batch path is race-free (the -race CI run covers this
+// test too).
+func TestLatencySampling(t *testing.T) {
+	v := testVenue(t)
+	vip := iptree.MustBuildVIPTree(v, iptree.Options{})
+
+	off := engine.New(vip, engine.Options{})
+	off.Execute(mixedWorkload(v, 1, 3)[0])
+	if qs := off.LatencyQuantiles(0.5); qs != nil {
+		t.Fatalf("quantiles without sampling = %v, want nil", qs)
+	}
+
+	eng := engine.New(vip, engine.Options{Workers: 4, LatencySampleSize: 256})
+	if qs := eng.LatencyQuantiles(0.5); qs != nil {
+		t.Fatalf("quantiles before any operation = %v, want nil", qs)
+	}
+	eng.ExecuteBatch(mixedWorkload(v, 64, 5))
+	eng.ResetLatencies()
+	if qs := eng.LatencyQuantiles(0.5); qs != nil {
+		t.Fatalf("quantiles after reset = %v, want nil", qs)
+	}
+	eng.ExecuteBatch(mixedWorkload(v, 500, 6)) // more samples than ring slots
+	qs := eng.LatencyQuantiles(0.50, 0.95, 0.99)
+	if len(qs) != 3 {
+		t.Fatalf("got %d quantiles, want 3", len(qs))
+	}
+	if qs[0] <= 0 || qs[0] > qs[1] || qs[1] > qs[2] {
+		t.Fatalf("quantiles not positive and monotone: %v", qs)
+	}
+}

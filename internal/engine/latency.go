@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// latencyRing is a fixed-size, allocation-free sample ring of per-operation
+// latencies. Writers claim a slot with one atomic increment and store the
+// duration with one atomic write, so the hot loop neither locks nor
+// allocates; once the ring is full the oldest samples are overwritten. Reads
+// (quantile computation) copy the ring, which is cheap and off the hot path.
+type latencyRing struct {
+	slots []atomic.Int64 // nanoseconds; len is a power of two
+	mask  uint64
+	next  atomic.Uint64 // total samples ever recorded
+}
+
+// newLatencyRing returns a ring of at least size slots (rounded up to a
+// power of two so slot claiming is a mask instead of a modulo).
+func newLatencyRing(size int) *latencyRing {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &latencyRing{slots: make([]atomic.Int64, n), mask: uint64(n - 1)}
+}
+
+// record stores one sample.
+func (r *latencyRing) record(d time.Duration) {
+	i := r.next.Add(1) - 1
+	r.slots[i&r.mask].Store(int64(d))
+}
+
+// snapshot copies the recorded samples into buf (grown as needed) and
+// returns them, unordered.
+func (r *latencyRing) snapshot(buf []time.Duration) []time.Duration {
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		n = uint64(len(r.slots))
+	}
+	buf = buf[:0]
+	for i := uint64(0); i < n; i++ {
+		buf = append(buf, time.Duration(r.slots[i].Load()))
+	}
+	return buf
+}
+
+// reset forgets all recorded samples (e.g. after a warm-up batch).
+func (r *latencyRing) reset() { r.next.Store(0) }
+
+// ResetLatencies discards all recorded latency samples, so measurement can
+// start after a warm-up phase. It is a no-op when sampling is disabled.
+func (e *Engine) ResetLatencies() {
+	if e.lat != nil {
+		e.lat.reset()
+	}
+}
+
+// LatencyQuantiles returns the nearest-rank latency quantiles for the given
+// fractions in [0, 1] (e.g. 0.5, 0.95, 0.99) over the engine's sample ring,
+// aligned with qs. It returns nil when sampling is disabled or no samples
+// have been recorded. Samples racing with in-flight operations may be
+// skewed by at most one overwritten slot each — fine for the percentile
+// reporting this exists for.
+func (e *Engine) LatencyQuantiles(qs ...float64) []time.Duration {
+	if e.lat == nil {
+		return nil
+	}
+	samples := e.lat.snapshot(nil)
+	if len(samples) == 0 {
+		return nil
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		rank := int(q*float64(len(samples))+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= len(samples) {
+			rank = len(samples) - 1
+		}
+		out[i] = samples[rank]
+	}
+	return out
+}

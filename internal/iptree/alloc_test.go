@@ -106,6 +106,66 @@ func TestIPDistanceZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestIPPathAllocsResultSliceOnly is the allocation-regression test for the
+// warm IP-Tree Path hot path: the via-chain unwind, the partial path and
+// the iterative Algorithm-4 expansion all run on pooled scratch buffers
+// (pathScratch), so the only allocation of a warm cross-leaf query is the
+// returned door slice.
+func TestIPPathAllocsResultSliceOnly(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{
+		Name: "alloc-path", Floors: 4, RoomsPerHallway: 16, Seed: 1,
+	})
+	skipUnderRace(t)
+	tree := MustBuildIPTree(v, Options{})
+	pairs := crossLeafPairs(tree, v, 32, 2)
+	if len(pairs) == 0 {
+		t.Skip("no cross-leaf pairs in this venue")
+	}
+	for _, p := range pairs {
+		if _, doors := tree.Path(p[0], p[1]); len(doors) == 0 {
+			t.Fatal("cross-leaf Path returned no doors; venue unsuitable for the alloc test")
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		tree.Path(p[0], p[1])
+	})
+	if allocs > 1 {
+		t.Errorf("warm IP-Tree Path allocates %.1f allocs/op, want <= 1 (the result slice)", allocs)
+	}
+}
+
+// TestVIPPathAllocsResultSliceOnly asserts the same property for the
+// VIP-Tree Path, whose per-door next-hop expansion shares the pooled
+// buffers.
+func TestVIPPathAllocsResultSliceOnly(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{
+		Name: "alloc-path-vip", Floors: 4, RoomsPerHallway: 16, Seed: 1,
+	})
+	skipUnderRace(t)
+	vt := MustBuildVIPTree(v, Options{})
+	pairs := crossLeafPairs(vt.Tree, v, 32, 2)
+	if len(pairs) == 0 {
+		t.Skip("no cross-leaf pairs in this venue")
+	}
+	for _, p := range pairs {
+		if _, doors := vt.Path(p[0], p[1]); len(doors) == 0 {
+			t.Fatal("cross-leaf Path returned no doors; venue unsuitable for the alloc test")
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		vt.Path(p[0], p[1])
+	})
+	if allocs > 1 {
+		t.Errorf("warm VIP-Tree Path allocates %.1f allocs/op, want <= 1 (the result slice)", allocs)
+	}
+}
+
 // TestKNNAllocsResultSliceOnly is the allocation-regression test for the
 // warm kNN path (Algorithm 5): once the scratch pools are warm, the only
 // allocation of a query is the returned result slice — the traversal's

@@ -1,0 +1,371 @@
+package iptree
+
+import (
+	"slices"
+
+	"viptree/internal/model"
+)
+
+// This file implements the arena-packed serving layout. A freshly built (or
+// snapshot-restored) tree stores every node's distance matrix in its own
+// heap allocations; pack() freezes that state into a handful of per-tree
+// contiguous slabs — one []float64 for all matrix distances, one []int32 for
+// all positional next-hops, one []model.DoorID for every sorted door set —
+// and repoints the per-node structures at views into them. Queries then walk
+// a few large arrays instead of hundreds of scattered allocations, which is
+// where the warm Distance/Path/kNN paths spend their memory traffic.
+//
+// pack() additionally precomputes the positional lookup tables the climb
+// loops of Algorithms 2/3/5 need, so the warm query paths perform no
+// doorIndex binary searches at all:
+//
+//   - adPosInOwn[n][i]: position of node n's i-th access door in n's own
+//     matrix (column position for leaves, row==column position for the
+//     square non-leaf matrices);
+//   - adPosInParent[n][i]: position of node n's i-th access door among the
+//     rows (== columns) of the parent's matrix;
+//   - supRowInLeaf[p][i]: row position of partition p's i-th superior door
+//     in the matrix of the leaf containing p.
+//
+// Packing never changes query results: every table is derived from the same
+// door sets the binary searches would consult (pack_test.go pins the
+// equivalence on random venues), and the snapshot payload is computed by
+// expanding the arenas back into the per-node form, byte-identical to what
+// an unpacked tree exports.
+
+// packed holds the frozen arenas and positional tables of a packed tree.
+type packed struct {
+	// dist is the distance slab: every matrix's cells, row-major, in node
+	// order. Each Matrix.dist is a view into it.
+	dist []float64
+	// next is the next-hop slab, parallel to dist, in the positional int32
+	// encoding of Matrix (row ordinal, -1 for NoDoor, -2-id escape).
+	next []int32
+	// doors is the door-set slab: access doors, matrix row/column sets, leaf
+	// door sets and superior doors, deduplicated where the builder aliases
+	// them (a leaf matrix's columns are the node's access doors, a non-leaf
+	// matrix's rows are its columns).
+	doors []model.DoorID
+	// pos is the positional-table slab backing the three views below.
+	pos []int32
+
+	adPosInOwn    [][]int32
+	adPosInParent [][]int32
+
+	// supDoorOff and supPosOff delimit partition p's superior doors within
+	// the doors slab and their leaf-matrix row positions within the pos
+	// slab: two (P+1)-length offset arrays instead of P slice headers each
+	// (partitions vastly outnumber nodes, so per-partition headers would
+	// dominate the whole report on venues with many small rooms).
+	supDoorOff []int32
+	supPosOff  []int32
+
+	// leavesOfDoor and accessNodesOfDoor are the per-door node lists in
+	// compressed (CSR) form: two int32 slabs replace a slice header and an
+	// 8-byte element array per door. Path decomposition consults both on
+	// every edge, so besides the memory halving they keep the candidate
+	// walk on two cache-friendly slabs.
+	leavesOfDoor      doorCSR
+	accessNodesOfDoor doorCSR
+}
+
+// doorCSR is a compressed per-door node-list table: door d's nodes are
+// data[off[d]:off[d+1]], stored as int32 node IDs.
+type doorCSR struct {
+	off  []int32
+	data []int32
+}
+
+// of returns door d's node list.
+func (c *doorCSR) of(d model.DoorID) []int32 { return c.data[c.off[d]:c.off[d+1]] }
+
+// empty reports whether door d has no nodes.
+func (c *doorCSR) empty(d model.DoorID) bool { return c.off[d] == c.off[d+1] }
+
+// bytes is the exact slab size.
+func (c *doorCSR) bytes() int64 { return int64(len(c.off)+len(c.data)) * 4 }
+
+// packDoorCSR compresses a per-door slice-of-slices table.
+func packDoorCSR(lists [][]NodeID) doorCSR {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	c := doorCSR{off: make([]int32, len(lists)+1), data: make([]int32, 0, total)}
+	for d, l := range lists {
+		c.off[d] = int32(len(c.data))
+		for _, n := range l {
+			c.data = append(c.data, int32(n))
+		}
+	}
+	c.off[len(lists)] = int32(len(c.data))
+	return c
+}
+
+// packSpan records where a door set landed in the doors slab; alias spans
+// (negative off) share another span instead of occupying slab space.
+type packSpan struct {
+	off int32
+	n   int32
+}
+
+const (
+	spanAliasAccess = -2 // span aliases the node's packed access doors
+	spanAliasRows   = -3 // span aliases the node's packed matrix rows
+)
+
+// pack freezes the tree into the arena layout. It is called once, at the end
+// of construction and of snapshot restore; the tree must not be mutated
+// afterwards (object updates live outside the tree and are unaffected).
+func (t *Tree) pack() {
+	numNodes := len(t.nodes)
+
+	// Pass 1: append every door set to the slab, recording spans. Appending
+	// first and slicing views after the slab is final avoids any aliasing
+	// hazard from slab growth.
+	var doors []model.DoorID
+	push := func(ds []model.DoorID) packSpan {
+		off := len(doors)
+		doors = append(doors, ds...)
+		return packSpan{off: int32(off), n: int32(len(ds))}
+	}
+	adSpan := make([]packSpan, numNodes)
+	rowSpan := make([]packSpan, numNodes)
+	colSpan := make([]packSpan, numNodes)
+	leafSpan := make([]packSpan, numNodes)
+	cells := 0
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		adSpan[i] = push(n.AccessDoors)
+		m := n.Matrix
+		if m == nil {
+			continue
+		}
+		cells += len(m.dist)
+		rowSpan[i] = push(m.rows)
+		switch {
+		case slices.Equal(m.cols, n.AccessDoors):
+			colSpan[i] = packSpan{off: spanAliasAccess, n: int32(len(m.cols))}
+		case slices.Equal(m.cols, m.rows):
+			colSpan[i] = packSpan{off: spanAliasRows, n: int32(len(m.cols))}
+		default:
+			colSpan[i] = push(m.cols)
+		}
+		if n.IsLeaf() {
+			if slices.Equal(t.doorsOfLeaf[i], m.rows) {
+				leafSpan[i] = packSpan{off: spanAliasRows, n: int32(len(m.rows))}
+			} else {
+				leafSpan[i] = push(t.doorsOfLeaf[i])
+			}
+		}
+	}
+	// Superior doors are pushed consecutively per partition, so a single
+	// offset array delimits them within the doors slab.
+	supDoorOff := make([]int32, len(t.superiorDoors)+1)
+	for p := range t.superiorDoors {
+		supDoorOff[p] = int32(len(doors))
+		doors = append(doors, t.superiorDoors[p]...)
+	}
+	supDoorOff[len(t.superiorDoors)] = int32(len(doors))
+
+	pk := &packed{
+		dist:       make([]float64, 0, cells),
+		next:       make([]int32, 0, cells),
+		doors:      doors,
+		supDoorOff: supDoorOff,
+	}
+	view := func(s packSpan, access, rows []model.DoorID) []model.DoorID {
+		switch s.off {
+		case spanAliasAccess:
+			return access
+		case spanAliasRows:
+			return rows
+		default:
+			return pk.doors[s.off : int(s.off)+int(s.n) : int(s.off)+int(s.n)]
+		}
+	}
+
+	// Pass 2: repoint the per-node structures at slab views and copy the
+	// matrix cells into the dist/next slabs.
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		n.AccessDoors = view(adSpan[i], nil, nil)
+		m := n.Matrix
+		if m == nil {
+			continue
+		}
+		rows := view(rowSpan[i], nil, nil)
+		m.rows = rows
+		m.cols = view(colSpan[i], n.AccessDoors, rows)
+		m.rowIdx = newDoorIndex(m.rows)
+		m.colIdx = newDoorIndex(m.cols)
+		off := len(pk.dist)
+		pk.dist = append(pk.dist, m.dist...)
+		pk.next = append(pk.next, m.next...)
+		m.dist = pk.dist[off:len(pk.dist):len(pk.dist)]
+		m.next = pk.next[off:len(pk.next):len(pk.next)]
+		if n.IsLeaf() {
+			t.doorsOfLeaf[i] = view(leafSpan[i], nil, rows)
+		}
+	}
+	// The views handed out above stay valid only if the slabs never grew
+	// past their pre-counted capacities; a drift between the counting and
+	// filling passes would silently orphan every repointed view.
+	if len(pk.dist) != cells || len(pk.next) != cells {
+		panic("iptree: pack: matrix slab count drifted from pass 1")
+	}
+
+	pk.leavesOfDoor = packDoorCSR(t.leavesOfDoor)
+	pk.accessNodesOfDoor = packDoorCSR(t.accessNodesOfDoor)
+	t.leavesOfDoor = nil
+	t.accessNodesOfDoor = nil
+
+	t.pk = pk
+	t.packPositions()
+	// The superior-door lists now live in the doors slab (supDoorOff); the
+	// per-partition slices are dropped, and SuperiorDoors serves subslices
+	// of the slab.
+	t.superiorDoors = nil
+}
+
+// packPositions fills the positional lookup tables, one contiguous int32
+// slab with per-node/per-partition views.
+func (t *Tree) packPositions() {
+	pk := t.pk
+	total := 0
+	for i := range t.nodes {
+		total += 2 * len(t.nodes[i].AccessDoors)
+	}
+	for p := range t.superiorDoors {
+		total += len(t.superiorDoors[p])
+	}
+	pk.pos = make([]int32, 0, total)
+	pk.adPosInOwn = make([][]int32, len(t.nodes))
+	pk.adPosInParent = make([][]int32, len(t.nodes))
+	pk.supPosOff = make([]int32, len(t.superiorDoors)+1)
+
+	fill := func(doors []model.DoorID, find func(model.DoorID) (int, bool)) []int32 {
+		off := len(pk.pos)
+		for _, d := range doors {
+			p := int32(-1)
+			if find != nil {
+				if i, ok := find(d); ok {
+					p = int32(i)
+				}
+			}
+			pk.pos = append(pk.pos, p)
+		}
+		return pk.pos[off:len(pk.pos):len(pk.pos)]
+	}
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		var own func(model.DoorID) (int, bool)
+		if n.Matrix != nil {
+			if n.IsLeaf() {
+				own = n.Matrix.colIndexOf
+			} else {
+				own = n.Matrix.rowIndexOf
+			}
+		}
+		pk.adPosInOwn[i] = fill(n.AccessDoors, own)
+		var inParent func(model.DoorID) (int, bool)
+		if n.Parent != invalidNode && t.nodes[n.Parent].Matrix != nil {
+			inParent = t.nodes[n.Parent].Matrix.rowIndexOf
+		}
+		pk.adPosInParent[i] = fill(n.AccessDoors, inParent)
+	}
+	for p := range t.superiorDoors {
+		leaf := t.leafOfPartition[p]
+		var find func(model.DoorID) (int, bool)
+		if leaf != invalidNode && t.nodes[leaf].Matrix != nil {
+			find = t.nodes[leaf].Matrix.rowIndexOf
+		}
+		pk.supPosOff[p] = int32(len(pk.pos))
+		fill(t.superiorDoors[p], find)
+	}
+	pk.supPosOff[len(t.superiorDoors)] = int32(len(pk.pos))
+	// Same guard as pack(): growth past the pre-count would orphan the
+	// position views taken during the fill.
+	if len(pk.pos) != total {
+		panic("iptree: pack: position slab count drifted from pre-count")
+	}
+}
+
+// superiorDoorsOf returns partition p's superior doors as a view of the
+// doors slab.
+func (pk *packed) superiorDoorsOf(p model.PartitionID) []model.DoorID {
+	return pk.doors[pk.supDoorOff[p]:pk.supDoorOff[p+1]]
+}
+
+// supRowsOf returns the leaf-matrix row positions of partition p's superior
+// doors as a view of the pos slab (parallel to superiorDoorsOf).
+func (pk *packed) supRowsOf(p model.PartitionID) []int32 {
+	return pk.pos[pk.supPosOff[p]:pk.supPosOff[p+1]]
+}
+
+// vipPacked holds the arena form of the VIP-Tree's per-door materialised
+// ancestor tables: the node lists of all doors concatenated into one int32
+// slab, and the (distance, first-door) entries split into a float64 slab and
+// an int32 slab (the distance slab is the one the Distance hot path scans,
+// so splitting doubles its cache density). Entries of door d start at
+// entryOff[d] and follow the node list order, one block of
+// len(AccessDoors(node)) entries per node.
+type vipPacked struct {
+	nodes    []int32   // concatenated ancestor node lists, door order
+	nodesOff []int32   // len numDoors+1: door d's nodes are nodes[nodesOff[d]:nodesOff[d+1]]
+	dist     []float64 // concatenated entry distances
+	next     []int32   // parallel first-door IDs (-1 = NoDoor)
+	entryOff []int32   // len numDoors+1: door d's entries start at entryOff[d]
+}
+
+// packVIP freezes the transient per-door entry structs produced by
+// materialisation (or snapshot restore) into the VIP arena and drops them.
+func (vt *VIPTree) packVIP(entries []doorEntries) {
+	numNodes, numEntries := 0, 0
+	for d := range entries {
+		numNodes += len(entries[d].nodes)
+		for _, es := range entries[d].perNode {
+			numEntries += len(es)
+		}
+	}
+	pk := &vipPacked{
+		nodes:    make([]int32, 0, numNodes),
+		nodesOff: make([]int32, len(entries)+1),
+		dist:     make([]float64, 0, numEntries),
+		next:     make([]int32, 0, numEntries),
+		entryOff: make([]int32, len(entries)+1),
+	}
+	for d := range entries {
+		de := &entries[d]
+		pk.nodesOff[d] = int32(len(pk.nodes))
+		pk.entryOff[d] = int32(len(pk.dist))
+		for i, n := range de.nodes {
+			pk.nodes = append(pk.nodes, int32(n))
+			for _, e := range de.perNode[i] {
+				pk.dist = append(pk.dist, e.dist)
+				pk.next = append(pk.next, int32(e.next))
+			}
+		}
+	}
+	pk.nodesOff[len(entries)] = int32(len(pk.nodes))
+	pk.entryOff[len(entries)] = int32(len(pk.dist))
+	vt.vpk = pk
+}
+
+// arenaBytes returns the exact size of the packed VIP slabs.
+func (pk *vipPacked) arenaBytes() int64 {
+	return int64(len(pk.nodes))*4 + int64(len(pk.nodesOff))*4 +
+		int64(len(pk.dist))*8 + int64(len(pk.next))*4 + int64(len(pk.entryOff))*4
+}
+
+// arenaBytes returns the exact size of the packed slabs plus the headers of
+// the per-node views they replace.
+func (pk *packed) arenaBytes() int64 {
+	total := int64(len(pk.dist))*8 + int64(len(pk.next))*4 +
+		int64(len(pk.doors))*sizeofDoorID + int64(len(pk.pos))*4
+	total += pk.leavesOfDoor.bytes() + pk.accessNodesOfDoor.bytes()
+	total += int64(len(pk.supDoorOff)+len(pk.supPosOff)) * 4
+	views := int64(len(pk.adPosInOwn) + len(pk.adPosInParent))
+	total += views * sizeofSliceHeader
+	return total
+}

@@ -102,9 +102,10 @@ func (t *Tree) buildLeaves() {
 		}
 	}
 
-	// Materialise the leaf nodes.
+	// Materialise the leaf nodes. Leaves are created first, so leaf IDs are
+	// 0..len(groups)-1 and doorsOfLeaf is a dense slice over them.
 	t.leafOfPartition = make([]NodeID, numParts)
-	t.doorsOfLeaf = make(map[NodeID][]model.DoorID, len(groups))
+	t.doorsOfLeaf = make([][]model.DoorID, len(groups))
 	for _, parts := range groups {
 		id := NodeID(len(t.nodes))
 		sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
@@ -124,15 +125,13 @@ func (t *Tree) buildLeaves() {
 		t.doorsOfLeaf[id] = doors
 	}
 
-	// Per-door bookkeeping: the leaves containing each door.
+	// Per-door bookkeeping: the leaves containing each door. Leaves are
+	// visited in ascending ID order, so the per-door lists are born sorted.
 	t.leavesOfDoor = make([][]NodeID, v.NumDoors())
 	for leaf, doors := range t.doorsOfLeaf {
 		for _, d := range doors {
-			t.leavesOfDoor[d] = append(t.leavesOfDoor[d], leaf)
+			t.leavesOfDoor[d] = append(t.leavesOfDoor[d], NodeID(leaf))
 		}
-	}
-	for d := range t.leavesOfDoor {
-		sort.Slice(t.leavesOfDoor[d], func(i, j int) bool { return t.leavesOfDoor[d][i] < t.leavesOfDoor[d][j] })
 	}
 }
 

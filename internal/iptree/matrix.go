@@ -15,6 +15,9 @@ const NoDoor model.DoorID = -1
 // Infinite is the distance stored for unreachable door pairs.
 const Infinite = math.MaxFloat64
 
+// noNextOrd is the encoded form of NoDoor in the next-hop array.
+const noNextOrd int32 = -1
+
 // doorIndex maps door IDs to their position in an ordered door slice without
 // a hash map: lookups binary-search a sorted view of the doors. The door sets
 // of a matrix are small (ρ doors for non-leaf nodes, the doors of one leaf
@@ -87,9 +90,9 @@ func (ix *doorIndex) find(d model.DoorID) (int, bool) {
 // sorted slice that aliases the door set it indexes.
 func (ix *doorIndex) memoryBytes() int64 {
 	if ix.pos == nil {
-		return 24
+		return sizeofSliceHeader
 	}
-	return int64(len(ix.sorted))*8 + int64(len(ix.pos))*4 + 48
+	return int64(len(ix.sorted))*sizeofDoorID + int64(len(ix.pos))*4 + 2*sizeofSliceHeader
 }
 
 // Matrix is a distance matrix of an IP-Tree node. For leaf nodes the rows
@@ -97,13 +100,25 @@ func (ix *doorIndex) memoryBytes() int64 {
 // nodes rows and columns are both the union of the children's access doors.
 // Each entry stores the shortest distance and the next-hop door on that
 // shortest path, oriented from the row door towards the column door.
+//
+// Next hops are stored positionally, not as global door IDs: an entry holds
+// the ordinal of the next-hop door within the matrix's own row door set (4
+// bytes instead of 8), and the global ID is recovered by indexing the door
+// set — no search. The rare next hop outside the matrix's door set (a leaf
+// path that leaves the leaf, a level-graph fallback hop) is escape-encoded
+// as -2-id; NoDoor is -1.
+//
+// After construction the per-matrix dist/next arrays are repacked into
+// per-tree contiguous arenas (see pack in arena.go); the slices here then
+// become views into those arenas, so the struct is effectively an
+// (offset, rows, cols) descriptor over the tree's slabs.
 type Matrix struct {
 	rows   []model.DoorID
 	cols   []model.DoorID
 	rowIdx doorIndex
 	colIdx doorIndex
 	dist   []float64
-	next   []model.DoorID
+	next   []int32
 }
 
 // newMatrix allocates a matrix with the given row and column door sets. All
@@ -115,13 +130,38 @@ func newMatrix(rows, cols []model.DoorID) *Matrix {
 		rowIdx: newDoorIndex(rows),
 		colIdx: newDoorIndex(cols),
 		dist:   make([]float64, len(rows)*len(cols)),
-		next:   make([]model.DoorID, len(rows)*len(cols)),
+		next:   make([]int32, len(rows)*len(cols)),
 	}
 	for i := range m.dist {
 		m.dist[i] = Infinite
-		m.next[i] = NoDoor
+		m.next[i] = noNextOrd
 	}
 	return m
+}
+
+// encodeNext turns a global next-hop door ID into its stored positional
+// form: the door's ordinal among the matrix rows when it is one, or the
+// escape encoding -2-id when it is not (NoDoor stays -1).
+func (m *Matrix) encodeNext(d model.DoorID) int32 {
+	if d == NoDoor {
+		return noNextOrd
+	}
+	if i, ok := m.rowIdx.find(d); ok {
+		return int32(i)
+	}
+	return int32(-2 - d)
+}
+
+// decodeNext recovers the global door ID from a stored next-hop entry by
+// direct indexing into the row door set.
+func (m *Matrix) decodeNext(v int32) model.DoorID {
+	if v >= 0 {
+		return m.rows[v]
+	}
+	if v == noNextOrd {
+		return NoDoor
+	}
+	return model.DoorID(-2 - v)
 }
 
 // Rows returns the row door IDs.
@@ -154,11 +194,12 @@ func (m *Matrix) index(row, col model.DoorID) (int, bool) {
 
 // setAt records the entry for the row/col positions directly (both aligned
 // with Rows()/Cols()); build loops iterate positionally, so the matrix has
-// no door-ID-keyed mutator.
+// no door-ID-keyed mutator. The next-hop door is given as a global ID and
+// encoded positionally.
 func (m *Matrix) setAt(row, col int, dist float64, next model.DoorID) {
 	idx := row*len(m.cols) + col
 	m.dist[idx] = dist
-	m.next[idx] = next
+	m.next[idx] = m.encodeNext(next)
 }
 
 // Dist returns the stored distance from row door a to column door b, or
@@ -178,7 +219,7 @@ func (m *Matrix) Next(a, b model.DoorID) model.DoorID {
 	if !ok {
 		return NoDoor
 	}
-	return m.next[idx]
+	return m.decodeNext(m.next[idx])
 }
 
 // rowIndexOf returns the position of door d among the rows.
@@ -193,7 +234,9 @@ func (m *Matrix) colIndexOf(d model.DoorID) (int, bool) { return m.colIdx.find(d
 func (m *Matrix) distAt(row, col int) float64 { return m.dist[row*len(m.cols)+col] }
 
 // nextAt reads the next-hop door at a (row, col) position pair.
-func (m *Matrix) nextAt(row, col int) model.DoorID { return m.next[row*len(m.cols)+col] }
+func (m *Matrix) nextAt(row, col int) model.DoorID {
+	return m.decodeNext(m.next[row*len(m.cols)+col])
+}
 
 // locate returns the position of the entry relating doors a and b, trying
 // the (a, b) orientation first and falling back to (b, a) — the orientation
@@ -213,9 +256,11 @@ func (m *Matrix) locate(a, b model.DoorID) (row, col int, ok bool) {
 	return 0, 0, false
 }
 
-// memoryBytes estimates the memory used by the matrix.
+// memoryBytes estimates the memory used by an unpacked matrix (one whose
+// dist/next arrays are still per-matrix allocations). Packed trees account
+// for their matrices arena-wide instead; see Tree.MemoryBytes.
 func (m *Matrix) memoryBytes() int64 {
 	cells := int64(len(m.dist))
-	return cells*16 + int64(len(m.rows)+len(m.cols))*8 +
-		m.rowIdx.memoryBytes() + m.colIdx.memoryBytes() + 96
+	return cells*(8+4) + int64(len(m.rows)+len(m.cols))*sizeofDoorID +
+		m.rowIdx.memoryBytes() + m.colIdx.memoryBytes() + sizeofMatrixStruct
 }

@@ -1,0 +1,21 @@
+package iptree
+
+import (
+	"unsafe"
+
+	"viptree/internal/model"
+)
+
+// unsafe.Sizeof-derived per-element constants used by every MemoryBytes
+// estimator in the package, so reported sizes stay consistent with the types
+// they describe instead of hand-written magic numbers drifting out of date.
+const (
+	sizeofDoorID       = int64(unsafe.Sizeof(model.DoorID(0)))
+	sizeofNodeID       = int64(unsafe.Sizeof(NodeID(0)))
+	sizeofLocation     = int64(unsafe.Sizeof(model.Location{}))
+	sizeofObjEntry     = int64(unsafe.Sizeof(objEntry{}))
+	sizeofInt          = int64(unsafe.Sizeof(int(0)))
+	sizeofSliceHeader  = int64(unsafe.Sizeof([]model.DoorID(nil)))
+	sizeofMatrixStruct = int64(unsafe.Sizeof(Matrix{}))
+	sizeofNodeStruct   = int64(unsafe.Sizeof(Node{}))
+)

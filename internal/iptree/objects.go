@@ -153,6 +153,13 @@ func newObjectIndex(t *Tree, name string) *ObjectIndex {
 		if !n.IsLeaf() || n.Matrix == nil {
 			continue
 		}
+		if t.pk != nil {
+			// The packed tree already holds exactly this table (a leaf's
+			// adPosInOwn positions are its matrix column positions); share
+			// the view instead of recomputing it.
+			oi.leafColPos[i] = t.pk.adPosInOwn[i]
+			continue
+		}
 		pos := make([]int32, len(n.AccessDoors))
 		for ai, a := range n.AccessDoors {
 			if p, ok := n.Matrix.colIndexOf(a); ok {
@@ -514,7 +521,8 @@ func (oi *ObjectIndex) Epoch() uint64 { return oi.epoch.Load() }
 func (oi *ObjectIndex) Tree() *Tree { return oi.tree }
 
 // MemoryBytes estimates the memory used by the object lists and the object
-// table.
+// table, using unsafe.Sizeof-derived per-element sizes (memsize.go) so the
+// estimate tracks the actual types.
 func (oi *ObjectIndex) MemoryBytes() int64 {
 	var total int64
 	for i := range oi.leafData {
@@ -525,17 +533,25 @@ func (oi *ObjectIndex) MemoryBytes() int64 {
 			sh.RUnlock()
 			continue
 		}
-		total += int64(len(lo.ids))*(8+32) + 48
+		total += int64(len(lo.ids))*(sizeofInt+sizeofLocation) + 3*sizeofSliceHeader + sizeofInt
 		for _, es := range lo.lists {
-			total += int64(len(es))*16 + 24
+			total += int64(len(es))*sizeofObjEntry + sizeofSliceHeader
 		}
 		sh.RUnlock()
 	}
 	oi.tableMu.Lock()
-	total += int64(len(oi.objects))*32 + int64(len(oi.objLeaf))*8 + int64(len(oi.free))*8
+	total += int64(len(oi.objects))*sizeofLocation + int64(len(oi.objLeaf))*sizeofNodeID + int64(len(oi.free))*sizeofInt
 	oi.tableMu.Unlock()
-	total += int64(len(oi.leafData)) * 8
-	total += int64(len(oi.subtreeCount)) * 8
+	total += int64(len(oi.leafData)) * 8     // *leafObjects pointers
+	total += int64(len(oi.subtreeCount)) * 8 // atomic.Int64
+	total += int64(len(oi.leafColPos)) * sizeofSliceHeader
+	if oi.tree.pk == nil {
+		// On packed trees the position data is shared with (and counted by)
+		// the tree's pos slab; only unpacked trees own a private copy.
+		for _, pos := range oi.leafColPos {
+			total += int64(len(pos)) * 4
+		}
+	}
 	return total
 }
 
@@ -694,6 +710,42 @@ func (oi *ObjectIndex) childMinDist(q model.Location, qLeaf NodeID, parent, chil
 	baseDoors := t.nodes[baseNode].AccessDoors
 	childAD := t.nodes[child].AccessDoors
 	dists := nd.put(child, len(childAD))
+	if t.pk != nil {
+		// Packed: the base node's and the child's access-door positions in
+		// the parent matrix are precomputed (own-matrix positions when the
+		// base is the parent itself, parent-matrix positions when it is a
+		// sibling), so the combination loop is positional.
+		baseRows := t.pk.adPosInParent[baseNode]
+		if baseNode == parent {
+			baseRows = t.pk.adPosInOwn[parent]
+		}
+		childCols := t.pk.adPosInParent[child]
+		for i := range childAD {
+			best := Infinite
+			ci := childCols[i]
+			if baseDists == nil || ci < 0 {
+				// The base node was never reached (disconnected venue);
+				// leave the child unreachable.
+				dists[i] = best
+				continue
+			}
+			for j := range baseDoors {
+				base := baseDists[j]
+				if base == Infinite || baseRows[j] < 0 {
+					continue
+				}
+				md := mat.distAt(int(baseRows[j]), int(ci))
+				if md == Infinite {
+					continue
+				}
+				if base+md < best {
+					best = base + md
+				}
+			}
+			dists[i] = best
+		}
+		return minOf(dists)
+	}
 	for i, di := range childAD {
 		best := Infinite
 		if baseDists == nil {

@@ -1,0 +1,173 @@
+package iptree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"viptree/internal/model"
+	"viptree/internal/venuegen"
+)
+
+// These tests pin the two contracts of the arena-packed serving layout
+// (arena.go): packing never changes query answers, and the snapshot payload
+// of a packed tree is byte-identical to the one the pre-pack state exports —
+// i.e. the on-disk format is untouched by the in-memory layout change.
+
+// packVenues returns the venues the packing properties are checked on:
+// random office buildings (many distinct topologies) plus a multi-building
+// campus (outdoor edges, promoted nodes).
+func packVenues(t *testing.T) []*model.Venue {
+	t.Helper()
+	venues := make([]*model.Venue, 0, 7)
+	for seed := uint64(1); seed <= 6; seed++ {
+		venues = append(venues, randomVenue(seed*37))
+	}
+	venues = append(venues, venuegen.Clayton(venuegen.ScaleTiny))
+	return venues
+}
+
+// buildBoth constructs the packed and the pre-pack (unpacked) VIP-Tree over
+// the same venue. Construction is deterministic, so the two builds hold
+// identical state up to the layout change.
+func buildBoth(t *testing.T, v *model.Venue) (packed, unpacked *VIPTree) {
+	t.Helper()
+	packed = MustBuildVIPTree(v, Options{})
+	ut, err := buildIPTreeUnpacked(v, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpacked = newVIPTreeUnpacked(ut)
+	if packed.pk == nil || packed.vpk == nil {
+		t.Fatal("public constructor did not pack the tree")
+	}
+	if unpacked.pk != nil || unpacked.vpk != nil {
+		t.Fatal("unpacked helper produced a packed tree")
+	}
+	return packed, unpacked
+}
+
+// TestPackedMatchesUnpacked: a packed tree answers Distance, Path, KNN and
+// Range queries identically (DeepEqual) to the pre-pack state across random
+// venues and a campus — packing is a pure layout change.
+func TestPackedMatchesUnpacked(t *testing.T) {
+	for vi, v := range packVenues(t) {
+		pk, un := buildBoth(t, v)
+		rng := rand.New(rand.NewSource(int64(100 + vi)))
+		objs := make([]model.Location, 25)
+		for i := range objs {
+			objs[i] = v.RandomLocation(rng)
+		}
+		pkOI := pk.IndexObjects(objs)
+		unOI := un.IndexObjects(objs)
+		for q := 0; q < 60; q++ {
+			s, d := v.RandomLocation(rng), v.RandomLocation(rng)
+			if got, want := pk.Distance(s, d), un.Distance(s, d); got != want {
+				t.Fatalf("venue %d: packed VIP Distance(%v,%v)=%v, unpacked %v", vi, s, d, got, want)
+			}
+			if got, want := pk.Tree.Distance(s, d), un.Tree.Distance(s, d); got != want {
+				t.Fatalf("venue %d: packed IP Distance(%v,%v)=%v, unpacked %v", vi, s, d, got, want)
+			}
+			gd, gp := pk.Path(s, d)
+			wd, wp := un.Path(s, d)
+			if gd != wd || !reflect.DeepEqual(gp, wp) {
+				t.Fatalf("venue %d: packed VIP Path(%v,%v)=(%v,%v), unpacked (%v,%v)", vi, s, d, gd, gp, wd, wp)
+			}
+			gd, gp = pk.Tree.Path(s, d)
+			wd, wp = un.Tree.Path(s, d)
+			if gd != wd || !reflect.DeepEqual(gp, wp) {
+				t.Fatalf("venue %d: packed IP Path(%v,%v)=(%v,%v), unpacked (%v,%v)", vi, s, d, gd, gp, wd, wp)
+			}
+			if got, want := pkOI.KNN(s, 4), unOI.KNN(s, 4); !reflect.DeepEqual(got, want) {
+				t.Fatalf("venue %d: packed KNN(%v)=%v, unpacked %v", vi, s, got, want)
+			}
+			if got, want := pkOI.Range(s, 120), unOI.Range(s, 120); !reflect.DeepEqual(got, want) {
+				t.Fatalf("venue %d: packed Range(%v)=%v, unpacked %v", vi, s, got, want)
+			}
+		}
+	}
+}
+
+// encodeState gob-encodes a snapshot state with a fresh encoder, so byte
+// comparisons are meaningful.
+func encodeState(t *testing.T, st any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPackSnapshotByteIdentical: build → pack → export encodes byte-identically
+// to the pre-pack export, and the full build → pack → snapshot → restore →
+// re-export round trip reproduces the same bytes — the snapshot format is
+// unchanged by the packed layout.
+func TestPackSnapshotByteIdentical(t *testing.T) {
+	for vi, v := range packVenues(t) {
+		pk, un := buildBoth(t, v)
+		packedBytes := encodeState(t, pk.ExportState())
+		unpackedBytes := encodeState(t, un.ExportState())
+		if !bytes.Equal(packedBytes, unpackedBytes) {
+			t.Fatalf("venue %d: packed VIP export differs from pre-pack export (%d vs %d bytes)",
+				vi, len(packedBytes), len(unpackedBytes))
+		}
+		// Restore from the packed payload and re-export: still identical.
+		var st VIPState
+		if err := gob.NewDecoder(bytes.NewReader(packedBytes)).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := RestoreVIPTree(v, &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encodeState(t, restored.ExportState()), packedBytes) {
+			t.Fatalf("venue %d: restore → re-export changed the payload", vi)
+		}
+		// The plain IP-Tree payload as well.
+		ipPacked := encodeState(t, pk.Tree.ExportState())
+		ipUnpacked := encodeState(t, un.Tree.ExportState())
+		if !bytes.Equal(ipPacked, ipUnpacked) {
+			t.Fatalf("venue %d: packed IP export differs from pre-pack export", vi)
+		}
+		restoredIP, err := RestoreTree(v, decodeTreeState(t, ipPacked))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encodeState(t, restoredIP.ExportState()), ipPacked) {
+			t.Fatalf("venue %d: IP restore → re-export changed the payload", vi)
+		}
+	}
+}
+
+func decodeTreeState(t *testing.T, payload []byte) *TreeState {
+	t.Helper()
+	var st TreeState
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return &st
+}
+
+// TestPackedAccounting sanity-checks the arena-exact memory accounting: a
+// packed tree must report strictly less memory than the same tree's
+// per-allocation estimate, and the slabs must dominate the report.
+func TestPackedAccounting(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{
+		Name: "pack-mem", Floors: 4, RoomsPerHallway: 16, Seed: 3,
+	})
+	pk, un := buildBoth(t, v)
+	pb, ub := pk.MemoryBytes(), un.MemoryBytes()
+	if pb <= 0 || ub <= 0 {
+		t.Fatalf("non-positive memory report: packed %d, unpacked %d", pb, ub)
+	}
+	if pb >= ub {
+		t.Errorf("packed tree reports %d bytes, not below the unpacked estimate %d", pb, ub)
+	}
+	slabs := pk.Tree.pk.arenaBytes() + pk.vpk.arenaBytes()
+	if slabs >= pb {
+		t.Errorf("slabs (%d bytes) exceed the total report (%d bytes)", slabs, pb)
+	}
+}

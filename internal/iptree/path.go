@@ -8,10 +8,18 @@ import (
 // shortest path is assembled from the via-doors recorded by Algorithm 2/3,
 // and each partial edge is decomposed into final edges with Algorithm 4
 // using the next-hop doors stored in the distance matrices.
+//
+// The whole expansion runs on pooled scratch buffers (pathScratch) with an
+// explicit work stack instead of recursion, so a warm Path query allocates
+// only the returned result slice — the same discipline the Distance and
+// kNN/Range hot paths follow.
 
-// maxDecompose bounds the recursion of edge decomposition; it is far larger
+// maxDecompose bounds the steps of edge decomposition; it is far larger
 // than any real path and only guards against pathological matrices.
 const maxDecompose = 1 << 14
+
+// doorPair is one pending segment of the decomposition work stack.
+type doorPair struct{ a, b model.DoorID }
 
 // Path returns the shortest distance between s and d together with the
 // sequence of doors on the shortest path. The sequence is empty when both
@@ -34,46 +42,52 @@ func (t *Tree) Path(s, d model.Location) (float64, []model.DoorID) {
 		pd, doors := t.venue.D2D().LocationPath(s, d)
 		return pd, doors
 	}
-	partial := t.partialPath(sdS, sdD, pair)
+	ps := &sc.path
+	ps.partial = t.partialPathInto(sdS, sdD, pair, ps.partial[:0])
+	out := t.expandPartialInto(ps.partial, ps)
+	result := make([]model.DoorID, len(out))
+	copy(result, out)
 	t.putDistScratch(sc)
-	return dist, t.expandPartial(partial)
+	return dist, result
 }
 
-// partialPath unwinds the via chains of the two Algorithm-2 runs into the
-// partial shortest path: superior door of the source partition, access doors
-// climbing up to the LCA child on the source side, then down the target
-// side, ending at the superior door of the target partition.
-func (t *Tree) partialPath(sdS, sdD *sourceDists, pair [2]model.DoorID) []model.DoorID {
-	up := unwindVia(sdS, pair[0])
-	down := unwindVia(sdD, pair[1])
-	// up is ordered from the source outwards; down is ordered from the
-	// target outwards and must be reversed.
-	doors := make([]model.DoorID, 0, len(up)+len(down))
-	doors = append(doors, up...)
-	for i := len(down) - 1; i >= 0; i-- {
-		doors = append(doors, down[i])
-	}
-	return dedupConsecutive(doors)
+// partialPathInto assembles the partial shortest path from the via chains of
+// the two Algorithm-2 runs into buf: superior door of the source partition,
+// access doors climbing up to the LCA child on the source side, then down
+// the target side, ending at the superior door of the target partition.
+func (t *Tree) partialPathInto(sdS, sdD *sourceDists, pair [2]model.DoorID, buf []model.DoorID) []model.DoorID {
+	// The source-side chain unwinds end→source; reverse it in place to get
+	// source-first order.
+	buf = appendViaChain(buf, sdS, pair[0])
+	reverseDoors(buf)
+	// The target-side chain unwinds end→target, which is exactly the order
+	// the partial path continues in (LCA crossing first, target's superior
+	// door last).
+	buf = appendViaChain(buf, sdD, pair[1])
+	return dedupConsecutive(buf)
 }
 
-// unwindVia returns the chain of doors from the source's partition to door
-// end, ordered source-first.
-func unwindVia(sd *sourceDists, end model.DoorID) []model.DoorID {
-	var rev []model.DoorID
+// appendViaChain appends the chain of doors from `end` back towards the
+// source of sd, in unwind (end-first) order.
+func appendViaChain(buf []model.DoorID, sd *sourceDists, end model.DoorID) []model.DoorID {
 	cur := end
 	for cur != NoDoor {
-		rev = append(rev, cur)
+		buf = append(buf, cur)
 		if !sd.tab.has(cur) {
 			break
 		}
 		cur = sd.tab.viaOf(cur)
 	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
-	}
-	return rev
+	return buf
 }
 
+func reverseDoors(doors []model.DoorID) {
+	for i, j := 0, len(doors)-1; i < j; i, j = i+1, j-1 {
+		doors[i], doors[j] = doors[j], doors[i]
+	}
+}
+
+// dedupConsecutive removes consecutive duplicate doors in place.
 func dedupConsecutive(doors []model.DoorID) []model.DoorID {
 	if len(doors) == 0 {
 		return doors
@@ -87,69 +101,92 @@ func dedupConsecutive(doors []model.DoorID) []model.DoorID {
 	return out
 }
 
-// expandPartial decomposes every edge of the partial path into final edges
-// and concatenates the results.
-func (t *Tree) expandPartial(partial []model.DoorID) []model.DoorID {
+// expandPartialInto decomposes every edge of the partial path into final
+// edges, concatenating the results into the scratch's out buffer.
+func (t *Tree) expandPartialInto(partial []model.DoorID, ps *pathScratch) []model.DoorID {
 	if len(partial) == 0 {
 		return nil
 	}
-	out := []model.DoorID{partial[0]}
+	out := append(ps.out[:0], partial[0])
 	for i := 1; i < len(partial); i++ {
-		seg := t.expandEdge(partial[i-1], partial[i])
-		out = append(out, seg[1:]...)
+		out = t.expandEdgeInto(partial[i-1], partial[i], out, ps)
+	}
+	ps.out = out
+	return out
+}
+
+// expandEdgeInto appends the complete door sequence of the shortest path
+// from a to b — excluding a itself, which the caller has already emitted —
+// to out, implementing Algorithm 4 iteratively: the segment currently being
+// decomposed walks leftmost-first while the right halves of each split wait
+// on an explicit stack, reproducing the recursion's emission order without
+// its allocations. When the matrices cannot decompose a segment (a rare
+// situation, e.g. shortest paths that leave and re-enter a node), the whole
+// a→b edge is recovered with a plain graph search instead, guaranteeing a
+// correct result at a small cost for those cases.
+func (t *Tree) expandEdgeInto(a, b model.DoorID, out []model.DoorID, ps *pathScratch) []model.DoorID {
+	mark := len(out)
+	budget := maxDecompose
+	stack := ps.stack[:0]
+	curA, curB := a, b
+	fail := false
+	for {
+		if budget <= 0 {
+			fail = true
+			break
+		}
+		budget--
+		if curA != curB { // an empty segment contributes nothing
+			final, next, ok := t.decomposeStep(curA, curB)
+			if !ok {
+				fail = true
+				break
+			}
+			if !final {
+				// Split at the next-hop door: continue with the left half,
+				// park the right half.
+				stack = append(stack, doorPair{next, curB})
+				curB = next
+				continue
+			}
+			out = append(out, curB)
+		}
+		if len(stack) == 0 {
+			break
+		}
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		curA, curB = top.a, top.b
+	}
+	ps.stack = stack[:0]
+	if fail {
+		out = out[:mark]
+		out = t.appendFallbackPath(a, b, out)
 	}
 	return out
 }
 
-// expandEdge returns the complete door sequence of the shortest path from a
-// to b (inclusive of both endpoints), implementing Algorithm 4 recursively.
-func (t *Tree) expandEdge(a, b model.DoorID) []model.DoorID {
-	budget := maxDecompose
-	seq, ok := t.decompose(a, b, &budget)
-	if !ok {
-		return t.fallbackPath(a, b)
-	}
-	return seq
-}
-
-// decompose is the recursive core of Algorithm 4. It reports failure when the
-// matrices cannot decompose the edge (a rare situation handled by a plain
-// graph search in the caller).
-func (t *Tree) decompose(a, b model.DoorID, budget *int) ([]model.DoorID, bool) {
-	if *budget <= 0 {
-		return nil, false
-	}
-	*budget--
-	if a == b {
-		return []model.DoorID{a}, true
-	}
-	aAccess := len(t.accessNodesOfDoor[a]) > 0
-	bAccess := len(t.accessNodesOfDoor[b]) > 0
+// decomposeStep is one step of Algorithm 4 on the segment (a, b): it reports
+// whether the edge is final, or the next-hop door to split at, or that the
+// matrices cannot decompose the segment.
+func (t *Tree) decomposeStep(a, b model.DoorID) (final bool, next model.DoorID, ok bool) {
 	// Lemmas 4 and 6: an edge between two non-access doors is final.
-	if !aAccess && !bAccess {
-		return []model.DoorID{a, b}, true
+	if !t.doorIsAccess(a) && !t.doorIsAccess(b) {
+		return true, NoDoor, true
 	}
-	mat, row, col, ok := t.decompositionEntry(a, b)
-	if !ok {
-		return nil, false
+	mat, row, col, found := t.decompositionEntry(a, b)
+	if !found {
+		return false, NoDoor, false
 	}
-	next := mat.nextAt(row, col)
+	n := mat.nextAt(row, col)
 	// Lemma 3: a NULL next hop means the edge is final.
-	if next == NoDoor {
-		return []model.DoorID{a, b}, true
+	if n == NoDoor {
+		return true, NoDoor, true
 	}
-	if next == a || next == b {
-		return nil, false
+	if n == a || n == b {
+		return false, NoDoor, false
 	}
-	left, ok := t.decompose(a, next, budget)
-	if !ok {
-		return nil, false
-	}
-	right, ok := t.decompose(next, b, budget)
-	if !ok {
-		return nil, false
-	}
-	return append(left, right[1:]...), true
+	return false, n, true
 }
 
 // decompositionEntry finds the lowest node whose distance matrix stores an
@@ -187,20 +224,41 @@ func (t *Tree) decompositionEntry(a, b model.DoorID) (*Matrix, int, int, bool) {
 			bestMat, bestRow, bestCol, bestLevel = mat, row, col, lvl
 		}
 	}
-	for _, n := range t.leavesOfDoor[a] {
-		visit(n)
-	}
-	for _, n := range t.accessNodesOfDoor[a] {
-		if p := t.nodes[n].Parent; p != invalidNode {
-			visit(p)
+	if pk := t.pk; pk != nil {
+		// Packed: the candidate lists live in the two compressed per-door
+		// slabs.
+		for _, n := range pk.leavesOfDoor.of(a) {
+			visit(NodeID(n))
 		}
-	}
-	for _, n := range t.leavesOfDoor[b] {
-		visit(n)
-	}
-	for _, n := range t.accessNodesOfDoor[b] {
-		if p := t.nodes[n].Parent; p != invalidNode {
-			visit(p)
+		for _, n := range pk.accessNodesOfDoor.of(a) {
+			if p := t.nodes[n].Parent; p != invalidNode {
+				visit(p)
+			}
+		}
+		for _, n := range pk.leavesOfDoor.of(b) {
+			visit(NodeID(n))
+		}
+		for _, n := range pk.accessNodesOfDoor.of(b) {
+			if p := t.nodes[n].Parent; p != invalidNode {
+				visit(p)
+			}
+		}
+	} else {
+		for _, n := range t.leavesOfDoor[a] {
+			visit(n)
+		}
+		for _, n := range t.accessNodesOfDoor[a] {
+			if p := t.nodes[n].Parent; p != invalidNode {
+				visit(p)
+			}
+		}
+		for _, n := range t.leavesOfDoor[b] {
+			visit(n)
+		}
+		for _, n := range t.accessNodesOfDoor[b] {
+			if p := t.nodes[n].Parent; p != invalidNode {
+				visit(p)
+			}
 		}
 	}
 	if bestMat == nil {
@@ -209,14 +267,13 @@ func (t *Tree) decompositionEntry(a, b model.DoorID) (*Matrix, int, int, bool) {
 	return bestMat, bestRow, bestCol, true
 }
 
-// fallbackPath recovers the door sequence between two doors with a plain
-// Dijkstra search on the D2D graph. It is used only for edges the matrices
-// cannot decompose (e.g. shortest paths that leave and re-enter a node),
-// guaranteeing a correct result at a small cost for those rare cases.
-func (t *Tree) fallbackPath(a, b model.DoorID) []model.DoorID {
+// appendFallbackPath appends the door sequence between a and b (excluding
+// a) recovered with a plain Dijkstra search on the D2D graph. It is used
+// only for edges the matrices cannot decompose.
+func (t *Tree) appendFallbackPath(a, b model.DoorID, out []model.DoorID) []model.DoorID {
 	_, doors := t.venue.D2D().Path(a, b)
 	if len(doors) == 0 {
-		return []model.DoorID{a, b}
+		return append(out, b)
 	}
-	return doors
+	return append(out, doors[1:]...)
 }

@@ -58,10 +58,23 @@ func (dt *doorTable) viaOf(d model.DoorID) model.DoorID {
 	return dt.via[d]
 }
 
+// pathScratch holds the reusable buffers of one shortest-path expansion:
+// the partial via-door skeleton, the expanded door sequence, the
+// target-side segment of the VIP expansion, and the explicit work stack of
+// the iterative Algorithm 4. All four are grown once and recycled, so a
+// warm Path query allocates only its returned result slice.
+type pathScratch struct {
+	partial []model.DoorID
+	out     []model.DoorID
+	tmp     []model.DoorID
+	stack   []doorPair
+}
+
 // distScratch is the reusable state of one IP-Tree distance/path query: the
-// two Algorithm-2 runs (source side and target side).
+// two Algorithm-2 runs (source side and target side) plus the path buffers.
 type distScratch struct {
 	src, dst sourceDists
+	path     pathScratch
 }
 
 // getDistScratch fetches a scratch from the tree's pool (allocating one only
@@ -102,6 +115,7 @@ func (s *vipSide) resize(n int) {
 // vipScratch is the reusable state of one VIP-Tree distance/path query.
 type vipScratch struct {
 	s, d vipSide
+	path pathScratch
 }
 
 func (vt *VIPTree) getVIPScratch() *vipScratch {

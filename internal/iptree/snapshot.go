@@ -115,15 +115,29 @@ type ObjectIndexState struct {
 
 // ExportState exports the built state of the IP-Tree. To keep exporting
 // large trees cheap, the returned state aliases the tree's internal arrays
-// (matrices, door lists): treat it as read-only and encode it immediately.
+// (matrices, door lists) where the on-disk form matches the in-memory one:
+// treat it as read-only and encode it immediately. Next-hop arrays are the
+// exception — in memory they are positional int32 ordinals into the matrix
+// door sets (matrix.go), so export expands them back into the global door
+// IDs the snapshot format has always recorded, keeping payloads
+// byte-identical across the packed-layout change.
 func (t *Tree) ExportState() *TreeState {
+	sup := t.superiorDoors
+	if t.pk != nil {
+		// Packed trees hold the superior doors in the doors slab; the
+		// payload's per-partition lists are views into it.
+		sup = make([][]model.DoorID, t.numSuperiorDoorSets())
+		for p := range sup {
+			sup[p] = t.pk.superiorDoorsOf(model.PartitionID(p))
+		}
+	}
 	st := &TreeState{
 		MinDegree:            t.opts.MinDegree,
 		DisableSuperiorDoors: t.opts.DisableSuperiorDoors,
 		NaiveMerge:           t.opts.NaiveMerge,
 		Root:                 t.root,
 		Nodes:                make([]NodeState, len(t.nodes)),
-		SuperiorDoors:        t.superiorDoors,
+		SuperiorDoors:        sup,
 	}
 	for i := range t.nodes {
 		n := &t.nodes[i]
@@ -135,11 +149,15 @@ func (t *Tree) ExportState() *TreeState {
 			AccessDoors: n.AccessDoors,
 		}
 		if n.Matrix != nil {
+			next := make([]model.DoorID, len(n.Matrix.next))
+			for j, v := range n.Matrix.next {
+				next[j] = n.Matrix.decodeNext(v)
+			}
 			ns.Matrix = &MatrixState{
 				Rows: n.Matrix.rows,
 				Cols: n.Matrix.cols,
 				Dist: n.Matrix.dist,
-				Next: n.Matrix.next,
+				Next: next,
 			}
 		}
 		st.Nodes[i] = ns
@@ -149,8 +167,45 @@ func (t *Tree) ExportState() *TreeState {
 
 // ExportState exports the built state of the VIP-Tree, including the
 // underlying IP-Tree. Like Tree.ExportState, the result partially aliases
-// the live index and must be treated as read-only.
+// the live index and must be treated as read-only. The per-door entries are
+// expanded from the VIP arena back into the per-door payload structs the
+// snapshot format has always recorded, byte-identical to what an unpacked
+// tree exports.
 func (vt *VIPTree) ExportState() *VIPState {
+	if vt.vpk == nil {
+		return vt.exportStateUnpacked()
+	}
+	pk := vt.vpk
+	numDoors := len(pk.nodesOff) - 1
+	st := &VIPState{
+		Tree:  vt.Tree.ExportState(),
+		Doors: make([]DoorVIPState, numDoors),
+	}
+	for d := 0; d < numDoors; d++ {
+		nodes := pk.nodes[pk.nodesOff[d]:pk.nodesOff[d+1]]
+		ds := DoorVIPState{
+			Nodes:   make([]NodeID, len(nodes)),
+			Entries: make([][]VIPEntry, len(nodes)),
+		}
+		off := int(pk.entryOff[d])
+		for i, id := range nodes {
+			ds.Nodes[i] = NodeID(id)
+			ads := len(vt.nodes[id].AccessDoors)
+			out := make([]VIPEntry, ads)
+			for j := 0; j < ads; j++ {
+				out[j] = VIPEntry{Dist: pk.dist[off+j], Next: model.DoorID(pk.next[off+j])}
+			}
+			off += ads
+			ds.Entries[i] = out
+		}
+		st.Doors[d] = ds
+	}
+	return st
+}
+
+// exportStateUnpacked exports a VIP-Tree still in the transient per-door
+// form (pack_test.go only).
+func (vt *VIPTree) exportStateUnpacked() *VIPState {
 	st := &VIPState{
 		Tree:  vt.Tree.ExportState(),
 		Doors: make([]DoorVIPState, len(vt.entries)),
@@ -267,6 +322,14 @@ func RestoreTree(v *model.Venue, st *TreeState) (*Tree, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Non-leaf matrices are square with identical row and column door
+		// sets — every exporter writes them that way, and the packed
+		// positional tables (arena.go) index columns by row position. A
+		// crafted payload with permuted columns would silently answer
+		// wrong distances, so reject it here.
+		if len(ns.Children) > 0 && !slices.Equal(mat.rows, mat.cols) {
+			return nil, fmt.Errorf("iptree: restore: node %d non-leaf matrix columns differ from rows", i)
+		}
 		t.nodes[i] = Node{
 			ID:          NodeID(i),
 			Parent:      ns.Parent,
@@ -308,6 +371,7 @@ func RestoreTree(v *model.Venue, st *TreeState) (*Tree, error) {
 	if err := t.restoreDerived(); err != nil {
 		return nil, err
 	}
+	t.pack()
 	return t, nil
 }
 
@@ -323,7 +387,7 @@ func RestoreVIPTree(v *model.Venue, st *VIPState) (*VIPTree, error) {
 	if len(st.Doors) != v.NumDoors() {
 		return nil, fmt.Errorf("iptree: restore: %d VIP door entries for %d doors", len(st.Doors), v.NumDoors())
 	}
-	vt := &VIPTree{Tree: t, entries: make([]doorEntries, len(st.Doors))}
+	entries := make([]doorEntries, len(st.Doors))
 	for d := range st.Doors {
 		ds := &st.Doors[d]
 		if len(ds.Entries) != len(ds.Nodes) {
@@ -340,12 +404,18 @@ func RestoreVIPTree(v *model.Venue, st *VIPState) (*VIPTree, error) {
 			}
 			es := make([]vipEntry, len(ds.Entries[i]))
 			for j, e := range ds.Entries[i] {
+				if e.Next != NoDoor && (int(e.Next) < 0 || int(e.Next) >= v.NumDoors()) {
+					return nil, fmt.Errorf("iptree: restore: door %d node %d VIP entry %d next door %d out of range",
+						d, n, j, e.Next)
+				}
 				es[j] = vipEntry{dist: e.Dist, next: e.Next}
 			}
 			de.perNode[i] = es
 		}
-		vt.entries[d] = de
+		entries[d] = de
 	}
+	vt := &VIPTree{Tree: t}
+	vt.packVIP(entries)
 	return vt, nil
 }
 
@@ -444,8 +514,11 @@ func RestoreObjectIndex(t *Tree, st *ObjectIndexState) (*ObjectIndex, error) {
 	return oi, nil
 }
 
-// restoreMatrix rebuilds a distance matrix (including its row/column lookup
-// maps) from its serialised form.
+// restoreMatrix rebuilds a distance matrix from its serialised form: the
+// row/column lookup indexes are reconstructed and the global next-hop door
+// IDs of the payload are re-encoded into the positional int32 form the
+// serving layout uses (matrix.go). The encoding is lossless, so a
+// re-exported matrix reproduces the payload byte for byte.
 func restoreMatrix(ms *MatrixState, numDoors, nodeID int) (*Matrix, error) {
 	if ms == nil {
 		return nil, fmt.Errorf("iptree: restore: node %d has no distance matrix", nodeID)
@@ -456,19 +529,26 @@ func restoreMatrix(ms *MatrixState, numDoors, nodeID int) (*Matrix, error) {
 	if err := checkDoorIDs(ms.Cols, numDoors, fmt.Sprintf("node %d matrix cols", nodeID)); err != nil {
 		return nil, err
 	}
+	if err := checkDoorIDs(ms.Next, numDoors, fmt.Sprintf("node %d matrix next hops", nodeID)); err != nil {
+		return nil, err
+	}
 	cells := len(ms.Rows) * len(ms.Cols)
 	if len(ms.Dist) != cells || len(ms.Next) != cells {
 		return nil, fmt.Errorf("iptree: restore: node %d matrix has %d dist / %d next entries for %dx%d doors",
 			nodeID, len(ms.Dist), len(ms.Next), len(ms.Rows), len(ms.Cols))
 	}
-	return &Matrix{
+	m := &Matrix{
 		rows:   ms.Rows,
 		cols:   ms.Cols,
 		rowIdx: newDoorIndex(ms.Rows),
 		colIdx: newDoorIndex(ms.Cols),
 		dist:   ms.Dist,
-		next:   ms.Next,
-	}, nil
+		next:   make([]int32, cells),
+	}
+	for i, d := range ms.Next {
+		m.next[i] = m.encodeNext(d)
+	}
+	return m, nil
 }
 
 // checkDoorIDs validates that every door ID is a valid dense index, with
@@ -496,7 +576,13 @@ func (t *Tree) restoreDerived() error {
 	for p := range t.leafOfPartition {
 		t.leafOfPartition[p] = invalidNode
 	}
-	t.doorsOfLeaf = make(map[NodeID][]model.DoorID)
+	numLeaves := 0
+	for i := range t.nodes {
+		if t.nodes[i].IsLeaf() && i >= numLeaves {
+			numLeaves = i + 1
+		}
+	}
+	t.doorsOfLeaf = make([][]model.DoorID, numLeaves)
 	for i := range t.nodes {
 		n := &t.nodes[i]
 		if !n.IsLeaf() {
@@ -524,14 +610,13 @@ func (t *Tree) restoreDerived() error {
 			return fmt.Errorf("iptree: restore: partition %d is covered by no leaf", p)
 		}
 	}
+	// Leaves are visited in ascending ID order, so the per-door lists are
+	// born sorted, matching the builder's order.
 	t.leavesOfDoor = make([][]NodeID, v.NumDoors())
 	for leaf, doors := range t.doorsOfLeaf {
 		for _, d := range doors {
-			t.leavesOfDoor[d] = append(t.leavesOfDoor[d], leaf)
+			t.leavesOfDoor[d] = append(t.leavesOfDoor[d], NodeID(leaf))
 		}
-	}
-	for d := range t.leavesOfDoor {
-		sort.Slice(t.leavesOfDoor[d], func(i, j int) bool { return t.leavesOfDoor[d][i] < t.leavesOfDoor[d][j] })
 	}
 	t.isLeafAccessDoor = make([]bool, v.NumDoors())
 	t.accessNodesOfDoor = make([][]NodeID, v.NumDoors())

@@ -57,13 +57,13 @@ func TestExportRestoreTree(t *testing.T) {
 	if !reflect.DeepEqual(restored.doorsOfLeaf, built.doorsOfLeaf) {
 		t.Fatal("doorsOfLeaf differs after restore")
 	}
-	if !reflect.DeepEqual(restored.leavesOfDoor, built.leavesOfDoor) {
+	if !reflect.DeepEqual(restored.pk.leavesOfDoor, built.pk.leavesOfDoor) {
 		t.Fatal("leavesOfDoor differs after restore")
 	}
 	if !reflect.DeepEqual(restored.isLeafAccessDoor, built.isLeafAccessDoor) {
 		t.Fatal("isLeafAccessDoor differs after restore")
 	}
-	if !reflect.DeepEqual(restored.accessNodesOfDoor, built.accessNodesOfDoor) {
+	if !reflect.DeepEqual(restored.pk.accessNodesOfDoor, built.pk.accessNodesOfDoor) {
 		t.Fatal("accessNodesOfDoor differs after restore")
 	}
 	rng := rand.New(rand.NewSource(1))
@@ -162,6 +162,26 @@ func TestRestoreRejectsCorruptState(t *testing.T) {
 		{"access door out of range", func(st *TreeState) { st.Nodes[0].AccessDoors[0] = model.DoorID(v.NumDoors()) }, "door"},
 		{"missing matrix", func(st *TreeState) { st.Nodes[0].Matrix = nil }, "matrix"},
 		{"matrix shape mismatch", func(st *TreeState) { st.Nodes[0].Matrix.Dist = st.Nodes[0].Matrix.Dist[:1] }, "matrix"},
+		{"matrix next hop out of range", func(st *TreeState) {
+			st.Nodes[0].Matrix.Next = append([]model.DoorID(nil), st.Nodes[0].Matrix.Next...)
+			st.Nodes[0].Matrix.Next[0] = model.DoorID(v.NumDoors())
+		}, "next"},
+		{"non-leaf matrix columns permuted", func(st *TreeState) {
+			// The packed positional tables index non-leaf matrix columns by
+			// row position, so a payload whose columns are not the row door
+			// set must be rejected, not silently mis-answered.
+			for i := range st.Nodes {
+				n := &st.Nodes[i]
+				if len(n.Children) == 0 || n.Matrix == nil || len(n.Matrix.Cols) < 2 {
+					continue
+				}
+				cols := append([]model.DoorID(nil), n.Matrix.Cols...)
+				cols[0], cols[1] = cols[1], cols[0]
+				n.Matrix.Cols = cols
+				return
+			}
+			t.Skip("venue produced no suitable non-leaf matrix")
+		}, "columns differ from rows"},
 		{"superior door count mismatch", func(st *TreeState) { st.SuperiorDoors = st.SuperiorDoors[:1] }, "superior"},
 		{"partition covered twice", func(st *TreeState) {
 			// Duplicate the first leaf's partition into another leaf.

@@ -43,7 +43,14 @@ func (de *doorEntries) forNode(n NodeID) []vipEntry {
 // VIPTree is a VIP-Tree: an IP-Tree plus the per-door materialised distances.
 type VIPTree struct {
 	*Tree
-	// entries[d] holds the materialised ancestor entries of door d.
+	// vpk is the arena form of the per-door materialised entries (arena.go):
+	// one int32 slab of ancestor node lists, one float64 slab of distances
+	// and one int32 slab of first-door IDs, indexed by per-door offsets. It
+	// is the only representation public constructors leave behind.
+	vpk *vipPacked
+	// entries[d] holds the materialised ancestor entries of door d in the
+	// transient per-door form; non-nil only on the unpacked intermediate
+	// state (exercised directly by pack_test.go).
 	entries []doorEntries
 	// vipPool recycles per-query scratch, keeping the warm Distance path
 	// allocation-free and safe for concurrent callers.
@@ -72,8 +79,18 @@ func MustBuildVIPTree(v *model.Venue, opts Options) *VIPTree {
 // existing IP-Tree. The IP-Tree is shared, not copied. Every door's entries
 // depend only on the (read-only) tree, so the per-door loop fans out over a
 // worker pool (Options.Parallelism) with bit-identical results at any
-// parallelism.
+// parallelism. The materialised tables are frozen into the VIP arena
+// (arena.go) before the tree is returned.
 func NewVIPTree(t *Tree) *VIPTree {
+	vt := newVIPTreeUnpacked(t)
+	vt.packVIP(vt.entries)
+	vt.entries = nil
+	return vt
+}
+
+// newVIPTreeUnpacked materialises the per-door tables without the final
+// packVIP step; it exists for the packing property tests.
+func newVIPTreeUnpacked(t *Tree) *VIPTree {
 	start := time.Now()
 	numDoors := t.venue.NumDoors()
 	vt := &VIPTree{Tree: t, entries: make([]doorEntries, numDoors)}
@@ -99,7 +116,7 @@ func (vt *VIPTree) materialiseDoor(d model.DoorID, sc *vipScratchBuild) {
 	sc.reset(t.venue.NumDoors(), len(t.nodes))
 	tab := &sc.tab
 
-	for _, leaf := range t.leavesOfDoor[d] {
+	seedLeaf := func(leaf NodeID) {
 		// Seed with the leaf matrix distances from d to the leaf's access
 		// doors (d is a row of every matrix of a leaf containing it, so its
 		// row position is resolved once and the columns swept positionally).
@@ -125,6 +142,15 @@ func (vt *VIPTree) materialiseDoor(d model.DoorID, sc *vipScratchBuild) {
 		}
 		for cur := leaf; cur != invalidNode; cur = t.nodes[cur].Parent {
 			sc.climb = append(sc.climb, cur)
+		}
+	}
+	if t.pk != nil {
+		for _, leaf := range t.pk.leavesOfDoor.of(d) {
+			seedLeaf(NodeID(leaf))
+		}
+	} else {
+		for _, leaf := range t.leavesOfDoor[d] {
+			seedLeaf(leaf)
 		}
 	}
 	// Propagate upwards along every climb path (deduplicating nodes).
@@ -261,9 +287,7 @@ func (vt *VIPTree) firstDoorOfEdge(a, b model.DoorID, budget int) model.DoorID {
 		if a == b {
 			return NoDoor
 		}
-		aAccess := len(t.accessNodesOfDoor[a]) > 0
-		bAccess := len(t.accessNodesOfDoor[b]) > 0
-		if !aAccess && !bAccess {
+		if !t.doorIsAccess(a) && !t.doorIsAccess(b) {
 			return b
 		}
 		mat, row, col, ok := t.decompositionEntry(a, b)
@@ -289,24 +313,42 @@ func (vt *VIPTree) firstDoorOfEdge(a, b model.DoorID, budget int) model.DoorID {
 
 // entriesFor returns the materialised entries of door d towards the access
 // doors of `node` (aligned with Node.AccessDoors), or nil when the node is
-// not an ancestor of a leaf containing d.
+// not an ancestor of a leaf containing d. Unpacked trees only; the packed
+// hot paths use entriesOffset.
 func (vt *VIPTree) entriesFor(d model.DoorID, node NodeID) []vipEntry {
 	return vt.entries[d].forNode(node)
 }
 
-// entryFor returns the materialised entry for door d towards access door
-// `target` of `node`, if present.
-func (vt *VIPTree) entryFor(d model.DoorID, node NodeID, target model.DoorID) (vipEntry, bool) {
+// entriesOffset returns the slab offset of the materialised entries of door
+// d towards the access doors of `node` (the block vpk.dist[off:off+|AD|],
+// aligned with Node.AccessDoors), walking the door's short ancestor list.
+func (vt *VIPTree) entriesOffset(d model.DoorID, node NodeID) (int, bool) {
+	pk := vt.vpk
+	off := int(pk.entryOff[d])
+	for _, id := range pk.nodes[pk.nodesOff[d]:pk.nodesOff[d+1]] {
+		if NodeID(id) == node {
+			return off, true
+		}
+		off += len(vt.nodes[id].AccessDoors)
+	}
+	return 0, false
+}
+
+// entryFor returns the materialised entry for door d towards the access door
+// at position ti of `node`'s access doors, if present.
+func (vt *VIPTree) entryFor(d model.DoorID, node NodeID, ti int) (vipEntry, bool) {
+	if vt.vpk != nil {
+		off, ok := vt.entriesOffset(d, node)
+		if !ok {
+			return vipEntry{}, false
+		}
+		return vipEntry{dist: vt.vpk.dist[off+ti], next: model.DoorID(vt.vpk.next[off+ti])}, true
+	}
 	es := vt.entriesFor(d, node)
 	if es == nil {
 		return vipEntry{}, false
 	}
-	for i, a := range vt.nodes[node].AccessDoors {
-		if a == target {
-			return es[i], true
-		}
-	}
-	return vipEntry{}, false
+	return es[ti], true
 }
 
 // Distance implements the VIP-Tree shortest-distance query (Section 3.1.2):
@@ -357,6 +399,36 @@ func (vt *VIPTree) vipQuery(s, d model.Location, sc *vipScratch) vipResult {
 	mat := t.nodes[lca].Matrix
 	res := vipResult{dist: Infinite, cross: true, nodeS: ns, nodeD: nt,
 		pair: [2]model.DoorID{NoDoor, NoDoor}, supS: NoDoor, supD: NoDoor}
+	if t.pk != nil {
+		// Packed: the positions of both children's access doors among the
+		// LCA matrix rows/columns are precomputed, so the double loop sweeps
+		// the matrix slab positionally — no door lookups.
+		rowS := t.pk.adPosInParent[ns]
+		colD := t.pk.adPosInParent[nt]
+		for i, di := range sc.s.doors {
+			ds := sc.s.dist[i]
+			if ds == Infinite || rowS[i] < 0 {
+				continue
+			}
+			for j, dj := range sc.d.doors {
+				dd := sc.d.dist[j]
+				if dd == Infinite || colD[j] < 0 {
+					continue
+				}
+				md := mat.distAt(int(rowS[i]), int(colD[j]))
+				if md == Infinite {
+					continue
+				}
+				if total := ds + md + dd; total < res.dist {
+					res.dist = total
+					res.pair = [2]model.DoorID{di, dj}
+					res.supS = sc.s.via[i]
+					res.supD = sc.d.via[j]
+				}
+			}
+		}
+		return res
+	}
 	for i, di := range sc.s.doors {
 		ds := sc.s.dist[i]
 		if ds == Infinite {
@@ -398,7 +470,35 @@ func (vt *VIPTree) sideDistances(loc model.Location, node NodeID, side *vipSide)
 		side.dist[i] = Infinite
 		side.via[i] = NoDoor
 	}
-	sup := t.superiorDoors[loc.Partition]
+	sup := t.SuperiorDoors(loc.Partition)
+	if vt.vpk != nil {
+		// Packed: each superior door's entry block for this node is one
+		// contiguous stretch of the distance slab, scanned sequentially.
+		dists := vt.vpk.dist
+		for _, sdoor := range sup {
+			base := v.DistToDoor(loc, sdoor)
+			off, hasEntries := vt.entriesOffset(sdoor, node)
+			for i, a := range ads {
+				var md float64
+				switch {
+				case sdoor == a:
+					md = 0
+				case hasEntries:
+					md = dists[off+i]
+				default:
+					md = Infinite
+				}
+				if md == Infinite {
+					continue
+				}
+				if base+md < side.dist[i] {
+					side.dist[i] = base + md
+					side.via[i] = sdoor
+				}
+			}
+		}
+		return
+	}
 	for _, sdoor := range sup {
 		base := v.DistToDoor(loc, sdoor)
 		es := vt.entriesFor(sdoor, node)
@@ -427,48 +527,68 @@ func (vt *VIPTree) sideDistances(loc model.Location, node NodeID, side *vipSide)
 // distance computation identifies the superior doors and LCA access doors on
 // the optimal path, the materialised next-hop doors expand the segments
 // between a door and an ancestor access door, and Algorithm 4 expands the
-// segment across the LCA.
+// segment across the LCA. Like the IP-Tree Path, the expansion runs on
+// pooled scratch and allocates only the returned slice.
 func (vt *VIPTree) Path(s, d model.Location) (float64, []model.DoorID) {
 	t := vt.Tree
 	sc := vt.getVIPScratch()
 	res := vt.vipQuery(s, d, sc)
-	vt.putVIPScratch(sc)
 	if res.dist == Infinite {
+		vt.putVIPScratch(sc)
 		return res.dist, nil
 	}
 	if !res.cross {
+		vt.putVIPScratch(sc)
 		if s.Partition == d.Partition {
 			return res.dist, nil
 		}
 		pd, doors := t.venue.D2D().LocationPath(s, d)
 		return pd, doors
 	}
-	var doors []model.DoorID
-	doors = append(doors, vt.expandToAncestorDoor(res.supS, res.nodeS, res.pair[0])...)
-	mid := t.expandEdge(res.pair[0], res.pair[1])
-	doors = append(doors, mid[1:]...)
-	back := vt.expandToAncestorDoor(res.supD, res.nodeD, res.pair[1])
+	ps := &sc.path
+	out := vt.expandToAncestorDoorInto(res.supS, res.nodeS, res.pair[0], ps.out[:0], ps)
+	out = t.expandEdgeInto(res.pair[0], res.pair[1], out, ps)
+	back := vt.expandToAncestorDoorInto(res.supD, res.nodeD, res.pair[1], ps.tmp[:0], ps)
+	ps.tmp = back
 	for i := len(back) - 2; i >= 0; i-- {
-		doors = append(doors, back[i])
+		out = append(out, back[i])
 	}
-	return res.dist, dedupConsecutive(doors)
+	out = dedupConsecutive(out)
+	ps.out = out
+	result := make([]model.DoorID, len(out))
+	copy(result, out)
+	vt.putVIPScratch(sc)
+	return res.dist, result
 }
 
-// expandToAncestorDoor returns the full door sequence from door `from` to
-// access door `target` of ancestor node `node`, by repeatedly following the
-// materialised next-hop doors. Missing entries fall back to Algorithm 4.
-func (vt *VIPTree) expandToAncestorDoor(from model.DoorID, node NodeID, target model.DoorID) []model.DoorID {
+// expandToAncestorDoorInto appends the full door sequence from door `from`
+// to access door `target` of ancestor node `node` (inclusive of both ends)
+// to buf, by repeatedly following the materialised next-hop doors. The
+// target's position among the node's access doors is resolved once up
+// front, so on a packed tree every hop is a direct read of the door's entry
+// block — no per-step scan of the access-door list. Missing entries fall
+// back to Algorithm 4.
+func (vt *VIPTree) expandToAncestorDoorInto(from model.DoorID, node NodeID, target model.DoorID, buf []model.DoorID, ps *pathScratch) []model.DoorID {
 	t := vt.Tree
-	doors := []model.DoorID{from}
+	ti := -1
+	for i, a := range t.nodes[node].AccessDoors {
+		if a == target {
+			ti = i
+			break
+		}
+	}
+	buf = append(buf, from)
 	cur := from
 	for step := 0; cur != target && step < maxDecompose; step++ {
-		e, ok := vt.entryFor(cur, node, target)
+		var e vipEntry
+		ok := ti >= 0
+		if ok {
+			e, ok = vt.entryFor(cur, node, ti)
+		}
 		if !ok {
 			// The current door has no materialised entry for this ancestor
 			// (the path strayed outside the node); finish with Algorithm 4.
-			rest := t.expandEdge(cur, target)
-			doors = append(doors, rest[1:]...)
-			return doors
+			return t.expandEdgeInto(cur, target, buf, ps)
 		}
 		next := e.next
 		if next == NoDoor {
@@ -477,25 +597,28 @@ func (vt *VIPTree) expandToAncestorDoor(from model.DoorID, node NodeID, target m
 		if next == cur {
 			break
 		}
-		doors = append(doors, next)
+		buf = append(buf, next)
 		cur = next
 	}
 	if cur != target {
-		rest := t.expandEdge(cur, target)
-		doors = append(doors, rest[1:]...)
+		buf = t.expandEdgeInto(cur, target, buf, ps)
 	}
-	return dedupConsecutive(doors)
+	return buf
 }
 
-// MemoryBytes estimates the memory of the VIP-Tree: the underlying IP-Tree
-// plus the materialised per-door entries.
+// MemoryBytes reports the memory of the VIP-Tree: the underlying IP-Tree
+// plus the materialised per-door tables — arena-exact slab sizes when
+// packed, the per-door struct estimate otherwise.
 func (vt *VIPTree) MemoryBytes() int64 {
 	total := vt.Tree.MemoryBytes()
+	if vt.vpk != nil {
+		return total + vt.vpk.arenaBytes()
+	}
 	for d := range vt.entries {
 		de := &vt.entries[d]
-		total += int64(len(de.nodes)) * 8
+		total += int64(len(de.nodes))*sizeofNodeID + 2*sizeofSliceHeader
 		for _, es := range de.perNode {
-			total += int64(len(es))*16 + 24
+			total += int64(len(es))*int64(8+sizeofDoorID) + sizeofSliceHeader
 		}
 	}
 	return total
