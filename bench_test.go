@@ -213,6 +213,118 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	})
 }
 
+// batchedBenchWorkloads returns the two workloads of the batched-distance
+// benchmarks: clustered sources (few distinct sources, many targets — the
+// workload the shared-fold planner amortises) and uniform pairs (every
+// endpoint distinct — the planner's worst case, where only the folded
+// pairing sweep and duplicate-endpoint elimination help). Both are filtered
+// to cross-leaf pairs, the indexed hot path, exactly like BenchmarkDistance:
+// same-partition and same-leaf queries fall back to direct computation or a
+// D2D expansion whether batched or not, and would only add identical noise
+// to both sides of the comparison.
+func batchedBenchWorkloads(v *viptree.Venue, tree *viptree.IPTree) []struct {
+	name  string
+	pairs []viptree.LocationPair
+} {
+	const n = 1024
+	crossLeaf := func(qp []bench.QueryPair) []viptree.LocationPair {
+		out := make([]viptree.LocationPair, 0, n)
+		for _, p := range qp {
+			if tree.Leaf(p.S.Partition) != tree.Leaf(p.T.Partition) {
+				out = append(out, viptree.LocationPair{S: p.S, T: p.T})
+				if len(out) == n {
+					break
+				}
+			}
+		}
+		return out
+	}
+	return []struct {
+		name  string
+		pairs []viptree.LocationPair
+	}{
+		{"clustered", crossLeaf(bench.ClusteredPairs(toModelVenue(v), 8*n, 8, 33))},
+		{"uniform", crossLeaf(bench.Pairs(toModelVenue(v), 8*n, 34))},
+	}
+}
+
+// BenchmarkBatchedDistance measures the index-level batched distance path
+// (DistanceBatch) against the per-pair Distance loop on both trees, for
+// clustered-source and uniform workloads. One op is one full batch; the qps
+// metric is pairs answered per second. On the clustered workload the batch
+// rows must beat the loop rows — the batch climbs once per distinct
+// endpoint instead of once per pair — and allocs/op must stay flat (the
+// batch scratch is pooled).
+func BenchmarkBatchedDistance(b *testing.B) {
+	idx := benchIndexes("Men")
+	v := benchVenue("Men")
+	workers := runtime.GOMAXPROCS(0)
+	batchers := []struct {
+		name string
+		ix   viptree.DistanceBatcher
+	}{
+		{"VIP", idx.vip},
+		{"IP", idx.ip},
+	}
+	for _, bt := range batchers {
+		for _, w := range batchedBenchWorkloads(v, idx.ip) {
+			b.Run(bt.name+"/"+w.name+"/batch", func(b *testing.B) {
+				out := make([]float64, len(w.pairs))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					bt.ix.DistanceBatch(w.pairs, out, workers)
+				}
+				b.ReportMetric(float64(b.N*len(w.pairs))/b.Elapsed().Seconds(), "qps")
+			})
+			b.Run(bt.name+"/"+w.name+"/loop", func(b *testing.B) {
+				out := make([]float64, len(w.pairs))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for k, p := range w.pairs {
+						out[k] = bt.ix.Distance(p.S, p.T)
+					}
+				}
+				b.ReportMetric(float64(b.N*len(w.pairs))/b.Elapsed().Seconds(), "qps")
+			})
+		}
+	}
+}
+
+// BenchmarkExecuteBatch measures end-to-end engine batch throughput with the
+// batched query planner on (default) and off (EngineOptions.DisablePlanner),
+// at the same worker count, on clustered-source and uniform distance
+// batches. One op is one full ExecuteBatch; the qps metric is queries
+// answered per second. The planned/clustered row is the headline number: the
+// acceptance bar is ≥1.5× the unplanned/clustered row.
+func BenchmarkExecuteBatch(b *testing.B) {
+	idx := benchIndexes("Men")
+	v := benchVenue("Men")
+	engines := []struct {
+		name string
+		eng  *viptree.Engine
+	}{
+		{"planned", viptree.NewEngine(idx.vip, viptree.EngineOptions{})},
+		{"unplanned", viptree.NewEngine(idx.vip, viptree.EngineOptions{DisablePlanner: true})},
+	}
+	for _, e := range engines {
+		for _, w := range batchedBenchWorkloads(v, idx.ip) {
+			queries := make([]viptree.Query, len(w.pairs))
+			for i, p := range w.pairs {
+				queries[i] = viptree.Query{Kind: viptree.QueryDistance, S: p.S, T: p.T}
+			}
+			b.Run(e.name+"/"+w.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					e.eng.ExecuteBatch(queries)
+				}
+				b.ReportMetric(float64(b.N*len(queries))/b.Elapsed().Seconds(), "qps")
+			})
+		}
+	}
+}
+
 // BenchmarkKNN measures the warm kNN hot path (Algorithm 5) on the VIP-Tree
 // with allocation statistics: the warm path must report 1 alloc/op — the
 // returned result slice — with all traversal state in pooled epoch-stamped

@@ -1,0 +1,111 @@
+// Command benchdiff compares two benchjson artifacts (BENCH_build.json /
+// BENCH_query.json) and fails when any benchmark's ns/op regressed past a
+// tolerance. CI runs it against the artifact of the previous run on the same
+// branch so performance regressions surface in the run that introduced them
+// rather than drifting in silently.
+//
+// Usage:
+//
+//	benchdiff -baseline old/BENCH_query.json -current BENCH_query.json
+//
+// Semantics chosen for CI friendliness:
+//
+//   - A missing or unreadable baseline is NOT an error: the first run on a
+//     branch has nothing to compare against, so benchdiff prints a note and
+//     exits 0.
+//   - Benchmarks present only on one side are reported but never fail the
+//     run; renames and new benchmarks should not break CI.
+//   - Only a regression (current slower than baseline by more than
+//     -tolerance, default 25%) exits non-zero. Improvements are reported
+//     and always pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// result mirrors the benchjson output schema (cmd/benchjson).
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func load(path string) ([]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "benchjson file from the previous run (missing file is not an error)")
+	current := flag.String("current", "", "benchjson file from this run")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression before failing (0.25 = 25%)")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		// First run on a branch, expired artifact, or corrupt file: nothing
+		// to compare against, so pass. The current artifact becomes the
+		// baseline of the next run.
+		fmt.Printf("benchdiff: no usable baseline (%v); skipping comparison\n", err)
+		return
+	}
+
+	baseByName := make(map[string]result, len(base))
+	for _, r := range base {
+		baseByName[r.Name] = r
+	}
+
+	failed := 0
+	seen := make(map[string]bool, len(cur))
+	for _, c := range cur {
+		seen[c.Name] = true
+		b, ok := baseByName[c.Name]
+		if !ok {
+			fmt.Printf("  new      %-60s %12.1f ns/op\n", c.Name, c.NsPerOp)
+			continue
+		}
+		if b.NsPerOp <= 0 || c.NsPerOp <= 0 {
+			continue
+		}
+		delta := c.NsPerOp/b.NsPerOp - 1
+		status := "ok"
+		if delta > *tolerance {
+			status = "REGRESS"
+			failed++
+		}
+		fmt.Printf("  %-8s %-60s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
+			status, c.Name, b.NsPerOp, c.NsPerOp, delta*100)
+	}
+	for _, b := range base {
+		if !seen[b.Name] {
+			fmt.Printf("  removed  %-60s %12.1f ns/op\n", b.Name, b.NsPerOp)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% ns/op\n", failed, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmark(s) within %.0f%% tolerance\n", len(cur), *tolerance*100)
+}

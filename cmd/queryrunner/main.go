@@ -25,6 +25,15 @@
 //	queryrunner -venue Men -index vip -query distance -n 100000 -parallel 8
 //	queryrunner -load men-vip.snap -query distance -n 10000 -verify
 //	queryrunner -venue Men -index vip -query knn -n 50000 -update-ratio 0.1 -parallel 4
+//	queryrunner -venue Men -index vip -query distance -n 100000 -batch 1024
+//
+// With -batch N the workload is submitted in batches of N queries, which is
+// how a real serving frontend hands work to the engine: each batch flows
+// through the batched query planner (shared-climb execution over grouped
+// leaf pairs), and the report adds the per-batch latency next to the
+// per-query quantiles. -no-planner keeps the same batching but disables the
+// planner (engine.Options.DisablePlanner), which is the honest baseline when
+// measuring what the planner buys.
 package main
 
 import (
@@ -65,6 +74,8 @@ func main() {
 		load        = flag.String("load", "", "serve from this index snapshot (written by indexbuild -out) instead of building")
 		verify      = flag.Bool("verify", false, "cross-check every result against the exact D2D ground truth")
 		updateRatio = flag.Float64("update-ratio", 0, "fraction of operations that are object updates (moves) in [0,1); requires a mutable object index (ip/vip)")
+		batch       = flag.Int("batch", 0, "submit the workload in batches of this many queries (0 = one batch for the whole workload); each batch runs through the batched query planner")
+		noPlanner   = flag.Bool("no-planner", false, "disable the batched query planner (engine falls back to per-query execution inside ExecuteBatch)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -72,12 +83,19 @@ func main() {
 				"reports latency and throughput. It either builds an index (-venue/-index)\n"+
 				"or serves instantly from a snapshot (-load). -verify cross-checks every\n"+
 				"answer against the exact ground truth. -update-ratio mixes object moves\n"+
-				"into the stream and reports QPS (reads) and UPS (updates) separately.\n\nFlags:\n")
+				"into the stream and reports QPS (reads) and UPS (updates) separately.\n"+
+				"-batch N submits the workload in batches of N queries through the\n"+
+				"batched query planner and reports batched throughput; -no-planner\n"+
+				"disables the planner for an apples-to-apples baseline.\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if *updateRatio < 0 || *updateRatio >= 1 {
 		fmt.Fprintln(os.Stderr, "-update-ratio must be in [0,1)")
+		os.Exit(2)
+	}
+	if *batch < 0 {
+		fmt.Fprintln(os.Stderr, "-batch must be >= 0")
 		os.Exit(2)
 	}
 
@@ -146,7 +164,7 @@ func main() {
 	// Latency sampling is a fixed ring of atomic slots: recording is one
 	// clock read plus one slot write per operation, so the hot loop stays
 	// allocation-free even with percentiles enabled.
-	eng := engine.New(ix, engine.Options{Workers: *parallel, Objects: oq, LatencySampleSize: 1 << 14})
+	eng := engine.New(ix, engine.Options{Workers: *parallel, Objects: oq, LatencySampleSize: 1 << 14, DisablePlanner: *noPlanner})
 	if *updateRatio > 0 {
 		if eng.Mutable() == nil {
 			fmt.Fprintf(os.Stderr, "index %s does not support live object updates; use -index ip or vip (or a tree snapshot)\n", ix.Name())
@@ -218,8 +236,23 @@ func main() {
 	eng.ExecuteBatch(warm)
 	eng.ResetLatencies()
 
+	// -batch N submits the workload the way a serving frontend would: in
+	// fixed-size batches, each one planned and executed as a unit. With
+	// -batch 0 the whole workload is one batch (the historical behaviour).
 	start := time.Now()
-	results := eng.ExecuteBatch(queries)
+	var results []engine.Result
+	nBatches := 1
+	if *batch > 0 && *batch < len(queries) {
+		results = make([]engine.Result, 0, len(queries))
+		nBatches = 0
+		for off := 0; off < len(queries); off += *batch {
+			end := min(off+*batch, len(queries))
+			results = append(results, eng.ExecuteBatch(queries[off:end])...)
+			nBatches++
+		}
+	} else {
+		results = eng.ExecuteBatch(queries)
+	}
 	total := time.Since(start)
 
 	failed := 0
@@ -248,16 +281,24 @@ func main() {
 	workers := eng.Workers()
 	perQuery := float64(total.Microseconds()) / float64(len(queries))
 	latencies := formatQuantiles(eng)
+	mode := ""
+	if *batch > 0 {
+		perBatch := total / time.Duration(nBatches)
+		mode = fmt.Sprintf(", batch=%d (%d batches, %v/batch)", *batch, nBatches, perBatch.Round(time.Microsecond))
+	}
+	if *noPlanner {
+		mode += ", planner off"
+	}
 	if updates > 0 {
 		qps := float64(reads) / total.Seconds()
 		ups := float64(updates) / total.Seconds()
-		fmt.Printf("%s %s %s+moves: %d ops (%d reads / %d updates), %d workers (%d cores), %.2f us/op, %.0f qps, %.0f ups, %s (total %v)\n",
-			v.Name, ix.Name(), *query, len(queries), reads, updates, workers, runtime.NumCPU(), perQuery, qps, ups, latencies, total)
+		fmt.Printf("%s %s %s+moves: %d ops (%d reads / %d updates), %d workers (%d cores)%s, %.2f us/op, %.0f qps, %.0f ups, %s (total %v)\n",
+			v.Name, ix.Name(), *query, len(queries), reads, updates, workers, runtime.NumCPU(), mode, perQuery, qps, ups, latencies, total)
 		return
 	}
 	qps := float64(len(queries)) / total.Seconds()
-	fmt.Printf("%s %s %s: %d queries, %d workers (%d cores), %.2f us/query, %.0f qps, %s (total %v)\n",
-		v.Name, ix.Name(), *query, len(queries), workers, runtime.NumCPU(), perQuery, qps, latencies, total)
+	fmt.Printf("%s %s %s: %d queries, %d workers (%d cores)%s, %.2f us/query, %.0f qps, %s (total %v)\n",
+		v.Name, ix.Name(), *query, len(queries), workers, runtime.NumCPU(), mode, perQuery, qps, latencies, total)
 }
 
 // formatQuantiles renders the p50/p95/p99 per-operation latencies sampled by

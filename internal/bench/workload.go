@@ -28,6 +28,27 @@ func Pairs(v *model.Venue, n int, seed int64) []QueryPair {
 	return out
 }
 
+// ClusteredPairs generates n pairs whose sources are drawn round-robin from
+// k distinct locations and whose targets are uniform — the clustered-source
+// workload (k fleet dispatchers, many destinations) that the batched
+// distance path amortises: every batch group climbs once per distinct
+// source instead of once per query.
+func ClusteredPairs(v *model.Venue, n, k int, seed int64) []QueryPair {
+	rng := rand.New(rand.NewSource(seed))
+	if k < 1 {
+		k = 1
+	}
+	srcs := make([]model.Location, k)
+	for i := range srcs {
+		srcs[i] = v.RandomLocation(rng)
+	}
+	out := make([]QueryPair, n)
+	for i := range out {
+		out[i] = QueryPair{S: srcs[i%k], T: v.RandomLocation(rng)}
+	}
+	return out
+}
+
 // Points generates n uniformly random query points for kNN/range workloads.
 func Points(v *model.Venue, n int, seed int64) []model.Location {
 	rng := rand.New(rand.NewSource(seed))

@@ -30,7 +30,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -151,6 +150,12 @@ type Options struct {
 	// no locking — so it is safe to leave on in serving processes; zero
 	// disables sampling entirely.
 	LatencySampleSize int
+	// DisablePlanner turns off the batched query planner: ExecuteBatch then
+	// always fans queries out individually, even when the index supports
+	// batched distance execution (index.DistanceBatcher). Results are
+	// identical either way; the switch exists for A/B measurement and as an
+	// escape hatch.
+	DisablePlanner bool
 }
 
 // Engine executes queries against one index. Its configuration is immutable
@@ -161,6 +166,7 @@ type Engine struct {
 	idx     index.Index
 	objects index.ObjectQuerier
 	mutable index.MutableObjectIndexer // nil when objects is immutable
+	batcher index.DistanceBatcher      // nil when the index has no batched path, or the planner is disabled
 	workers int
 	counts  [numKinds]atomic.Int64
 	lat     *latencyRing // nil when sampling is disabled
@@ -174,6 +180,9 @@ func New(idx index.Index, opts Options) *Engine {
 	}
 	mut, _ := opts.Objects.(index.MutableObjectIndexer)
 	e := &Engine{idx: idx, objects: opts.Objects, mutable: mut, workers: w}
+	if !opts.DisablePlanner {
+		e.batcher, _ = idx.(index.DistanceBatcher)
+	}
 	if opts.LatencySampleSize > 0 {
 		e.lat = newLatencyRing(opts.LatencySampleSize)
 	}
@@ -297,8 +306,13 @@ func (e *Engine) execute(q Query) Result {
 }
 
 // ExecuteBatch runs every query and returns the results in query order,
-// fanning the work out over the engine's worker pool. It is safe to call
-// from multiple goroutines at once; each call uses its own pool.
+// fanning the work out over the engine's worker pool. All-read batches on a
+// batch-capable index (index.DistanceBatcher) are routed through the batched
+// query planner (planner.go), which shares climbs between distance queries;
+// batches containing updates, and engines built with
+// Options.DisablePlanner, execute every query individually. Results are
+// identical either way. It is safe to call from multiple goroutines at once;
+// each call uses its own pool.
 func (e *Engine) ExecuteBatch(queries []Query) []Result {
 	return e.ExecuteBatchWorkers(queries, e.workers)
 }
@@ -314,32 +328,20 @@ func (e *Engine) ExecuteBatchWorkers(queries []Query, workers int) []Result {
 		workers = e.workers
 	}
 	if workers > len(queries) {
+		// Never run a pool wider than the batch: the excess goroutines would
+		// be spawned only to find the cursor exhausted.
 		workers = len(queries)
 	}
-	if workers == 1 {
-		for i := range queries {
-			out[i] = e.Execute(queries[i])
-		}
+	if e.planBatch(queries, out, workers) {
 		return out
 	}
 	// Work-stealing by atomic cursor: queries are cheap and uniform enough
-	// that a shared counter beats pre-chunking when latencies vary.
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(queries) {
-					return
-				}
-				out[i] = e.Execute(queries[i])
-			}
-		}()
-	}
-	wg.Wait()
+	// that a shared counter beats pre-chunking when latencies vary. The
+	// calling goroutine participates as a worker (runPooled), so workers==1
+	// is a plain sequential loop.
+	runPooled(len(queries), workers, func(i int) {
+		out[i] = e.Execute(queries[i])
+	})
 	return out
 }
 

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viptree/internal/index"
+)
+
+// This file implements the batched query planner. When the engine's index
+// supports batched distance queries (index.DistanceBatcher — the IP-Tree and
+// VIP-Tree, which share leaf-to-LCA climbs across a batch), ExecuteBatch
+// routes the distance queries of an all-read batch through one DistanceBatch
+// call instead of per-query Distance calls, and fans only the remaining
+// reads over the worker pool. Results are positionally identical to the
+// unplanned path: DistanceBatch is bit-identical to per-pair Distance, and
+// the other queries still run through Execute. Batches containing object
+// updates fall back to the unplanned path — updates may observe or modify
+// state mid-batch, and the legacy interleaving is the documented behaviour.
+
+// planBatch attempts the planned execution of a batch, writing results into
+// out. It returns false — having written nothing — when the batch does not
+// qualify: no batch-capable index, an update or unknown kind in the batch,
+// or fewer than two distance queries to amortise.
+func (e *Engine) planBatch(queries []Query, out []Result, workers int) bool {
+	if e.batcher == nil {
+		return false
+	}
+	nDist := 0
+	for i := range queries {
+		switch queries[i].Kind {
+		case KindDistance:
+			nDist++
+		case KindPath, KindKNN, KindRange:
+		default:
+			return false
+		}
+	}
+	if nDist < 2 {
+		return false
+	}
+	var start time.Time
+	if e.lat != nil {
+		start = time.Now()
+	}
+	pairs := make([]index.LocationPair, 0, nDist)
+	pos := make([]int32, 0, nDist)
+	rest := make([]int32, 0, len(queries)-nDist)
+	for i := range queries {
+		if queries[i].Kind == KindDistance {
+			pairs = append(pairs, index.LocationPair{S: queries[i].S, T: queries[i].T})
+			pos = append(pos, int32(i))
+		} else {
+			rest = append(rest, int32(i))
+		}
+	}
+	dists := make([]float64, len(pairs))
+	e.batcher.DistanceBatch(pairs, dists, workers)
+	for k, i := range pos {
+		out[i] = Result{Dist: dists[k]}
+	}
+	e.counts[KindDistance].Add(int64(len(pairs)))
+	if e.lat != nil {
+		// The batch shares work across queries, so per-query latency is the
+		// amortised share of the batched segment.
+		per := time.Since(start) / time.Duration(len(pairs))
+		for range pairs {
+			e.lat.record(per)
+		}
+	}
+	runPooled(len(rest), workers, func(k int) {
+		i := rest[k]
+		out[i] = e.Execute(queries[i])
+	})
+	return true
+}
+
+// runPooled executes fn(i) for every i in [0, n) over a pool of the given
+// width. The calling goroutine participates as one worker, so a pool of
+// width w spawns w-1 goroutines — and a width of one (or a single item)
+// runs entirely on the caller with no goroutines at all. Items are handed
+// out through an atomic cursor; fn must write only item-owned state.
+func runPooled(n, workers int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 0; w < workers-1; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}

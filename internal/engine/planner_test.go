@@ -1,0 +1,323 @@
+package engine_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"viptree/internal/engine"
+	"viptree/internal/iptree"
+	"viptree/internal/model"
+	"viptree/internal/venuegen"
+)
+
+// readWorkload draws an all-read batch the planner qualifies for: distance
+// queries dominate (many sharing a handful of clustered sources, so batch
+// groups actually form), with Path/kNN/Range queries mixed in as the
+// "rest" the planner fans over the pool.
+func readWorkload(v *model.Venue, n int, seed int64) []engine.Query {
+	rng := rand.New(rand.NewSource(seed))
+	clusters := make([]model.Location, 3)
+	for i := range clusters {
+		clusters[i] = v.RandomLocation(rng)
+	}
+	qs := make([]engine.Query, n)
+	for i := range qs {
+		switch i % 6 {
+		case 0, 1:
+			qs[i] = engine.Query{Kind: engine.KindDistance, S: clusters[rng.Intn(len(clusters))], T: v.RandomLocation(rng)}
+		case 2:
+			qs[i] = engine.Query{Kind: engine.KindDistance, S: v.RandomLocation(rng), T: v.RandomLocation(rng)}
+		case 3:
+			qs[i] = engine.Query{Kind: engine.KindPath, S: v.RandomLocation(rng), T: v.RandomLocation(rng)}
+		case 4:
+			qs[i] = engine.Query{Kind: engine.KindKNN, S: v.RandomLocation(rng), K: 1 + rng.Intn(5)}
+		default:
+			qs[i] = engine.Query{Kind: engine.KindRange, S: v.RandomLocation(rng), Radius: 40 + 80*rng.Float64()}
+		}
+	}
+	return qs
+}
+
+// plannerEngines returns the batch-capable engines (IP-Tree and VIP-Tree)
+// with the planner enabled, each with an attached object querier.
+func plannerEngines(t testing.TB, v *model.Venue, objects []model.Location) map[string]*engine.Engine {
+	t.Helper()
+	ip := iptree.MustBuildIPTree(v, iptree.Options{})
+	vip := iptree.MustBuildVIPTree(v, iptree.Options{})
+	return map[string]*engine.Engine{
+		ip.Name():  engine.New(ip, engine.Options{Workers: 4, Objects: ip.NewObjectQuerier(objects)}),
+		vip.Name(): engine.New(vip, engine.Options{Workers: 4, Objects: vip.NewObjectQuerier(objects)}),
+	}
+}
+
+// TestPlannedBatchMatchesExecute is the planner's central property: on the
+// batch-capable indexes, ExecuteBatch results are element-wise identical to
+// per-query Execute — for every worker count, and identical again to an
+// engine built with DisablePlanner. Runs on both a single building and a
+// multi-building campus (deep LCAs, many distinct leaves).
+func TestPlannedBatchMatchesExecute(t *testing.T) {
+	venues := map[string]*model.Venue{
+		"building": testVenue(t),
+		"campus":   venuegen.MustCampus(venuegen.CampusConfig{Name: "planner-campus", Buildings: 3, Seed: 19}),
+	}
+	for vname, v := range venues {
+		rng := rand.New(rand.NewSource(5))
+		objects := make([]model.Location, 30)
+		for i := range objects {
+			objects[i] = v.RandomLocation(rng)
+		}
+		queries := readWorkload(v, 180, 23)
+		for name, eng := range plannerEngines(t, v, objects) {
+			t.Run(vname+"/"+name, func(t *testing.T) {
+				want := make([]engine.Result, len(queries))
+				for i := range queries {
+					want[i] = eng.Execute(queries[i])
+				}
+				for _, workers := range []int{1, 3, 16} {
+					got := eng.ExecuteBatchWorkers(queries, workers)
+					for i := range want {
+						if !resultsEqual(want[i], got[i]) {
+							t.Fatalf("workers=%d query %d (%v): planned %+v != Execute %+v",
+								workers, i, queries[i].Kind, got[i], want[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPlannerDisabledMatches pins the escape hatch: an engine built with
+// DisablePlanner produces results identical to the planned engine over the
+// same index.
+func TestPlannerDisabledMatches(t *testing.T) {
+	v := testVenue(t)
+	vip := iptree.MustBuildVIPTree(v, iptree.Options{})
+	on := engine.New(vip, engine.Options{Workers: 4})
+	off := engine.New(vip, engine.Options{Workers: 4, DisablePlanner: true})
+	queries := readWorkload(v, 150, 29)
+	a := on.ExecuteBatch(queries)
+	b := off.ExecuteBatch(queries)
+	for i := range a {
+		if !resultsEqual(a[i], b[i]) {
+			t.Fatalf("query %d (%v): planner %+v != DisablePlanner %+v", i, queries[i].Kind, a[i], b[i])
+		}
+	}
+}
+
+// TestPlannerFallbackOnUpdates checks that a batch containing object updates
+// bypasses the planner safely: the distance results still match per-query
+// Execute (an insert cannot affect distances), the update itself takes
+// effect, and the operation counters balance.
+func TestPlannerFallbackOnUpdates(t *testing.T) {
+	v := testVenue(t)
+	vip := iptree.MustBuildVIPTree(v, iptree.Options{})
+	rng := rand.New(rand.NewSource(43))
+	objects := make([]model.Location, 10)
+	for i := range objects {
+		objects[i] = v.RandomLocation(rng)
+	}
+	oi := vip.IndexObjects(objects)
+	eng := engine.New(vip, engine.Options{Workers: 4, Objects: oi})
+
+	queries := make([]engine.Query, 41)
+	for i := range queries {
+		queries[i] = engine.Query{Kind: engine.KindDistance, S: v.RandomLocation(rng), T: v.RandomLocation(rng)}
+	}
+	queries[20] = engine.Query{Kind: engine.KindInsert, S: v.RandomLocation(rng)}
+
+	want := make([]float64, len(queries))
+	for i, q := range queries {
+		if q.Kind == engine.KindDistance {
+			want[i] = eng.Index().Distance(q.S, q.T)
+		}
+	}
+	got := eng.ExecuteBatch(queries)
+	for i, q := range queries {
+		if q.Kind != engine.KindDistance {
+			continue
+		}
+		if got[i].Dist != want[i] {
+			t.Fatalf("query %d: mixed batch Dist = %v, want %v", i, got[i].Dist, want[i])
+		}
+	}
+	if got[20].Err != nil || got[20].ObjectID < 0 {
+		t.Fatalf("insert in mixed batch: %+v", got[20])
+	}
+	if n := oi.NumObjects(); n != len(objects)+1 {
+		t.Fatalf("NumObjects() after insert = %d, want %d", n, len(objects)+1)
+	}
+	st := eng.Stats()
+	if st.Distance != int64(len(queries)-1) || st.Insert != 1 {
+		t.Fatalf("Stats() = %+v, want %d distance and 1 insert", st, len(queries)-1)
+	}
+}
+
+// TestPlannerSmallAndUnknownBatches pins the remaining fallback conditions:
+// a batch with fewer than two distance queries runs unplanned (but still
+// correctly), and an unknown kind surfaces ErrUnknownKind instead of
+// derailing the batch.
+func TestPlannerSmallAndUnknownBatches(t *testing.T) {
+	v := testVenue(t)
+	vip := iptree.MustBuildVIPTree(v, iptree.Options{})
+	eng := engine.New(vip, engine.Options{Workers: 4})
+	rng := rand.New(rand.NewSource(47))
+
+	one := []engine.Query{{Kind: engine.KindDistance, S: v.RandomLocation(rng), T: v.RandomLocation(rng)}}
+	if got := eng.ExecuteBatch(one); got[0].Dist != eng.Distance(one[0].S, one[0].T) {
+		t.Fatalf("single-distance batch Dist = %v", got[0].Dist)
+	}
+
+	bad := append(readWorkload(v, 10, 3), engine.Query{Kind: engine.Kind(99)})
+	got := eng.ExecuteBatch(bad)
+	if got[len(got)-1].Err == nil {
+		t.Fatal("unknown kind in batch: Err = nil, want error")
+	}
+	for i := range bad[:len(bad)-1] {
+		if bad[i].Kind == engine.KindDistance && got[i].Dist != eng.Distance(bad[i].S, bad[i].T) {
+			t.Fatalf("query %d alongside unknown kind: Dist = %v", i, got[i].Dist)
+		}
+	}
+}
+
+// TestPlannerStatsAndLatency verifies the planned path keeps the engine's
+// observability intact: every batched distance query is counted, and
+// latency sampling records an amortised per-query share.
+func TestPlannerStatsAndLatency(t *testing.T) {
+	v := testVenue(t)
+	vip := iptree.MustBuildVIPTree(v, iptree.Options{})
+	rng := rand.New(rand.NewSource(71))
+	objects := make([]model.Location, 15)
+	for i := range objects {
+		objects[i] = v.RandomLocation(rng)
+	}
+	eng := engine.New(vip, engine.Options{
+		Workers: 4, LatencySampleSize: 256, Objects: vip.IndexObjects(objects),
+	})
+	queries := readWorkload(v, 120, 31)
+	nDist := 0
+	for _, q := range queries {
+		if q.Kind == engine.KindDistance {
+			nDist++
+		}
+	}
+	eng.ExecuteBatch(queries)
+	st := eng.Stats()
+	if st.Distance != int64(nDist) {
+		t.Fatalf("Stats().Distance = %d, want %d", st.Distance, nDist)
+	}
+	if st.Reads() != int64(len(queries)) {
+		t.Fatalf("Stats().Reads() = %d, want %d", st.Reads(), len(queries))
+	}
+	qs := eng.LatencyQuantiles(0.5, 0.99)
+	if qs == nil {
+		t.Fatal("LatencyQuantiles after planned batch = nil, want samples")
+	}
+	if qs[0] > qs[1] {
+		t.Fatalf("quantiles not monotone: %v", qs)
+	}
+}
+
+// TestExecuteBatchWorkersEdgeCases is the regression test for the batch
+// entry point itself: empty batches short-circuit, worker counts wider than
+// the batch are capped, and non-positive counts fall back to the engine
+// default — all returning correct results.
+func TestExecuteBatchWorkersEdgeCases(t *testing.T) {
+	v := testVenue(t)
+	vip := iptree.MustBuildVIPTree(v, iptree.Options{})
+	eng := engine.New(vip, engine.Options{Workers: 4})
+
+	if got := eng.ExecuteBatch(nil); got == nil || len(got) != 0 {
+		t.Fatalf("ExecuteBatch(nil) = %v, want empty non-nil", got)
+	}
+	if got := eng.ExecuteBatchWorkers([]engine.Query{}, 100); got == nil || len(got) != 0 {
+		t.Fatalf("ExecuteBatchWorkers(empty, 100) = %v, want empty non-nil", got)
+	}
+
+	queries := readWorkload(v, 3, 59)
+	want := make([]engine.Result, len(queries))
+	for i := range queries {
+		want[i] = eng.Execute(queries[i])
+	}
+	for _, workers := range []int{-5, 0, 1, 2, 100} {
+		got := eng.ExecuteBatchWorkers(queries, workers)
+		if len(got) != len(queries) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(queries))
+		}
+		for i := range want {
+			if !resultsEqual(want[i], got[i]) {
+				t.Fatalf("workers=%d query %d: %+v != %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPlannerWithConcurrentMovers races planned all-read batches against
+// continuous object movement through the same engine. Distance results are
+// object-independent and must stay exact; kNN/range results vary with the
+// moving objects but must never error. Run with -race in CI.
+func TestPlannerWithConcurrentMovers(t *testing.T) {
+	v := testVenue(t)
+	vip := iptree.MustBuildVIPTree(v, iptree.Options{})
+	rng := rand.New(rand.NewSource(61))
+	objects := make([]model.Location, 20)
+	for i := range objects {
+		objects[i] = v.RandomLocation(rng)
+	}
+	eng := engine.New(vip, engine.Options{Workers: 4, Objects: vip.IndexObjects(objects)})
+
+	queries := readWorkload(v, 160, 67)
+	wantDist := make([]float64, len(queries))
+	for i, q := range queries {
+		if q.Kind == engine.KindDistance {
+			wantDist[i] = eng.Index().Distance(q.S, q.T)
+		}
+	}
+
+	stop := make(chan struct{})
+	var movers sync.WaitGroup
+	for m := 0; m < 2; m++ {
+		movers.Add(1)
+		go func(m int) {
+			defer movers.Done()
+			rng := rand.New(rand.NewSource(int64(70 + m)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Each mover owns half the IDs, so every move succeeds.
+				id := 2*rng.Intn(len(objects)/2) + m
+				if err := eng.Move(id, v.RandomLocation(rng)); err != nil {
+					t.Errorf("mover %d: %v", m, err)
+					return
+				}
+			}
+		}(m)
+	}
+
+	var readers sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for round := 0; round < 20; round++ {
+				for i, r := range eng.ExecuteBatch(queries) {
+					if r.Err != nil {
+						t.Errorf("read under movers: %v", r.Err)
+						return
+					}
+					if queries[i].Kind == engine.KindDistance && r.Dist != wantDist[i] {
+						t.Errorf("query %d: Dist = %v under movers, want %v", i, r.Dist, wantDist[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	movers.Wait()
+}

@@ -41,6 +41,13 @@ var (
 // IP-Tree/VIP-Tree object index supports live Insert/Delete/Move.
 var _ index.MutableObjectIndexer = (*iptree.ObjectIndex)(nil)
 
+// Compile-time assertions for the batched-distance capability: the two tree
+// indexes share climbs across a batch; the baselines answer per query.
+var (
+	_ index.DistanceBatcher = (*iptree.Tree)(nil)
+	_ index.DistanceBatcher = (*iptree.VIPTree)(nil)
+)
+
 func allIndexers(t *testing.T, v *model.Venue) []index.ObjectIndexer {
 	t.Helper()
 	ip, err := iptree.BuildIPTree(v, iptree.Options{})

@@ -89,6 +89,25 @@ type Snapshotter interface {
 	EncodeSnapshot(w io.Writer) error
 }
 
+// LocationPair is one (source, target) input of a batched distance query.
+type LocationPair struct {
+	S, T model.Location
+}
+
+// DistanceBatcher is an Index that can answer many shortest-distance
+// queries as one batch, amortising work shared between queries (for the
+// tree indexes: the leaf-to-LCA climbs of queries whose endpoints share
+// leaves). The IP-Tree and VIP-Tree implement the capability;
+// conformance_test.go pins down the set.
+type DistanceBatcher interface {
+	Index
+	// DistanceBatch computes Distance(p.S, p.T) for every pair p, writing
+	// the results into out, which must be at least len(pairs) long.
+	// Results are bit-identical to per-pair Distance calls and do not
+	// depend on workers (<= 1 executes on the calling goroutine).
+	DistanceBatch(pairs []LocationPair, out []float64, workers int)
+}
+
 // ObjectResult is one object returned by a kNN or range query.
 type ObjectResult struct {
 	// ObjectID is the position of the object in the object set passed to
@@ -163,11 +182,28 @@ func (c combined) Range(q model.Location, r float64) []ObjectResult {
 	return c.objects.Range(q, r)
 }
 
+// combinedBatcher additionally forwards the batched-distance capability of
+// the wrapped index, so capability probing through the Full interface still
+// discovers it.
+type combinedBatcher struct {
+	combined
+	batcher DistanceBatcher
+}
+
+func (c combinedBatcher) DistanceBatch(pairs []LocationPair, out []float64, workers int) {
+	c.batcher.DistanceBatch(pairs, out, workers)
+}
+
 // Combine glues a distance index and an object querier (usually built from
 // the same underlying structure) into the Full capability interface. The
-// combined index reports the distance index's name and statistics.
+// combined index reports the distance index's name and statistics, and
+// preserves the wrapped index's DistanceBatcher capability when present.
 func Combine(ix Index, objects ObjectQuerier) Full {
-	return combined{Index: ix, objects: objects}
+	c := combined{Index: ix, objects: objects}
+	if b, ok := ix.(DistanceBatcher); ok {
+		return combinedBatcher{combined: c, batcher: b}
+	}
+	return c
 }
 
 // WithObjects embeds the objects into the indexer and returns the Full

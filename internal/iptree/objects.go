@@ -672,7 +672,7 @@ func (oi *ObjectIndex) branchAndBound(q model.Location, k int, radius float64) [
 			if oi.subtreeCount[c].Load() == 0 {
 				continue
 			}
-			md := oi.childMinDist(q, qLeaf, cur.node, c, nd)
+			md := oi.childMinDist(q, qLeaf, cur.node, c, oc)
 			if md <= results.bound() {
 				heap = pushQueued(heap, queuedNode{node: c, mindist: md})
 			}
@@ -687,8 +687,9 @@ func (oi *ObjectIndex) branchAndBound(q model.Location, k int, radius float64) [
 
 // childMinDist computes mindist(q, child) and caches the access-door
 // distances of the child for use further down the tree (Lemmas 8 and 9).
-func (oi *ObjectIndex) childMinDist(q model.Location, qLeaf NodeID, parent, child NodeID, nd *nodeDistTable) float64 {
+func (oi *ObjectIndex) childMinDist(q model.Location, qLeaf NodeID, parent, child NodeID, oc *objScratch) float64 {
 	t := oi.tree
+	nd := &oc.nodes
 	if t.IsAncestor(child, qLeaf) {
 		return 0
 	}
@@ -714,34 +715,41 @@ func (oi *ObjectIndex) childMinDist(q model.Location, qLeaf NodeID, parent, chil
 		// Packed: the base node's and the child's access-door positions in
 		// the parent matrix are precomputed (own-matrix positions when the
 		// base is the parent itself, parent-matrix positions when it is a
-		// sibling), so the combination loop is positional.
+		// sibling). The reachable base doors are gathered into compact
+		// (distance, row) pairs once — instead of being re-filtered for
+		// every child door — and each child door's minimum is then a tight
+		// sweep whose only data-dependent branch is the min update; an
+		// unreachable matrix cell yields a candidate of Infinite, which
+		// cannot win the strict <.
 		baseRows := t.pk.adPosInParent[baseNode]
 		if baseNode == parent {
 			baseRows = t.pk.adPosInOwn[parent]
 		}
 		childCols := t.pk.adPosInParent[child]
+		cmBase, cmRows := oc.cmBase[:0], oc.cmRows[:0]
+		if baseDists != nil {
+			for j := range baseDoors {
+				if baseDists[j] != Infinite && baseRows[j] >= 0 {
+					cmBase = append(cmBase, baseDists[j])
+					cmRows = append(cmRows, baseRows[j])
+				}
+			}
+		}
+		oc.cmBase, oc.cmRows = cmBase, cmRows
+		stride := len(mat.cols)
+		slab := mat.dist
 		for i := range childAD {
 			best := Infinite
 			ci := childCols[i]
-			if baseDists == nil || ci < 0 {
-				// The base node was never reached (disconnected venue);
-				// leave the child unreachable.
-				dists[i] = best
-				continue
-			}
-			for j := range baseDoors {
-				base := baseDists[j]
-				if base == Infinite || baseRows[j] < 0 {
-					continue
-				}
-				md := mat.distAt(int(baseRows[j]), int(ci))
-				if md == Infinite {
-					continue
-				}
-				if base+md < best {
-					best = base + md
+			if ci >= 0 {
+				for k, b := range cmBase {
+					if c := b + slab[int(cmRows[k])*stride+int(ci)]; c < best {
+						best = c
+					}
 				}
 			}
+			// A missing column or an unreached base node (disconnected
+			// venue) leaves the child unreachable.
 			dists[i] = best
 		}
 		return minOf(dists)

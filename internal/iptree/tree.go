@@ -140,6 +140,13 @@ type Tree struct {
 	// callers.
 	distPool sync.Pool
 
+	// batchPool recycles the per-batch plan state of the batched distance
+	// path (batch.go): grouping arrays, endpoint sets, leaf climb chains
+	// and the table arenas. scratchPoolB recycles the per-worker scratch
+	// (combine buffers and pairing-position gathers).
+	batchPool    sync.Pool
+	scratchPoolB sync.Pool
+
 	// timings records the wall-clock cost of each construction phase; zero
 	// for trees restored from a snapshot.
 	timings BuildTimings

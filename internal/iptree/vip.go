@@ -523,6 +523,67 @@ func (vt *VIPTree) sideDistances(loc model.Location, node NodeID, side *vipSide)
 	}
 }
 
+// sideDistsOnly is the distance-only form of sideDistances used by the
+// batched Distance path, where one side is computed once per distinct
+// endpoint and shared by every query in its group, and via doors are not
+// needed (batched queries return distances, not paths). dist must be
+// len(AccessDoors(node)) long.
+func (vt *VIPTree) sideDistsOnly(loc model.Location, node NodeID, dist []float64) {
+	t := vt.Tree
+	v := t.venue
+	ads := t.nodes[node].AccessDoors
+	for i := range dist {
+		dist[i] = Infinite
+	}
+	sup := t.SuperiorDoors(loc.Partition)
+	if vt.vpk != nil {
+		dists := vt.vpk.dist
+		for _, sdoor := range sup {
+			base := v.DistToDoor(loc, sdoor)
+			off, hasEntries := vt.entriesOffset(sdoor, node)
+			for i, a := range ads {
+				var md float64
+				switch {
+				case sdoor == a:
+					md = 0
+				case hasEntries:
+					md = dists[off+i]
+				default:
+					md = Infinite
+				}
+				if md == Infinite {
+					continue
+				}
+				if base+md < dist[i] {
+					dist[i] = base + md
+				}
+			}
+		}
+		return
+	}
+	for _, sdoor := range sup {
+		base := v.DistToDoor(loc, sdoor)
+		es := vt.entriesFor(sdoor, node)
+		for i, a := range ads {
+			var md float64
+			switch {
+			case sdoor == a:
+				md = 0
+			case es != nil:
+				md = es[i].dist
+			default:
+				md = Infinite
+			}
+			if md == Infinite {
+				continue
+			}
+			if base+md < dist[i] {
+				dist[i] = base + md
+			}
+		}
+	}
+}
+
 // Path implements the VIP-Tree shortest-path query (Section 3.3): the
 // distance computation identifies the superior doors and LCA access doors on
 // the optimal path, the materialised next-hop doors expand the segments

@@ -152,6 +152,13 @@ type (
 	// FullIndex is the complete capability surface (Index plus KNN/Range);
 	// build one with CombineIndex or IndexWithObjects.
 	FullIndex = index.Full
+	// LocationPair is one source/target pair of a batched distance query.
+	LocationPair = index.LocationPair
+	// DistanceBatcher is the capability interface of indexes that answer
+	// many distance queries in one call, sharing work between queries; the
+	// IP-Tree and VIP-Tree implement it and the engine's batched query
+	// planner uses it automatically.
+	DistanceBatcher = index.DistanceBatcher
 	// IndexStats is the uniform construction metadata reported by Stats.
 	IndexStats = index.Stats
 )
