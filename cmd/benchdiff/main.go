@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -47,29 +48,29 @@ func load(path string) ([]result, error) {
 	return rs, nil
 }
 
-func main() {
-	baseline := flag.String("baseline", "", "benchjson file from the previous run (missing file is not an error)")
-	current := flag.String("current", "", "benchjson file from this run")
-	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression before failing (0.25 = 25%)")
-	flag.Parse()
-	if *current == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
-		os.Exit(2)
+// runDiff performs the whole comparison and returns the process exit code:
+// 0 on pass (including the missing/corrupt-baseline skip), 1 when at least
+// one benchmark regressed past the tolerance, 2 on an unusable -current.
+// Split out of main so the exit semantics are testable.
+func runDiff(baselinePath, currentPath string, tolerance float64, stdout, stderr io.Writer) int {
+	if currentPath == "" {
+		fmt.Fprintln(stderr, "benchdiff: -current is required")
+		return 2
 	}
 
-	cur, err := load(*current)
+	cur, err := load(currentPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
 	}
 
-	base, err := load(*baseline)
+	base, err := load(baselinePath)
 	if err != nil {
 		// First run on a branch, expired artifact, or corrupt file: nothing
 		// to compare against, so pass. The current artifact becomes the
 		// baseline of the next run.
-		fmt.Printf("benchdiff: no usable baseline (%v); skipping comparison\n", err)
-		return
+		fmt.Fprintf(stdout, "benchdiff: no usable baseline (%v); skipping comparison\n", err)
+		return 0
 	}
 
 	baseByName := make(map[string]result, len(base))
@@ -83,7 +84,7 @@ func main() {
 		seen[c.Name] = true
 		b, ok := baseByName[c.Name]
 		if !ok {
-			fmt.Printf("  new      %-60s %12.1f ns/op\n", c.Name, c.NsPerOp)
+			fmt.Fprintf(stdout, "  new      %-60s %12.1f ns/op\n", c.Name, c.NsPerOp)
 			continue
 		}
 		if b.NsPerOp <= 0 || c.NsPerOp <= 0 {
@@ -91,21 +92,30 @@ func main() {
 		}
 		delta := c.NsPerOp/b.NsPerOp - 1
 		status := "ok"
-		if delta > *tolerance {
+		if delta > tolerance {
 			status = "REGRESS"
 			failed++
 		}
-		fmt.Printf("  %-8s %-60s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
+		fmt.Fprintf(stdout, "  %-8s %-60s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
 			status, c.Name, b.NsPerOp, c.NsPerOp, delta*100)
 	}
 	for _, b := range base {
 		if !seen[b.Name] {
-			fmt.Printf("  removed  %-60s %12.1f ns/op\n", b.Name, b.NsPerOp)
+			fmt.Fprintf(stdout, "  removed  %-60s %12.1f ns/op\n", b.Name, b.NsPerOp)
 		}
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% ns/op\n", failed, *tolerance*100)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% ns/op\n", failed, tolerance*100)
+		return 1
 	}
-	fmt.Printf("benchdiff: %d benchmark(s) within %.0f%% tolerance\n", len(cur), *tolerance*100)
+	fmt.Fprintf(stdout, "benchdiff: %d benchmark(s) within %.0f%% tolerance\n", len(cur), tolerance*100)
+	return 0
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "benchjson file from the previous run (missing file is not an error)")
+	current := flag.String("current", "", "benchjson file from this run")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression before failing (0.25 = 25%)")
+	flag.Parse()
+	os.Exit(runDiff(*baseline, *current, *tolerance, os.Stdout, os.Stderr))
 }

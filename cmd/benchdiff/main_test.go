@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBench writes a benchjson artifact with the given name→ns/op pairs.
+func writeBench(t *testing.T, dir, name string, nsPerOp map[string]float64) string {
+	t.Helper()
+	rs := make([]result, 0, len(nsPerOp))
+	for n, ns := range nsPerOp {
+		rs = append(rs, result{Name: n, Iterations: 100, NsPerOp: ns})
+	}
+	data, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// diff runs the comparison and returns (exit code, stdout, stderr).
+func diff(t *testing.T, baseline, current string, tol float64) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := runDiff(baseline, current, tol, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestRegressionAtToleranceBoundary(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", map[string]float64{"BenchmarkKNN": 1000})
+
+	// Exactly at the tolerance: 25% slower on a 25% tolerance must PASS —
+	// the contract is "more than", not "at least".
+	cur := writeBench(t, dir, "at.json", map[string]float64{"BenchmarkKNN": 1250})
+	if code, out, _ := diff(t, base, cur, 0.25); code != 0 {
+		t.Fatalf("exactly-at-tolerance regression failed with code %d:\n%s", code, out)
+	}
+
+	// Just above the tolerance must fail with exit 1 and a REGRESS line.
+	cur = writeBench(t, dir, "above.json", map[string]float64{"BenchmarkKNN": 1251})
+	code, out, errOut := diff(t, base, cur, 0.25)
+	if code != 1 {
+		t.Fatalf("above-tolerance regression exited %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESS") {
+		t.Errorf("stdout missing REGRESS marker:\n%s", out)
+	}
+	if !strings.Contains(errOut, "1 benchmark(s) regressed") {
+		t.Errorf("stderr missing regression summary: %q", errOut)
+	}
+
+	// An improvement always passes.
+	cur = writeBench(t, dir, "faster.json", map[string]float64{"BenchmarkKNN": 400})
+	if code, out, _ := diff(t, base, cur, 0.25); code != 0 {
+		t.Fatalf("improvement failed with code %d:\n%s", code, out)
+	}
+}
+
+func TestMissingOrCorruptBaselineSkips(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeBench(t, dir, "cur.json", map[string]float64{"BenchmarkKNN": 1000})
+
+	// Missing baseline: first run on a branch, must pass with a note.
+	code, out, _ := diff(t, filepath.Join(dir, "nope.json"), cur, 0.25)
+	if code != 0 {
+		t.Fatalf("missing baseline exited %d, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(out, "skipping comparison") {
+		t.Errorf("missing baseline did not print the skip note:\n%s", out)
+	}
+
+	// Corrupt baseline: same skip semantics.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = diff(t, bad, cur, 0.25)
+	if code != 0 {
+		t.Fatalf("corrupt baseline exited %d, want 0:\n%s", code, out)
+	}
+	if !strings.Contains(out, "skipping comparison") {
+		t.Errorf("corrupt baseline did not print the skip note:\n%s", out)
+	}
+}
+
+func TestUnusableCurrentIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", map[string]float64{"BenchmarkKNN": 1000})
+
+	// Missing -current is a usage error, not a skip.
+	if code, _, errOut := diff(t, base, "", 0.25); code != 2 {
+		t.Fatalf("empty -current exited %d, want 2 (%q)", code, errOut)
+	}
+	if code, _, _ := diff(t, base, filepath.Join(dir, "nope.json"), 0.25); code != 2 {
+		t.Fatal("missing -current file must exit 2")
+	}
+
+	// Malformed BENCH JSON for -current is an error too: silently passing
+	// would hide a broken benchmark step.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("[{\"name\": 42}]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := diff(t, base, bad, 0.25)
+	if code != 2 {
+		t.Fatalf("malformed -current exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut, bad) {
+		t.Errorf("error does not name the offending file: %q", errOut)
+	}
+}
+
+func TestNewAndRemovedBenchmarksNeverFail(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.json", map[string]float64{
+		"BenchmarkOld":    1000,
+		"BenchmarkShared": 500,
+	})
+	cur := writeBench(t, dir, "cur.json", map[string]float64{
+		"BenchmarkShared": 510,
+		"BenchmarkNew":    9999,
+	})
+	code, out, _ := diff(t, base, cur, 0.25)
+	if code != 0 {
+		t.Fatalf("rename/new benchmarks failed the run with code %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "new      BenchmarkNew") {
+		t.Errorf("new benchmark not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "removed  BenchmarkOld") {
+		t.Errorf("removed benchmark not reported:\n%s", out)
+	}
+}
+
+func TestZeroNsPerOpIsIgnored(t *testing.T) {
+	dir := t.TempDir()
+	// A zero or negative ns/op (malformed metric line) must not divide by
+	// zero or produce a spurious regression.
+	base := writeBench(t, dir, "base.json", map[string]float64{"BenchmarkKNN": 0})
+	cur := writeBench(t, dir, "cur.json", map[string]float64{"BenchmarkKNN": 1e12})
+	if code, out, _ := diff(t, base, cur, 0.25); code != 0 {
+		t.Fatalf("zero-baseline benchmark failed the run with code %d:\n%s", code, out)
+	}
+}

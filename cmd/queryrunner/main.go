@@ -17,6 +17,10 @@
 // concurrently by the engine against the live object index — the
 // moving-objects scenario the IP-Tree/VIP-Tree object layer is built for.
 // Throughput is then reported separately as QPS (reads) and UPS (updates).
+// Updates flow through the index's single-writer update log while reads
+// serve lock-free from published epochs; the report includes the final log
+// head and the maximum applied-epoch lag (how far the published epoch
+// trailed the log tip) observed during the run.
 //
 // Usage:
 //
@@ -236,6 +240,35 @@ func main() {
 	eng.ExecuteBatch(warm)
 	eng.ResetLatencies()
 
+	// While updates flow through the single-writer log, sample the
+	// applied-epoch lag (head seq minus published seq): it measures how far
+	// the epoch readers serve behind the log tip, and is transiently
+	// non-zero only inside a combining batch.
+	var lagStop chan struct{}
+	var lagDone chan struct{}
+	var maxLag uint64
+	if updates > 0 {
+		if clog := eng.ChangeLog(); clog != nil {
+			lagStop, lagDone = make(chan struct{}), make(chan struct{})
+			go func() {
+				defer close(lagDone)
+				tick := time.NewTicker(200 * time.Microsecond)
+				defer tick.Stop()
+				for {
+					select {
+					case <-lagStop:
+						return
+					case <-tick.C:
+						head, pub := clog.HeadSeq(), clog.PublishedSeq()
+						if head > pub && head-pub > maxLag {
+							maxLag = head - pub
+						}
+					}
+				}
+			}()
+		}
+	}
+
 	// -batch N submits the workload the way a serving frontend would: in
 	// fixed-size batches, each one planned and executed as a unit. With
 	// -batch 0 the whole workload is one batch (the historical behaviour).
@@ -254,6 +287,10 @@ func main() {
 		results = eng.ExecuteBatch(queries)
 	}
 	total := time.Since(start)
+	if lagStop != nil {
+		close(lagStop)
+		<-lagDone
+	}
 
 	failed := 0
 	var firstErr error
@@ -290,6 +327,14 @@ func main() {
 		mode += ", planner off"
 	}
 	if updates > 0 {
+		if clog := eng.ChangeLog(); clog != nil {
+			head, pub := clog.HeadSeq(), clog.PublishedSeq()
+			if head != pub {
+				fmt.Fprintf(os.Stderr, "update log not quiescent after the run: head %d != published %d\n", head, pub)
+				os.Exit(1)
+			}
+			mode += fmt.Sprintf(", log head %d, max epoch lag %d", head, maxLag)
+		}
 		qps := float64(reads) / total.Seconds()
 		ups := float64(updates) / total.Seconds()
 		fmt.Printf("%s %s %s+moves: %d ops (%d reads / %d updates), %d workers (%d cores)%s, %.2f us/op, %.0f qps, %.0f ups, %s (total %v)\n",

@@ -15,7 +15,11 @@
 // updates (KindInsert, KindDelete, KindMove), concurrently with reads and
 // freely mixed within one batch — the HTAP-style read/write mix a live
 // tracking service needs. Against an immutable querier, update kinds
-// return ErrImmutableObjects.
+// return ErrImmutableObjects. When the querier routes its mutations
+// through a single-writer update log (index.ChangeLogger), update kinds
+// are funneled through that writer and reads resolve against the current
+// published epoch with zero lock operations; Engine.ChangeLog exposes the
+// log so callers can tail the change feed.
 //
 //	eng := engine.New(vipTree, engine.Options{Objects: objectIndex})
 //	results := eng.ExecuteBatch(queries) // fans out over a worker pool
@@ -35,6 +39,7 @@ import (
 
 	"viptree/internal/index"
 	"viptree/internal/model"
+	"viptree/internal/updatelog"
 )
 
 // Kind selects the query type executed by the engine.
@@ -166,6 +171,7 @@ type Engine struct {
 	idx     index.Index
 	objects index.ObjectQuerier
 	mutable index.MutableObjectIndexer // nil when objects is immutable
+	logged  index.ChangeLogger         // nil when the querier has no update log
 	batcher index.DistanceBatcher      // nil when the index has no batched path, or the planner is disabled
 	workers int
 	counts  [numKinds]atomic.Int64
@@ -179,7 +185,8 @@ func New(idx index.Index, opts Options) *Engine {
 		w = runtime.GOMAXPROCS(0)
 	}
 	mut, _ := opts.Objects.(index.MutableObjectIndexer)
-	e := &Engine{idx: idx, objects: opts.Objects, mutable: mut, workers: w}
+	logged, _ := opts.Objects.(index.ChangeLogger)
+	e := &Engine{idx: idx, objects: opts.Objects, mutable: mut, logged: logged, workers: w}
 	if !opts.DisablePlanner {
 		e.batcher, _ = idx.(index.DistanceBatcher)
 	}
@@ -228,6 +235,19 @@ func (e *Engine) Range(q model.Location, r float64) ([]index.ObjectResult, error
 // Mutable returns the attached object querier's update capability, or nil
 // when the engine has no object querier or an immutable one.
 func (e *Engine) Mutable() index.MutableObjectIndexer { return e.mutable }
+
+// ChangeLog returns the update log of the attached object querier, or nil
+// when the querier does not route its mutations through one
+// (index.ChangeLogger). Through it callers tail the ordered change feed
+// (Subscribe) and observe the applied-epoch lag (HeadSeq/PublishedSeq) —
+// the engine's update kinds are applied via this log, so the feed records
+// exactly the updates the engine executed.
+func (e *Engine) ChangeLog() *updatelog.Log {
+	if e.logged == nil {
+		return nil
+	}
+	return e.logged.ChangeLog()
+}
 
 // updatable reports whether object updates can be executed.
 func (e *Engine) updatable() error {

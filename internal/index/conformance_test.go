@@ -41,6 +41,10 @@ var (
 // IP-Tree/VIP-Tree object index supports live Insert/Delete/Move.
 var _ index.MutableObjectIndexer = (*iptree.ObjectIndex)(nil)
 
+// Compile-time assertion for the change-log capability: the shared object
+// index funnels its updates through a single-writer log with a change feed.
+var _ index.ChangeLogger = (*iptree.ObjectIndex)(nil)
+
 // Compile-time assertions for the batched-distance capability: the two tree
 // indexes share climbs across a batch; the baselines answer per query.
 var (
@@ -265,6 +269,84 @@ func TestMutableObjectIndexerConformance(t *testing.T) {
 	for name := range wantMutable {
 		if !seen[name] {
 			t.Errorf("mutable conformance table lists %q but no index reported that name", name)
+		}
+	}
+}
+
+// TestChangeLoggerConformance pins down which object queriers route their
+// mutations through an update log with a change feed: exactly those of the
+// IP-Tree and VIP-Tree (the same set that is mutable at all — a mutable
+// querier without a log would silently lose feed consumers, so the
+// capability must track MutableObjectIndexer deliberately). For
+// implementers, applied updates must advance the log head and be
+// observable through the feed.
+func TestChangeLoggerConformance(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{
+		Name: "changelog", Floors: 2, RoomsPerHallway: 8, Seed: 6,
+	})
+	wantLogged := map[string]bool{
+		"IP-Tree":  true,
+		"VIP-Tree": true,
+		"DistMx":   false,
+		"DistAw":   false,
+		"G-tree":   false,
+		"ROAD":     false,
+	}
+	rng := rand.New(rand.NewSource(7))
+	objects := make([]model.Location, 6)
+	for i := range objects {
+		objects[i] = v.RandomLocation(rng)
+	}
+	seen := map[string]bool{}
+	for _, ixr := range allIndexers(t, v) {
+		name := ixr.Name()
+		seen[name] = true
+		want, known := wantLogged[name]
+		if !known {
+			t.Errorf("index %q missing from the change-log conformance table", name)
+			continue
+		}
+		oq := ixr.NewObjectQuerier(objects)
+		logged, got := oq.(index.ChangeLogger)
+		if got != want {
+			t.Errorf("index %q: object querier implements ChangeLogger = %v, want %v", name, got, want)
+			continue
+		}
+		if !got {
+			continue
+		}
+		log := logged.ChangeLog()
+		if log == nil {
+			t.Errorf("index %q: ChangeLog() returned nil", name)
+			continue
+		}
+		if head := log.HeadSeq(); head != 0 {
+			t.Errorf("index %q: fresh log head = %d, want 0", name, head)
+		}
+		id, err := logged.Insert(v.RandomLocation(rng))
+		if err != nil {
+			t.Errorf("index %q: Insert: %v", name, err)
+			continue
+		}
+		if err := logged.Delete(id); err != nil {
+			t.Errorf("index %q: Delete: %v", name, err)
+		}
+		if head := log.HeadSeq(); head != 2 {
+			t.Errorf("index %q: log head after 2 updates = %d, want 2", name, head)
+		}
+		if pub := log.PublishedSeq(); pub != log.HeadSeq() {
+			t.Errorf("index %q: published seq %d lags head %d at quiescence", name, pub, log.HeadSeq())
+		}
+		recs, err := log.Records(0, 0)
+		if err != nil {
+			t.Errorf("index %q: Records: %v", name, err)
+		} else if len(recs) != 2 {
+			t.Errorf("index %q: log records = %d, want 2", name, len(recs))
+		}
+	}
+	for name := range wantLogged {
+		if !seen[name] {
+			t.Errorf("change-log conformance table lists %q but no index reported that name", name)
 		}
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"io"
 
 	"viptree/internal/model"
+	"viptree/internal/updatelog"
 )
 
 // DistanceQuerier answers shortest-distance and shortest-path queries
@@ -161,6 +162,20 @@ type MutableObjectIndexer interface {
 	Move(id int, loc model.Location) error
 	// NumObjects returns the number of live objects.
 	NumObjects() int
+}
+
+// ChangeLogger is a MutableObjectIndexer whose mutations are funneled
+// through a single-writer update log with an exportable change feed: every
+// applied update gets a monotonic, gap-free sequence number, queries serve
+// from immutable published epochs (lock-free reads), and external systems
+// can tail the ordered record of updates via the log's Subscribe. The
+// IP-Tree and VIP-Tree object indexes implement the capability; the
+// baselines do not (their object sets are rebuilt, not mutated).
+// conformance_test.go pins down the set.
+type ChangeLogger interface {
+	MutableObjectIndexer
+	// ChangeLog returns the update log behind the index.
+	ChangeLog() *updatelog.Log
 }
 
 // Full is the complete capability surface: Distance, Path, KNN, Range,

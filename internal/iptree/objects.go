@@ -11,6 +11,7 @@ import (
 
 	"viptree/internal/index"
 	"viptree/internal/model"
+	"viptree/internal/updatelog"
 )
 
 // This file implements indexing of indoor objects and the k-nearest-
@@ -53,12 +54,13 @@ func cmpObjEntry(a, b objEntry) int {
 	return cmp.Compare(a.objectID, b.objectID)
 }
 
-// leafObjects is the embedded-object state of one leaf, guarded by the
-// leaf's shard lock: updates mutate it in place (holding the write lock),
-// leaf scans read it under the read lock. In-place mutation keeps an object
-// update down to a couple of in-array shifts — no per-update reallocation
-// of the leaf's lists — which is what makes Move two orders of magnitude
-// cheaper than a rebuild even on trees with few, large leaves.
+// leafObjects is the embedded-object state of one leaf. Once a leaf is
+// referenced by a published epoch it is immutable: the writer clones a leaf
+// before its first mutation in each publish generation (copy-on-write at
+// leaf granularity) and mutates only the private copy. In-place mutation of
+// the private copy keeps an object update down to a couple of in-array
+// shifts, which is what makes Move two orders of magnitude cheaper than a
+// rebuild even on trees with few, large leaves.
 type leafObjects struct {
 	// ids lists the leaf's objects in ascending ObjectID order.
 	ids []ObjectID
@@ -73,56 +75,119 @@ type leafObjects struct {
 	maxID int
 }
 
-// objShards is the number of writer locks the leaves are sharded over; a
-// power of two so the shard of a leaf is a mask away.
-const objShards = 64
+// clone deep-copies the leaf state so the copy can be mutated in place
+// without disturbing epochs that still reference the original.
+func (lo *leafObjects) clone() *leafObjects {
+	c := &leafObjects{
+		ids:   slices.Clone(lo.ids),
+		locs:  slices.Clone(lo.locs),
+		lists: make([][]objEntry, len(lo.lists)),
+		maxID: lo.maxID,
+	}
+	for ai, l := range lo.lists {
+		c.lists[ai] = slices.Clone(l)
+	}
+	return c
+}
+
+// objEpoch is one immutable published version of the object set. Readers
+// pin an epoch with a single atomic pointer load and then traverse it with
+// no further synchronisation: nothing reachable from an epoch is ever
+// mutated. Retired epochs are reclaimed by the garbage collector once the
+// last reader drops its pin — the Go runtime provides the grace period an
+// explicit RCU scheme would have to track by hand.
+type objEpoch struct {
+	// seq is the update-log sequence number this epoch reflects: every
+	// update with Seq <= seq is visible, none after.
+	seq uint64
+	// leafData[n] is the object state of leaf n (nil when empty, and
+	// always nil for non-leaf nodes).
+	leafData []*leafObjects
+	// subtreeCount[n] counts the objects in the subtree rooted at n,
+	// letting Algorithm 5 skip empty branches.
+	subtreeCount []int64
+}
+
+// countedMutex is a mutex that counts Lock operations. The object table is
+// guarded by one; the read path (KNN/Range) never takes it, and the
+// lock-free tests pin that by asserting the count stays flat across a
+// query storm.
+type countedMutex struct {
+	mu  sync.Mutex
+	ops atomic.Uint64
+}
+
+func (m *countedMutex) Lock() {
+	m.ops.Add(1)
+	m.mu.Lock()
+}
+
+func (m *countedMutex) Unlock() { m.mu.Unlock() }
+
+// Ops returns the number of Lock calls so far.
+func (m *countedMutex) Ops() uint64 { return m.ops.Load() }
 
 // ObjectIndex embeds a set of objects into an IP-Tree (or VIP-Tree): each
 // object records the leaf that contains it, and every access door of a leaf
 // keeps the list of the leaf's objects sorted by distance from that door.
 //
-// The index is mutable and safe for concurrent use: Insert, Delete and Move
-// update only the leaf (or two leaves) containing the object, in place,
-// under that leaf's shard of the reader/writer lock array; kNN and Range
-// queries take the read side only around the scan of each populated leaf
-// they reach (branch pruning reads the atomic subtree counts and never
-// locks). Updates on different shards proceed in parallel; updates on the
-// same leaf serialise.
+// The index is mutable and safe for concurrent use, with reads and writes
+// physically separated (an HTAP-style split). All mutations are funneled
+// through a single-writer update log (internal/updatelog): Insert, Delete
+// and Move submit to the log, whose combining writer applies batches to a
+// writer-private shadow copy of the leaf state (copy-on-write at leaf
+// granularity) and atomically publishes an immutable objEpoch via one
+// pointer swap. kNN and Range queries pin the current epoch with a single
+// atomic load and run entirely lock-free — zero mutex or RWMutex
+// operations on the read path, no matter how fast concurrent updaters
+// churn.
 //
-// Consistency model: every query observes each leaf atomically (the leaf's
-// lock covers the scan), so per-leaf state is never torn. A cross-leaf Move
-// is not atomic with respect to concurrent queries: a query overlapping the
-// move may see the object at its old location, its new location, or — in a
-// narrow window — at both (deduplicated to the nearer one) or neither.
-// Objects not being mutated are always reported exactly. Quiescent queries
-// (no concurrent updates) are exact.
+// Consistency model: every query observes exactly the state of one
+// published epoch — a prefix of the update log. Updates, including
+// cross-leaf Moves, are atomic from a reader's view: a query sees a moved
+// object at its old location or its new one, never at both or neither
+// (this strengthens the pre-epoch design, whose cross-leaf moves were
+// documented as non-atomic). When Insert/Delete/Move returns, the update
+// is visible to all subsequent queries. ChangeLog exposes the ordered,
+// gap-free feed of applied updates.
 type ObjectIndex struct {
 	tree *Tree
 	name string
 
-	// shards is the sharded per-leaf reader/writer lock array: an update
-	// write-locks the shard(s) of the leaf (or leaves) it touches, a query
-	// read-locks a leaf's shard only while scanning that leaf.
-	shards [objShards]sync.RWMutex
-	// leafData[n] is the object state of leaf n, guarded by the leaf's
-	// shard; nil until the leaf first receives an object (and always nil
-	// for non-leaf nodes).
-	leafData []*leafObjects
-	// subtreeCount[n] counts the objects in the subtree rooted at n, letting
-	// Algorithm 5 skip empty branches without locking; counts (rather than
-	// booleans) let deletes un-mark branches that become empty.
-	subtreeCount []atomic.Int64
+	// cur is the currently published epoch; never nil. The only
+	// read-path synchronisation is the atomic load of this pointer.
+	cur atomic.Pointer[objEpoch]
+	// log is the single-writer update log all mutations go through.
+	log *updatelog.Log
+
+	// Writer-private shadow state; owned by the log's combining writer
+	// (updatelog guarantees single-threaded access).
+	//
+	// shadowLeaf mirrors the next epoch's leafData. leafStamp[n] == gen
+	// marks a leaf already cloned (privately mutable) in the current
+	// publish generation; publishing bumps gen, so the first mutation of
+	// a leaf after a publish clones it and later ones mutate in place.
+	shadowLeaf  []*leafObjects
+	shadowCount []int64
+	leafStamp   []uint64
+	gen         uint64
+	// countsDirty records whether shadowCount diverged from the published
+	// epoch's subtreeCount. Same-leaf moves — the common churn — leave the
+	// counts untouched, letting publishEpoch share the previous epoch's
+	// array instead of recloning the O(nodes) spine on every publish.
+	countsDirty bool
+
 	// leafColPos[leaf][ai] is the column position of the leaf's ai-th access
 	// door in the leaf's matrix (-1 when absent), precomputed once so object
 	// updates sweep the matrix positionally instead of binary-searching
 	// per entry. Immutable after construction.
 	leafColPos [][]int32
-	// epoch increments on every completed update; it versions the object
-	// set for stats, tests and cache invalidation by callers.
-	epoch atomic.Uint64
+
 	// tableMu guards the object table below (id allocation, the free list,
-	// and the authoritative object locations and leaf assignments).
-	tableMu sync.Mutex
+	// and the authoritative object locations and leaf assignments). The
+	// table is writer- and accessor-side state only: queries never touch
+	// it, which the instrumented count verifies.
+	tableMu countedMutex
 	// objects[id] is the location of object id; stale for deleted slots.
 	objects []model.Location
 	// objLeaf[id] is the leaf containing object id, or invalidNode when the
@@ -139,15 +204,29 @@ type ObjectIndex struct {
 	scratchPool sync.Pool
 }
 
+// objApplier adapts ObjectIndex to updatelog.Applier without exporting the
+// apply hooks on the public type.
+type objApplier struct{ oi *ObjectIndex }
+
+func (a objApplier) ApplyUpdate(r *updatelog.Record) error { return a.oi.applyUpdate(r) }
+func (a objApplier) PublishEpoch(seq uint64)               { a.oi.publishEpoch(seq) }
+
 // newObjectIndex returns an empty object index over the tree.
 func newObjectIndex(t *Tree, name string) *ObjectIndex {
 	oi := &ObjectIndex{
-		tree:         t,
-		name:         name,
-		leafData:     make([]*leafObjects, len(t.nodes)),
-		subtreeCount: make([]atomic.Int64, len(t.nodes)),
-		leafColPos:   make([][]int32, len(t.nodes)),
+		tree:        t,
+		name:        name,
+		shadowLeaf:  make([]*leafObjects, len(t.nodes)),
+		shadowCount: make([]int64, len(t.nodes)),
+		leafStamp:   make([]uint64, len(t.nodes)),
+		gen:         1,
+		leafColPos:  make([][]int32, len(t.nodes)),
 	}
+	oi.cur.Store(&objEpoch{
+		leafData:     make([]*leafObjects, len(t.nodes)),
+		subtreeCount: make([]int64, len(t.nodes)),
+	})
+	oi.log = updatelog.New(objApplier{oi}, 0)
 	for i := range t.nodes {
 		n := &t.nodes[i]
 		if !n.IsLeaf() || n.Matrix == nil {
@@ -193,9 +272,10 @@ func (t *Tree) IndexObjects(objects []model.Location) *ObjectIndex {
 		if len(ids) == 0 {
 			continue
 		}
-		oi.leafData[leaf] = oi.buildLeaf(NodeID(leaf), ids)
+		oi.shadowLeaf[leaf] = oi.buildLeaf(NodeID(leaf), ids)
 		oi.addCountPath(NodeID(leaf), int64(len(ids)))
 	}
+	oi.publishEpoch(0)
 	return oi
 }
 
@@ -208,9 +288,9 @@ func (vt *VIPTree) IndexObjects(objects []model.Location) *ObjectIndex {
 	return oi
 }
 
-// buildLeaf constructs the immutable snapshot of one leaf from scratch: ids
-// must be ascending, and locations are read from the object table (callers
-// hold the table exclusively or are single-threaded).
+// buildLeaf constructs the state of one leaf from scratch: ids must be
+// ascending, and locations are read from the object table (callers hold the
+// writer role or are single-threaded).
 func (oi *ObjectIndex) buildLeaf(leaf NodeID, ids []ObjectID) *leafObjects {
 	node := &oi.tree.nodes[leaf]
 	lo := &leafObjects{
@@ -273,17 +353,51 @@ func (oi *ObjectIndex) accessDists(leaf NodeID, o model.Location, dists []float6
 	}
 }
 
-// shard returns the reader/writer lock guarding the leaf.
-func (oi *ObjectIndex) shard(leaf NodeID) *sync.RWMutex {
-	return &oi.shards[int(leaf)&(objShards-1)]
+// addCountPath adds delta to the shadow object count of every node from the
+// leaf up to the root. Writer-only.
+func (oi *ObjectIndex) addCountPath(leaf NodeID, delta int64) {
+	oi.countsDirty = true
+	for n := leaf; n != invalidNode; n = oi.tree.nodes[n].Parent {
+		oi.shadowCount[n] += delta
+	}
 }
 
-// addCountPath adds delta to the object count of every node from the leaf up
-// to the root.
-func (oi *ObjectIndex) addCountPath(leaf NodeID, delta int64) {
-	for n := leaf; n != invalidNode; n = oi.tree.nodes[n].Parent {
-		oi.subtreeCount[n].Add(delta)
+// shadowLeafFor returns the writer-private (mutable) state of the leaf,
+// cloning the epoch-shared version on the first touch of each publish
+// generation. Writer-only.
+func (oi *ObjectIndex) shadowLeafFor(leaf NodeID) *leafObjects {
+	if oi.leafStamp[leaf] == oi.gen {
+		return oi.shadowLeaf[leaf]
 	}
+	lo := oi.shadowLeaf[leaf]
+	if lo == nil {
+		lo = &leafObjects{lists: make([][]objEntry, len(oi.tree.nodes[leaf].AccessDoors))}
+	} else {
+		lo = lo.clone()
+	}
+	oi.shadowLeaf[leaf] = lo
+	oi.leafStamp[leaf] = oi.gen
+	return lo
+}
+
+// publishEpoch atomically publishes the shadow state as the epoch covering
+// log prefix [1..seq]. Writer-only (updatelog.Applier hook); also called
+// once at build/restore time with seq 0. O(nodes): the per-leaf states are
+// shared by pointer, only the two spine arrays are copied.
+func (oi *ObjectIndex) publishEpoch(seq uint64) {
+	counts := oi.cur.Load().subtreeCount
+	if oi.countsDirty || counts == nil {
+		counts = slices.Clone(oi.shadowCount)
+		oi.countsDirty = false
+	}
+	oi.cur.Store(&objEpoch{
+		seq:          seq,
+		leafData:     slices.Clone(oi.shadowLeaf),
+		subtreeCount: counts,
+	})
+	// Epoch-shared leaves must no longer be mutated in place; bumping the
+	// generation invalidates every leafStamp at once.
+	oi.gen++
 }
 
 // leafFor validates the location and returns the leaf containing it.
@@ -295,152 +409,117 @@ func (oi *ObjectIndex) leafFor(loc model.Location) (NodeID, error) {
 	return oi.tree.Leaf(loc.Partition), nil
 }
 
-// Insert adds an object at the location and returns its ID, reusing the slot
-// of a previously deleted object when one is free. Cost is bounded by the
-// size of the leaf containing the location.
-func (oi *ObjectIndex) Insert(loc model.Location) (ObjectID, error) {
-	leaf, err := oi.leafFor(loc)
-	if err != nil {
-		return 0, err
-	}
-	s := oi.shard(leaf)
-	s.Lock()
-	defer s.Unlock()
-	oi.tableMu.Lock()
-	var id ObjectID
-	if n := len(oi.free); n > 0 {
-		id = oi.free[n-1]
-		oi.free = oi.free[:n-1]
-		oi.objects[id] = loc
-	} else {
-		id = len(oi.objects)
-		oi.objects = append(oi.objects, loc)
-		oi.objLeaf = append(oi.objLeaf, invalidNode)
-	}
-	oi.objLeaf[id] = leaf
-	oi.alive++
-	oi.tableMu.Unlock()
-	oi.insertIntoLeaf(leaf, id, loc)
-	oi.addCountPath(leaf, 1)
-	oi.epoch.Add(1)
-	return id, nil
-}
-
-// Delete removes the object. Cost is bounded by the size of the leaf
-// containing it.
-func (oi *ObjectIndex) Delete(id ObjectID) error {
-	for {
-		leaf, err := oi.currentLeaf(id)
+// applyUpdate applies one log record to the shadow state (updatelog.Applier
+// hook; single-threaded by the log). A validation failure leaves the shadow
+// untouched and the record unsequenced.
+func (oi *ObjectIndex) applyUpdate(r *updatelog.Record) error {
+	switch r.Op {
+	case updatelog.OpInsert:
+		leaf, err := oi.leafFor(r.Loc)
 		if err != nil {
 			return err
 		}
-		s := oi.shard(leaf)
-		s.Lock()
 		oi.tableMu.Lock()
-		if oi.objLeaf[id] != leaf {
-			// The object moved between the leaf read and the lock; retry
-			// with the lock of its current leaf.
-			oi.tableMu.Unlock()
-			s.Unlock()
-			continue
+		var id ObjectID
+		if n := len(oi.free); n > 0 {
+			id = oi.free[n-1]
+			oi.free = oi.free[:n-1]
+			oi.objects[id] = r.Loc
+		} else {
+			id = len(oi.objects)
+			oi.objects = append(oi.objects, r.Loc)
+			oi.objLeaf = append(oi.objLeaf, invalidNode)
 		}
-		oi.objLeaf[id] = invalidNode
-		oi.free = append(oi.free, id)
+		oi.objLeaf[id] = leaf
+		oi.alive++
+		oi.tableMu.Unlock()
+		oi.insertIntoLeaf(oi.shadowLeafFor(leaf), leaf, id, r.Loc)
+		oi.addCountPath(leaf, 1)
+		r.ID = id
+		return nil
+
+	case updatelog.OpDelete:
+		oi.tableMu.Lock()
+		if r.ID < 0 || r.ID >= len(oi.objLeaf) || oi.objLeaf[r.ID] == invalidNode {
+			oi.tableMu.Unlock()
+			return fmt.Errorf("%w: id %d", ErrNoSuchObject, r.ID)
+		}
+		leaf := oi.objLeaf[r.ID]
+		oi.objLeaf[r.ID] = invalidNode
+		oi.free = append(oi.free, r.ID)
 		oi.alive--
 		oi.tableMu.Unlock()
-		oi.removeFromLeaf(leaf, id)
+		oi.removeFromLeaf(oi.shadowLeafFor(leaf), r.ID)
 		oi.addCountPath(leaf, -1)
-		oi.epoch.Add(1)
-		s.Unlock()
+		return nil
+
+	case updatelog.OpMove:
+		dst, err := oi.leafFor(r.Loc)
+		if err != nil {
+			return err
+		}
+		oi.tableMu.Lock()
+		if r.ID < 0 || r.ID >= len(oi.objLeaf) || oi.objLeaf[r.ID] == invalidNode {
+			oi.tableMu.Unlock()
+			return fmt.Errorf("%w: id %d", ErrNoSuchObject, r.ID)
+		}
+		src := oi.objLeaf[r.ID]
+		oi.objects[r.ID] = r.Loc
+		oi.objLeaf[r.ID] = dst
+		oi.tableMu.Unlock()
+		if src == dst {
+			lo := oi.shadowLeafFor(src)
+			oi.removeFromLeaf(lo, r.ID)
+			oi.insertIntoLeaf(lo, src, r.ID, r.Loc)
+		} else {
+			// Both leaf edits land in the same epoch, so readers see the
+			// move atomically — at the old location or the new one, never
+			// both or neither.
+			oi.removeFromLeaf(oi.shadowLeafFor(src), r.ID)
+			oi.addCountPath(src, -1)
+			oi.insertIntoLeaf(oi.shadowLeafFor(dst), dst, r.ID, r.Loc)
+			oi.addCountPath(dst, 1)
+		}
 		return nil
 	}
+	return fmt.Errorf("iptree: unknown update op %v", r.Op)
+}
+
+// Insert adds an object at the location and returns its ID, reusing the slot
+// of a previously deleted object when one is free. The update is routed
+// through the update log; on return it is applied and visible in the
+// published epoch.
+func (oi *ObjectIndex) Insert(loc model.Location) (ObjectID, error) {
+	id, _, err := oi.log.Submit(updatelog.OpInsert, 0, loc)
+	return id, err
+}
+
+// Delete removes the object. The update is routed through the update log;
+// on return it is applied and visible in the published epoch.
+func (oi *ObjectIndex) Delete(id ObjectID) error {
+	_, _, err := oi.log.Submit(updatelog.OpDelete, id, model.Location{})
+	return err
 }
 
 // Move relocates the object to the new location. Cost is bounded by the
 // sizes of the source and target leaves: only their access lists are
 // touched, every other leaf of the tree is unaffected — the update locality
-// that makes the index suitable for moving indoor objects.
+// that makes the index suitable for moving indoor objects. The update is
+// routed through the update log; on return it is applied and visible in the
+// published epoch, and the move is atomic from every reader's view even
+// when it crosses leaves.
 func (oi *ObjectIndex) Move(id ObjectID, loc model.Location) error {
-	dst, err := oi.leafFor(loc)
-	if err != nil {
-		return err
-	}
-	for {
-		src, err := oi.currentLeaf(id)
-		if err != nil {
-			return err
-		}
-		// Lock the shards of both leaves in index order (once when shared)
-		// so concurrent cross-leaf moves cannot deadlock.
-		sa, sb := oi.shard(src), oi.shard(dst)
-		if sa == sb {
-			sa.Lock()
-		} else if int(src)&(objShards-1) < int(dst)&(objShards-1) {
-			sa.Lock()
-			sb.Lock()
-		} else {
-			sb.Lock()
-			sa.Lock()
-		}
-		unlock := func() {
-			sa.Unlock()
-			if sb != sa {
-				sb.Unlock()
-			}
-		}
-		oi.tableMu.Lock()
-		if oi.objLeaf[id] != src {
-			oi.tableMu.Unlock()
-			unlock()
-			continue
-		}
-		oi.objects[id] = loc
-		oi.objLeaf[id] = dst
-		oi.tableMu.Unlock()
-		if src == dst {
-			oi.removeFromLeaf(src, id)
-			oi.insertIntoLeaf(src, id, loc)
-		} else {
-			// Apply the arrival before the departure (and bump counts in the
-			// same order) so concurrent queries over-approximate: while both
-			// leaves are locked no reader can observe either, and readers of
-			// other branches transiently see ancestor counts at or above the
-			// true value — branches never un-mark while an object is in
-			// flight.
-			oi.insertIntoLeaf(dst, id, loc)
-			oi.addCountPath(dst, 1)
-			oi.removeFromLeaf(src, id)
-			oi.addCountPath(src, -1)
-		}
-		oi.epoch.Add(1)
-		unlock()
-		return nil
-	}
+	_, _, err := oi.log.Submit(updatelog.OpMove, id, loc)
+	return err
 }
 
-// currentLeaf returns the leaf currently containing the object, or
-// ErrNoSuchObject for unallocated or deleted IDs.
-func (oi *ObjectIndex) currentLeaf(id ObjectID) (NodeID, error) {
-	oi.tableMu.Lock()
-	defer oi.tableMu.Unlock()
-	if id < 0 || id >= len(oi.objLeaf) || oi.objLeaf[id] == invalidNode {
-		return invalidNode, fmt.Errorf("%w: id %d", ErrNoSuchObject, id)
-	}
-	return oi.objLeaf[id], nil
-}
-
-// insertIntoLeaf adds the object to the leaf's state in place (the caller
-// holds the leaf's shard write lock): the ID and location lists gain one
-// entry at their sorted position, and each access list gains the object at
-// the position given by its distance from that access door (ties broken on
-// ObjectID). Cost is a couple of in-array shifts per access list — no list
-// is rebuilt, and allocation happens only when a backing array must grow.
-func (oi *ObjectIndex) insertIntoLeaf(leaf NodeID, id ObjectID, loc model.Location) {
-	lo := oi.leafData[leaf]
-	if lo == nil {
-		lo = &leafObjects{lists: make([][]objEntry, len(oi.tree.nodes[leaf].AccessDoors))}
-		oi.leafData[leaf] = lo
-	}
+// insertIntoLeaf adds the object to the writer-private leaf state in place:
+// the ID and location lists gain one entry at their sorted position, and
+// each access list gains the object at the position given by its distance
+// from that access door (ties broken on ObjectID). Cost is a couple of
+// in-array shifts per access list — no list is rebuilt, and allocation
+// happens only when a backing array must grow.
+func (oi *ObjectIndex) insertIntoLeaf(lo *leafObjects, leaf NodeID, id ObjectID, loc model.Location) {
 	pos := sort.SearchInts(lo.ids, id)
 	lo.ids = slices.Insert(lo.ids, pos, id)
 	lo.locs = slices.Insert(lo.locs, pos, loc)
@@ -460,15 +539,11 @@ func (oi *ObjectIndex) insertIntoLeaf(leaf NodeID, id ObjectID, loc model.Locati
 	}
 }
 
-// removeFromLeaf deletes the object from the leaf's state in place (the
-// caller holds the leaf's shard write lock), shifting each access list over
-// the removed entry. The leafObjects value and its backing arrays are kept
-// for reuse even when the leaf empties.
-func (oi *ObjectIndex) removeFromLeaf(leaf NodeID, id ObjectID) {
-	lo := oi.leafData[leaf]
-	if lo == nil {
-		return
-	}
+// removeFromLeaf deletes the object from the writer-private leaf state in
+// place, shifting each access list over the removed entry. The leafObjects
+// value and its backing arrays are kept for reuse even when the leaf
+// empties.
+func (oi *ObjectIndex) removeFromLeaf(lo *leafObjects, id ObjectID) {
 	pos := sort.SearchInts(lo.ids, id)
 	if pos >= len(lo.ids) || lo.ids[pos] != id {
 		return
@@ -496,7 +571,8 @@ func (oi *ObjectIndex) Objects() []model.Location {
 }
 
 // Location returns the current location of the object and whether it is
-// alive.
+// alive, read from the writer's table (it may be ahead of the published
+// epoch by the updates of a batch still being applied).
 func (oi *ObjectIndex) Location(id ObjectID) (model.Location, bool) {
 	oi.tableMu.Lock()
 	defer oi.tableMu.Unlock()
@@ -513,37 +589,46 @@ func (oi *ObjectIndex) NumObjects() int {
 	return oi.alive
 }
 
-// Epoch returns the update epoch: it increments on every completed Insert,
-// Delete or Move, versioning the object set for caches and tests.
-func (oi *ObjectIndex) Epoch() uint64 { return oi.epoch.Load() }
+// Epoch returns the sequence number of the published epoch: 0 for a fresh
+// or restored index, advancing by one per applied update. Queries never
+// advance it.
+func (oi *ObjectIndex) Epoch() uint64 { return oi.cur.Load().seq }
+
+// ChangeLog returns the update log behind the index: the ordered, gap-free
+// record of every applied update. Subscribe on it to tail the change feed;
+// HeadSeq/PublishedSeq report the applied-epoch lag.
+func (oi *ObjectIndex) ChangeLog() *updatelog.Log { return oi.log }
+
+// currentEpoch pins the published epoch: one atomic load, no locks. The
+// epoch is immutable and remains valid (and consistent) for as long as the
+// caller holds the pointer.
+func (oi *ObjectIndex) currentEpoch() *objEpoch { return oi.cur.Load() }
 
 // Tree returns the tree the objects are embedded in.
 func (oi *ObjectIndex) Tree() *Tree { return oi.tree }
 
 // MemoryBytes estimates the memory used by the object lists and the object
 // table, using unsafe.Sizeof-derived per-element sizes (memsize.go) so the
-// estimate tracks the actual types.
+// estimate tracks the actual types. The leaf states are measured through
+// the published epoch (the shadow shares them outside of update bursts).
 func (oi *ObjectIndex) MemoryBytes() int64 {
+	ep := oi.currentEpoch()
 	var total int64
-	for i := range oi.leafData {
-		sh := oi.shard(NodeID(i))
-		sh.RLock()
-		lo := oi.leafData[i]
+	for _, lo := range ep.leafData {
 		if lo == nil {
-			sh.RUnlock()
 			continue
 		}
 		total += int64(len(lo.ids))*(sizeofInt+sizeofLocation) + 3*sizeofSliceHeader + sizeofInt
 		for _, es := range lo.lists {
 			total += int64(len(es))*sizeofObjEntry + sizeofSliceHeader
 		}
-		sh.RUnlock()
 	}
 	oi.tableMu.Lock()
 	total += int64(len(oi.objects))*sizeofLocation + int64(len(oi.objLeaf))*sizeofNodeID + int64(len(oi.free))*sizeofInt
 	oi.tableMu.Unlock()
-	total += int64(len(oi.leafData)) * 8     // *leafObjects pointers
-	total += int64(len(oi.subtreeCount)) * 8 // atomic.Int64
+	total += int64(len(ep.leafData)) * 8 * 2     // epoch + shadow *leafObjects pointers
+	total += int64(len(ep.subtreeCount)) * 8 * 2 // epoch + shadow counts
+	total += int64(len(oi.leafStamp)) * 8
 	total += int64(len(oi.leafColPos)) * sizeofSliceHeader
 	if oi.tree.pk == nil {
 		// On packed trees the position data is shared with (and counted by)
@@ -558,21 +643,33 @@ func (oi *ObjectIndex) MemoryBytes() int64 {
 // KNN returns the k objects nearest to q, sorted by ascending distance with
 // ties broken on ascending ObjectID (Algorithm 5). Fewer than k results are
 // returned if the object set is smaller than k or parts of it are
-// unreachable.
+// unreachable. The query runs against the current epoch: one atomic load,
+// then zero lock operations.
 func (oi *ObjectIndex) KNN(q model.Location, k int) []index.ObjectResult {
-	if k <= 0 || oi.subtreeCount[oi.tree.root].Load() == 0 {
+	return oi.knnAt(oi.currentEpoch(), q, k)
+}
+
+// knnAt runs a kNN query against a pinned epoch.
+func (oi *ObjectIndex) knnAt(ep *objEpoch, q model.Location, k int) []index.ObjectResult {
+	if k <= 0 || ep.subtreeCount[oi.tree.root] == 0 {
 		return nil
 	}
-	return oi.branchAndBound(q, k, Infinite)
+	return oi.branchAndBound(ep, q, k, Infinite)
 }
 
 // Range returns every object within distance r of q, sorted by ascending
-// distance with ties broken on ascending ObjectID (Section 3.4).
+// distance with ties broken on ascending ObjectID (Section 3.4). Like KNN
+// it runs lock-free against the current epoch.
 func (oi *ObjectIndex) Range(q model.Location, r float64) []index.ObjectResult {
-	if oi.subtreeCount[oi.tree.root].Load() == 0 {
+	return oi.rangeAt(oi.currentEpoch(), q, r)
+}
+
+// rangeAt runs a range query against a pinned epoch.
+func (oi *ObjectIndex) rangeAt(ep *objEpoch, q model.Location, r float64) []index.ObjectResult {
+	if ep.subtreeCount[oi.tree.root] == 0 {
 		return nil
 	}
-	return oi.branchAndBound(q, 0, r)
+	return oi.branchAndBound(ep, q, 0, r)
 }
 
 // queuedNode is an entry of the best-first priority queue of Algorithm 5.
@@ -623,11 +720,9 @@ func popQueued(h []queuedNode) ([]queuedNode, queuedNode) {
 // a kNN search (radius ignored unless smaller); with k == 0 it collects every
 // object within the radius. All working state lives in pooled scratch, so the
 // warm path allocates only the returned result slice and the method is safe
-// for concurrent callers — including callers concurrent with updates:
-// branch pruning reads the atomic subtree counts without locking, and each
-// leaf scan holds that leaf's shard read lock only for the duration of the
-// scan.
-func (oi *ObjectIndex) branchAndBound(q model.Location, k int, radius float64) []index.ObjectResult {
+// for concurrent callers — including callers concurrent with updates: the
+// whole traversal reads the pinned epoch, which no update ever mutates.
+func (oi *ObjectIndex) branchAndBound(ep *objEpoch, q model.Location, k int, radius float64) []index.ObjectResult {
 	t := oi.tree
 	// Step 1 (line 2 of Algorithm 5): distances from q to the access doors
 	// of every ancestor of Leaf(q), computed with pooled dense scratch.
@@ -654,7 +749,7 @@ func (oi *ObjectIndex) branchAndBound(q model.Location, k int, radius float64) [
 
 	results := resultCollector{k: k, radius: radius, results: oc.results[:0]}
 	heap := oc.heap[:0]
-	if oi.subtreeCount[t.root].Load() > 0 {
+	if ep.subtreeCount[t.root] > 0 {
 		heap = pushQueued(heap, queuedNode{node: t.root, mindist: 0})
 	}
 	for len(heap) > 0 {
@@ -665,11 +760,11 @@ func (oi *ObjectIndex) branchAndBound(q model.Location, k int, radius float64) [
 		}
 		node := &t.nodes[cur.node]
 		if node.IsLeaf() {
-			oi.scanLeaf(q, qLeaf, cur.node, nd, oc, &results)
+			oi.scanLeaf(ep, q, qLeaf, cur.node, nd, oc, &results)
 			continue
 		}
 		for _, c := range node.Children {
-			if oi.subtreeCount[c].Load() == 0 {
+			if ep.subtreeCount[c] == 0 {
 				continue
 			}
 			md := oi.childMinDist(q, qLeaf, cur.node, c, oc)
@@ -791,16 +886,11 @@ func minOf(ds []float64) float64 {
 }
 
 // scanLeaf evaluates every object in the leaf and updates the result set.
-// The scan holds the leaf's shard read lock, so it observes the leaf before
-// or after any given update, never mid-update; the lock covers one leaf
-// scan only, never the whole traversal, so updates interleave freely with
-// the rest of the query.
-func (oi *ObjectIndex) scanLeaf(q model.Location, qLeaf, leaf NodeID, nd *nodeDistTable, oc *objScratch, results *resultCollector) {
+// The leaf state comes from the pinned epoch, so the scan is lock-free and
+// can never observe a leaf mid-update.
+func (oi *ObjectIndex) scanLeaf(ep *objEpoch, q model.Location, qLeaf, leaf NodeID, nd *nodeDistTable, oc *objScratch, results *resultCollector) {
 	t := oi.tree
-	sh := oi.shard(leaf)
-	sh.RLock()
-	defer sh.RUnlock()
-	lo := oi.leafData[leaf]
+	lo := ep.leafData[leaf]
 	if lo == nil {
 		return
 	}

@@ -239,8 +239,9 @@ func TestDeleteAllEmptiesEveryBranch(t *testing.T) {
 			t.Fatalf("Delete(%d): %v", id, err)
 		}
 	}
+	ep := oi.currentEpoch()
 	for n := 0; n < len(tree.nodes); n++ {
-		if c := oi.subtreeCount[n].Load(); c != 0 {
+		if c := ep.subtreeCount[n]; c != 0 {
 			t.Fatalf("node %d count = %d after deleting everything", n, c)
 		}
 	}

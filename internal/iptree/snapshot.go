@@ -230,19 +230,23 @@ func (vt *VIPTree) exportStateUnpacked() *VIPState {
 
 // ExportState exports the built state of the object index. Leaves are
 // exported in ascending node-ID order (with ascending object IDs inside each
-// leaf) so the encoding is deterministic. The export is taken with every
-// shard read-locked, so it captures a consistent point-in-time state even
-// while updates are in flight; because updates mutate leaf state in place,
-// the state is a deep copy, safe to encode after the locks are released.
+// leaf) so the encoding is deterministic. The export cuts a consistent
+// epoch: it pins the currently published objEpoch with one atomic load and
+// walks only immutable state — no shard locks, no coordination with
+// concurrent updates, and never a torn view (the epoch is a prefix of the
+// update log by construction). The object table of the payload is
+// reconstructed from the epoch's leaves so it matches them exactly even
+// while the writer is mid-batch; slots of deleted objects are zeroed.
 func (oi *ObjectIndex) ExportState() *ObjectIndexState {
-	for i := range oi.shards {
-		oi.shards[i].RLock()
+	ep := oi.currentEpoch()
+	maxID := 0
+	for _, lo := range ep.leafData {
+		if lo != nil && len(lo.ids) > 0 {
+			maxID = max(maxID, lo.ids[len(lo.ids)-1]+1)
+		}
 	}
-	oi.tableMu.Lock()
-	st := &ObjectIndexState{Name: oi.name, Objects: make([]model.Location, len(oi.objects))}
-	copy(st.Objects, oi.objects)
-	oi.tableMu.Unlock()
-	for leaf, lo := range oi.leafData {
+	st := &ObjectIndexState{Name: oi.name, Objects: make([]model.Location, maxID)}
+	for leaf, lo := range ep.leafData {
 		if lo == nil || len(lo.ids) == 0 {
 			continue
 		}
@@ -250,6 +254,9 @@ func (oi *ObjectIndex) ExportState() *ObjectIndexState {
 			Leaf:        NodeID(leaf),
 			ObjectIDs:   append([]int(nil), lo.ids...),
 			AccessLists: make([][]ObjectEntryState, len(lo.lists)),
+		}
+		for i, id := range lo.ids {
+			st.Objects[id] = lo.locs[i]
 		}
 		for ai, es := range lo.lists {
 			out := make([]ObjectEntryState, len(es))
@@ -259,9 +266,6 @@ func (oi *ObjectIndex) ExportState() *ObjectIndexState {
 			ls.AccessLists[ai] = out
 		}
 		st.Leaves = append(st.Leaves, ls)
-	}
-	for i := range oi.shards {
-		oi.shards[i].RUnlock()
 	}
 	return st
 }
@@ -445,7 +449,7 @@ func RestoreObjectIndex(t *Tree, st *ObjectIndexState) (*ObjectIndex, error) {
 		if int(ls.Leaf) < 0 || int(ls.Leaf) >= len(t.nodes) || !t.nodes[ls.Leaf].IsLeaf() {
 			return nil, fmt.Errorf("iptree: restore: object leaf %d is not a leaf node", ls.Leaf)
 		}
-		if oi.leafData[ls.Leaf] != nil {
+		if oi.shadowLeaf[ls.Leaf] != nil {
 			return nil, fmt.Errorf("iptree: restore: duplicate object leaf %d", ls.Leaf)
 		}
 		if len(ls.ObjectIDs) == 0 {
@@ -500,7 +504,7 @@ func RestoreObjectIndex(t *Tree, st *ObjectIndexState) (*ObjectIndex, error) {
 			slices.SortFunc(out, cmpObjEntry)
 			lo.lists[ai] = out
 		}
-		oi.leafData[ls.Leaf] = lo
+		oi.shadowLeaf[ls.Leaf] = lo
 		oi.addCountPath(ls.Leaf, int64(len(ids)))
 		oi.alive += len(ids)
 	}
@@ -511,6 +515,9 @@ func RestoreObjectIndex(t *Tree, st *ObjectIndexState) (*ObjectIndex, error) {
 			oi.free = append(oi.free, ObjectID(id))
 		}
 	}
+	// Publish the restored state as epoch 0: the restored index starts a
+	// fresh update log, with queries serving from this epoch immediately.
+	oi.publishEpoch(0)
 	return oi, nil
 }
 

@@ -1,0 +1,96 @@
+package updatelog
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Subscription is one change-feed tail. Events delivers every applied
+// record with Seq >= the subscribed position, exactly once, in sequence
+// order, with no gaps. A subscription never misses an update: the
+// history it replays from is retained for the lifetime of the Log.
+//
+// Backpressure is per-subscription: a slow consumer blocks only its own
+// delivery goroutine, never the writer and never other subscribers.
+type Subscription struct {
+	log    *Log
+	events chan Record
+	stop   chan struct{}
+	from   uint64
+	closed bool // guarded by log.histMu
+	once   sync.Once
+}
+
+// Subscribe attaches a change-feed subscriber starting at sequence
+// number from (0 means "from the beginning of the log"). Subscribing at
+// head+1 tails only new updates; any position back to the log's start
+// replays history first, so a consumer that reconnects resumes exactly
+// where it left off. from beyond head+1 is an error (it would create a
+// gap). buffer sets the Events channel capacity (minimum 1).
+func (l *Log) Subscribe(from uint64, buffer int) (*Subscription, error) {
+	if from == 0 {
+		from = l.start + 1
+	}
+	if from <= l.start {
+		return nil, fmt.Errorf("updatelog: subscribe from seq %d predates log start %d", from, l.start+1)
+	}
+	if head := l.head.Load(); from > head+1 {
+		return nil, fmt.Errorf("updatelog: subscribe from seq %d beyond head %d", from, head)
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	s := &Subscription{
+		log:    l,
+		events: make(chan Record, buffer),
+		stop:   make(chan struct{}),
+		from:   from,
+	}
+	go s.pump()
+	return s, nil
+}
+
+// Events returns the ordered stream of applied records. The channel is
+// closed after Close.
+func (s *Subscription) Events() <-chan Record { return s.events }
+
+// Close detaches the subscription and closes its Events channel. Safe
+// to call multiple times and concurrently with delivery.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		s.log.histMu.Lock()
+		s.closed = true
+		s.log.histMu.Unlock()
+		s.log.cond.Broadcast()
+		close(s.stop)
+	})
+}
+
+// pump copies history to the subscriber. It holds histMu only while
+// slicing the append-only history, never while sending: hist is never
+// truncated or mutated in place, so a sub-slice taken under the lock
+// stays valid and immutable after release.
+func (s *Subscription) pump() {
+	defer close(s.events)
+	cursor := s.from
+	for {
+		s.log.histMu.Lock()
+		for cursor > s.log.start+uint64(len(s.log.hist)) && !s.closed {
+			s.log.cond.Wait()
+		}
+		if s.closed {
+			s.log.histMu.Unlock()
+			return
+		}
+		batch := s.log.hist[cursor-s.log.start-1 : len(s.log.hist)]
+		s.log.histMu.Unlock()
+		for i := range batch {
+			select {
+			case s.events <- batch[i]:
+			case <-s.stop:
+				return
+			}
+		}
+		cursor += uint64(len(batch))
+	}
+}

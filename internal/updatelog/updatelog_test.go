@@ -1,0 +1,486 @@
+package updatelog
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"viptree/internal/model"
+)
+
+// fakeApplier records applied updates and detects any violation of the
+// single-writer contract: concurrent entry into ApplyUpdate/PublishEpoch,
+// or a publish that does not cover every applied seq.
+type fakeApplier struct {
+	inside    atomic.Int32
+	reentered atomic.Bool
+
+	mu        sync.Mutex
+	applied   []Record
+	published []uint64
+	rejectID  int // ApplyUpdate fails for this r.ID (when > 0)
+	nextID    int
+}
+
+var errRejected = errors.New("rejected")
+
+func (f *fakeApplier) enter() {
+	if f.inside.Add(1) != 1 {
+		f.reentered.Store(true)
+	}
+}
+
+func (f *fakeApplier) leave() { f.inside.Add(-1) }
+
+func (f *fakeApplier) ApplyUpdate(r *Record) error {
+	f.enter()
+	defer f.leave()
+	if f.rejectID > 0 && r.ID == f.rejectID {
+		return errRejected
+	}
+	if r.Op == OpInsert {
+		f.mu.Lock()
+		f.nextID++
+		r.ID = f.nextID
+		f.mu.Unlock()
+	}
+	f.mu.Lock()
+	f.applied = append(f.applied, *r)
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *fakeApplier) PublishEpoch(seq uint64) {
+	f.enter()
+	defer f.leave()
+	f.mu.Lock()
+	f.published = append(f.published, seq)
+	f.mu.Unlock()
+}
+
+func loc(p int) model.Location {
+	return model.Location{Partition: model.PartitionID(p)}
+}
+
+// TestSubmitAssignsMonotonicSeqs drives sequential submissions and checks
+// the seq numbering, head/published tracking and history content.
+func TestSubmitAssignsMonotonicSeqs(t *testing.T) {
+	f := &fakeApplier{}
+	l := New(f, 0)
+	for i := 1; i <= 5; i++ {
+		id, seq, err := l.Submit(OpInsert, 0, loc(i))
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("Submit %d: seq = %d, want %d", i, seq, i)
+		}
+		if id != i {
+			t.Fatalf("Submit %d: id = %d, want %d (applier-assigned)", i, id, i)
+		}
+		if l.HeadSeq() != uint64(i) || l.PublishedSeq() != uint64(i) {
+			t.Fatalf("after submit %d: head=%d pub=%d", i, l.HeadSeq(), l.PublishedSeq())
+		}
+	}
+	recs, err := l.Records(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("Records = %d entries, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+		if r.Loc.Partition != model.PartitionID(i+1) {
+			t.Fatalf("record %d has partition %d", i, r.Loc.Partition)
+		}
+	}
+}
+
+// TestFailedUpdateConsumesNoSeq submits a rejected op between two applied
+// ones: the failure must surface to its submitter, consume no sequence
+// number, and leave no hole in the history.
+func TestFailedUpdateConsumesNoSeq(t *testing.T) {
+	f := &fakeApplier{rejectID: 77}
+	l := New(f, 0)
+	if _, seq, err := l.Submit(OpDelete, 1, model.Location{}); err != nil || seq != 1 {
+		t.Fatalf("first submit: seq=%d err=%v", seq, err)
+	}
+	if _, seq, err := l.Submit(OpDelete, 77, model.Location{}); !errors.Is(err, errRejected) || seq != 0 {
+		t.Fatalf("rejected submit: seq=%d err=%v, want seq=0 err=errRejected", seq, err)
+	}
+	if _, seq, err := l.Submit(OpDelete, 2, model.Location{}); err != nil || seq != 2 {
+		t.Fatalf("third submit: seq=%d err=%v", seq, err)
+	}
+	recs, _ := l.Records(0, 0)
+	if len(recs) != 2 || recs[0].ID != 1 || recs[1].ID != 2 {
+		t.Fatalf("history = %+v, want ids 1,2", recs)
+	}
+}
+
+// TestStartSeqOffset checks a log constructed over already-published state:
+// numbering continues from startSeq and history replay is bounded below.
+func TestStartSeqOffset(t *testing.T) {
+	f := &fakeApplier{}
+	l := New(f, 10)
+	if _, seq, err := l.Submit(OpDelete, 1, model.Location{}); err != nil || seq != 11 {
+		t.Fatalf("submit: seq=%d err=%v, want 11", seq, err)
+	}
+	if _, err := l.Records(5, 0); err == nil {
+		t.Fatal("Records(5) before log start succeeded")
+	}
+	recs, err := l.Records(11, 0)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("Records(11) = %v, %v", recs, err)
+	}
+	if _, err := l.Subscribe(5, 1); err == nil {
+		t.Fatal("Subscribe(5) before log start succeeded")
+	}
+}
+
+// TestConcurrentSubmitSingleWriter hammers Submit from many goroutines and
+// verifies the single-writer contract (no concurrent ApplyUpdate or
+// PublishEpoch), gap-free seqs, and that every publish covers the batch.
+func TestConcurrentSubmitSingleWriter(t *testing.T) {
+	f := &fakeApplier{}
+	l := New(f, 0)
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, _, err := l.Submit(OpInsert, 0, loc(g)); err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if f.reentered.Load() {
+		t.Fatal("applier was entered concurrently: single-writer contract violated")
+	}
+	const total = goroutines * perG
+	if l.HeadSeq() != total || l.PublishedSeq() != total {
+		t.Fatalf("head=%d pub=%d, want %d", l.HeadSeq(), l.PublishedSeq(), total)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.applied) != total {
+		t.Fatalf("applied %d records, want %d", len(f.applied), total)
+	}
+	for i, r := range f.applied {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("applied record %d has seq %d: gap or reorder", i, r.Seq)
+		}
+	}
+	// Publishes must be strictly increasing and end at the head; there must
+	// be at most one per applied record (batching can only reduce them).
+	if n := len(f.published); n == 0 || n > total {
+		t.Fatalf("%d publishes for %d updates", len(f.published), total)
+	}
+	for i := 1; i < len(f.published); i++ {
+		if f.published[i] <= f.published[i-1] {
+			t.Fatalf("publish seqs not increasing: %d after %d", f.published[i], f.published[i-1])
+		}
+	}
+	if last := f.published[len(f.published)-1]; last != total {
+		t.Fatalf("last publish covers seq %d, want %d", last, total)
+	}
+}
+
+// TestSubscribersExactlyOnceInOrder attaches several subscribers — one from
+// the start, one mid-stream resuming from a recorded seq, one tailing from
+// head+1 — and verifies each receives exactly the expected updates, in
+// order, exactly once, while submissions continue concurrently.
+func TestSubscribersExactlyOnceInOrder(t *testing.T) {
+	f := &fakeApplier{}
+	l := New(f, 0)
+
+	const phase1 = 50
+	const phase2 = 160 // divisible by the 4 submitter goroutines
+	const total = phase1 + phase2
+	for i := 0; i < phase1; i++ {
+		if _, _, err := l.Submit(OpInsert, 0, loc(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fromStart, err := l.Subscribe(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := l.Subscribe(phase1/2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := l.Subscribe(l.HeadSeq()+1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	collect := func(s *Subscription, want int) <-chan []Record {
+		out := make(chan []Record, 1)
+		go func() {
+			var got []Record
+			for r := range s.Events() {
+				got = append(got, r)
+				if len(got) == want {
+					break
+				}
+			}
+			out <- got
+		}()
+		return out
+	}
+	c1 := collect(fromStart, total)
+	c2 := collect(resumed, total-phase1/2+1)
+	c3 := collect(tail, phase2)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < phase2/4; i++ {
+				if _, _, err := l.Submit(OpInsert, 0, loc(i)); err != nil {
+					t.Errorf("Submit: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	check := func(name string, got []Record, fromSeq uint64) {
+		t.Helper()
+		for i, r := range got {
+			want := fromSeq + uint64(i)
+			if r.Seq != want {
+				t.Fatalf("%s: event %d has seq %d, want %d (gap, duplicate or reorder)", name, i, r.Seq, want)
+			}
+		}
+	}
+	deadline := time.After(10 * time.Second)
+	wait := func(name string, c <-chan []Record) []Record {
+		select {
+		case got := <-c:
+			return got
+		case <-deadline:
+			t.Fatalf("%s: timed out waiting for events", name)
+			return nil
+		}
+	}
+	check("fromStart", wait("fromStart", c1), 1)
+	check("resumed", wait("resumed", c2), phase1/2)
+	check("tail", wait("tail", c3), phase1+1)
+
+	fromStart.Close()
+	resumed.Close()
+	tail.Close()
+}
+
+// TestSubscriptionCloseEndsStream verifies Close terminates the Events
+// channel (and is idempotent).
+func TestSubscriptionCloseEndsStream(t *testing.T) {
+	l := New(&fakeApplier{}, 0)
+	s, err := l.Subscribe(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close()
+	select {
+	case _, ok := <-s.Events():
+		if ok {
+			t.Fatal("received an event on a closed subscription")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Events channel not closed after Close")
+	}
+}
+
+// TestSlowSubscriberBackpressure pins the backpressure contract: a
+// subscriber that stops draining blocks only its own delivery (events queue
+// in the log's history), the writer keeps applying updates at full speed,
+// and once the subscriber resumes it receives the whole backlog in order
+// with nothing dropped.
+func TestSlowSubscriberBackpressure(t *testing.T) {
+	f := &fakeApplier{}
+	l := New(f, 0)
+	s, err := l.Subscribe(0, 1) // minimal buffer: stalls after one event
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// With the subscriber not draining, the writer must still complete
+	// many updates — bounded time, no deadlock.
+	const total = 500
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			if _, _, err := l.Submit(OpInsert, 0, loc(i)); err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("writer blocked behind a slow subscriber")
+	}
+	if l.HeadSeq() != total {
+		t.Fatalf("head = %d, want %d", l.HeadSeq(), total)
+	}
+
+	// The stalled subscriber resumes and drains the full backlog in order.
+	for i := 0; i < total; i++ {
+		select {
+		case r := <-s.Events():
+			if r.Seq != uint64(i+1) {
+				t.Fatalf("resumed event %d has seq %d", i, r.Seq)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("backlog drain stalled at event %d", i)
+		}
+	}
+}
+
+// TestSubscribeBeyondHeadRejected: subscribing past head+1 would create a
+// gap the subscriber can never fill, so it must be rejected.
+func TestSubscribeBeyondHeadRejected(t *testing.T) {
+	l := New(&fakeApplier{}, 0)
+	if _, err := l.Subscribe(2, 1); err == nil {
+		t.Fatal("Subscribe beyond head+1 succeeded")
+	}
+	if s, err := l.Subscribe(1, 1); err != nil {
+		t.Fatalf("Subscribe at head+1: %v", err)
+	} else {
+		s.Close()
+	}
+}
+
+// TestRecordCodecRoundTrip round-trips randomized records through the
+// binary codec, including back-to-back streaming of mixed op kinds.
+func TestRecordCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var buf []byte
+	var want []Record
+	for i := 0; i < 200; i++ {
+		r := Record{
+			Seq: rng.Uint64(),
+			Op:  Op(1 + rng.Intn(3)),
+			ID:  rng.Intn(1 << 30),
+		}
+		if r.Op != OpDelete {
+			r.Loc = model.Location{Partition: model.PartitionID(rng.Intn(1 << 20))}
+			r.Loc.Point.X = rng.NormFloat64() * 1e3
+			r.Loc.Point.Y = rng.NormFloat64() * 1e3
+			r.Loc.Point.Floor = rng.Intn(50) - 10
+		}
+		buf = AppendRecord(buf, &r)
+		want = append(want, r)
+	}
+	for i := 0; len(buf) > 0; i++ {
+		r, n, err := DecodeRecord(buf)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if r != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want[i])
+		}
+		buf = buf[n:]
+	}
+}
+
+// TestDecodeRecordTypedErrors feeds malformed inputs and checks each yields
+// its typed error.
+func TestDecodeRecordTypedErrors(t *testing.T) {
+	valid := AppendRecord(nil, &Record{Seq: 1, Op: OpMove, ID: 3, Loc: loc(2)})
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrShortRecord},
+		{"truncated header", valid[:10], ErrShortRecord},
+		{"truncated location", valid[:20], ErrShortRecord},
+		{"unknown op", append([]byte{99}, valid[1:]...), ErrUnknownOp},
+		{"zero op", append([]byte{0}, valid[1:]...), ErrUnknownOp},
+		{"negative id", func() []byte {
+			b := append([]byte(nil), valid...)
+			for i := 9; i < 17; i++ {
+				b[i] = 0xff
+			}
+			return b
+		}(), ErrCorruptRecord},
+		{"negative partition", func() []byte {
+			b := append([]byte(nil), valid...)
+			for i := 17; i < 25; i++ {
+				b[i] = 0xff
+			}
+			return b
+		}(), ErrCorruptRecord},
+		{"NaN coordinate", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[29], b[30] = 0x7f, 0xf8 // quiet NaN bits in the X field
+			return b
+		}(), ErrCorruptRecord},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeRecord(tc.buf); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestOpString pins the Stringer output used in logs and errors.
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{OpInsert: "insert", OpDelete: "delete", OpMove: "move", Op(9): "op(9)"} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+// FuzzDecodeRecord fuzzes the wire decoder: any input must yield either a
+// successful decode that re-encodes to the same bytes, or a typed error —
+// never a panic, never an untyped error.
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendRecord(nil, &Record{Seq: 1, Op: OpInsert, ID: 0, Loc: loc(3)}))
+	f.Add(AppendRecord(nil, &Record{Seq: 2, Op: OpDelete, ID: 5}))
+	f.Add(AppendRecord(nil, &Record{Seq: 3, Op: OpMove, ID: 5, Loc: loc(1)}))
+	f.Add([]byte{255, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, n, err := DecodeRecord(data)
+		if err != nil {
+			if !errors.Is(err, ErrShortRecord) && !errors.Is(err, ErrUnknownOp) && !errors.Is(err, ErrCorruptRecord) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		re := AppendRecord(nil, &r)
+		if len(re) != n {
+			t.Fatalf("re-encode produced %d bytes, decode consumed %d", len(re), n)
+		}
+		for i := range re {
+			if re[i] != data[i] {
+				t.Fatalf("re-encode differs at byte %d", i)
+			}
+		}
+	})
+}

@@ -57,6 +57,18 @@
 //	_ = objIndex.Move(id, elsewhere) // cost: source + target leaf
 //	_ = objIndex.Delete(id)
 //
+// Internally every mutation flows through a single-writer update log
+// (UpdateLog) that applies updates to a writer-private shadow and
+// atomically publishes immutable epochs; queries pin an epoch with one
+// atomic pointer load, so the read path performs no lock operations at
+// all and each result reflects exactly a prefix of the update log — a
+// cross-leaf Move is atomic from a reader's view. Every applied update
+// carries a monotonic gap-free sequence number, and external systems can
+// tail the ordered change feed:
+//
+//	sub, _ := objIndex.ChangeLog().Subscribe(0, 256)
+//	for rec := range sub.Events() { ... } // every update, in order
+//
 // See the examples directory for complete programs.
 package viptree
 
@@ -74,6 +86,7 @@ import (
 	"viptree/internal/model"
 	"viptree/internal/serial"
 	"viptree/internal/snapshot"
+	"viptree/internal/updatelog"
 	"viptree/internal/venuegen"
 )
 
@@ -139,6 +152,23 @@ type (
 	// that support live Insert/Delete/Move; the IP-Tree and VIP-Tree
 	// object indexes implement it.
 	MutableObjectIndexer = index.MutableObjectIndexer
+	// ChangeLogger is the capability interface of mutable object indexes
+	// whose updates flow through a single-writer update log with
+	// lock-free epoch reads and an exportable change feed; the
+	// IP-Tree and VIP-Tree object indexes implement it.
+	ChangeLogger = index.ChangeLogger
+	// UpdateLog is the single-writer combining log behind a mutable
+	// object index: it assigns monotonic gap-free sequence numbers,
+	// publishes immutable epochs and serves the ordered change feed.
+	UpdateLog = updatelog.Log
+	// UpdateRecord is one applied update in the log: sequence number,
+	// operation and the object it touched.
+	UpdateRecord = updatelog.Record
+	// UpdateOp is the operation kind of an UpdateRecord.
+	UpdateOp = updatelog.Op
+	// ChangeSubscription is a live subscription to the change feed,
+	// delivering every applied update exactly once, in order.
+	ChangeSubscription = updatelog.Subscription
 	// DistanceQuerier is the query interface shared by all indexes.
 	DistanceQuerier = index.DistanceQuerier
 	// ObjectQuerier is the object-query interface shared by all indexes.
@@ -194,6 +224,13 @@ const (
 	QueryInsert   = engine.KindInsert
 	QueryDelete   = engine.KindDelete
 	QueryMove     = engine.KindMove
+)
+
+// Operation kinds of an UpdateRecord in the change feed.
+const (
+	UpdateInsert = updatelog.OpInsert
+	UpdateDelete = updatelog.OpDelete
+	UpdateMove   = updatelog.OpMove
 )
 
 // ErrNoObjectIndex is reported by kNN/range queries on an engine built
