@@ -596,7 +596,11 @@ func (oi *ObjectIndex) Epoch() uint64 { return oi.cur.Load().seq }
 
 // ChangeLog returns the update log behind the index: the ordered, gap-free
 // record of every applied update. Subscribe on it to tail the change feed;
-// HeadSeq/PublishedSeq report the applied-epoch lag.
+// HeadSeq/PublishedSeq report the applied-epoch lag. The log's history
+// grows by one record per applied update until reclaimed: long-running
+// indexes under sustained churn should periodically call
+// Truncate(PublishedSeq()) on it — unconsumed subscriber positions are
+// always retained, so truncation never breaks the feed contract.
 func (oi *ObjectIndex) ChangeLog() *updatelog.Log { return oi.log }
 
 // currentEpoch pins the published epoch: one atomic load, no locks. The

@@ -7,32 +7,38 @@ import (
 
 // Subscription is one change-feed tail. Events delivers every applied
 // record with Seq >= the subscribed position, exactly once, in sequence
-// order, with no gaps. A subscription never misses an update: the
-// history it replays from is retained for the lifetime of the Log.
+// order, with no gaps. A subscription never misses an update: history a
+// subscriber has not yet consumed is exempt from Truncate, so the replay
+// range it was granted at Subscribe time stays available until delivered.
 //
 // Backpressure is per-subscription: a slow consumer blocks only its own
-// delivery goroutine, never the writer and never other subscribers.
+// delivery goroutine, never the writer and never other subscribers. Note
+// the flip side: a stalled subscription also pins its unconsumed history
+// in memory — Close subscriptions you no longer drain.
 type Subscription struct {
 	log    *Log
 	events chan Record
 	stop   chan struct{}
-	from   uint64
-	closed bool // guarded by log.histMu
+	cursor uint64 // next seq to deliver; guarded by log.histMu
+	closed bool   // guarded by log.histMu
 	once   sync.Once
 }
 
 // Subscribe attaches a change-feed subscriber starting at sequence
-// number from (0 means "from the beginning of the log"). Subscribing at
-// head+1 tails only new updates; any position back to the log's start
+// number from (0 means "from the start of the retained history").
+// Subscribing at head+1 tails only new updates; any retained position
 // replays history first, so a consumer that reconnects resumes exactly
-// where it left off. from beyond head+1 is an error (it would create a
-// gap). buffer sets the Events channel capacity (minimum 1).
+// where it left off. from beyond head+1, or at a sequence already
+// dropped by Truncate, is an error (it would create a gap). buffer sets
+// the Events channel capacity (minimum 1).
 func (l *Log) Subscribe(from uint64, buffer int) (*Subscription, error) {
+	l.histMu.Lock()
+	defer l.histMu.Unlock()
 	if from == 0 {
-		from = l.start + 1
+		from = l.base + 1
 	}
-	if from <= l.start {
-		return nil, fmt.Errorf("updatelog: subscribe from seq %d predates log start %d", from, l.start+1)
+	if from <= l.base {
+		return nil, fmt.Errorf("updatelog: subscribe from seq %d predates retained history (starts at %d)", from, l.base+1)
 	}
 	if head := l.head.Load(); from > head+1 {
 		return nil, fmt.Errorf("updatelog: subscribe from seq %d beyond head %d", from, head)
@@ -44,8 +50,9 @@ func (l *Log) Subscribe(from uint64, buffer int) (*Subscription, error) {
 		log:    l,
 		events: make(chan Record, buffer),
 		stop:   make(chan struct{}),
-		from:   from,
+		cursor: from,
 	}
+	l.subs[s] = struct{}{}
 	go s.pump()
 	return s, nil
 }
@@ -55,11 +62,13 @@ func (l *Log) Subscribe(from uint64, buffer int) (*Subscription, error) {
 func (s *Subscription) Events() <-chan Record { return s.events }
 
 // Close detaches the subscription and closes its Events channel. Safe
-// to call multiple times and concurrently with delivery.
+// to call multiple times and concurrently with delivery. After Close
+// the subscription no longer holds back Truncate.
 func (s *Subscription) Close() {
 	s.once.Do(func() {
 		s.log.histMu.Lock()
 		s.closed = true
+		delete(s.log.subs, s)
 		s.log.histMu.Unlock()
 		s.log.cond.Broadcast()
 		close(s.stop)
@@ -67,22 +76,24 @@ func (s *Subscription) Close() {
 }
 
 // pump copies history to the subscriber. It holds histMu only while
-// slicing the append-only history, never while sending: hist is never
-// truncated or mutated in place, so a sub-slice taken under the lock
-// stays valid and immutable after release.
+// slicing the retained history, never while sending: records are never
+// mutated in place (Truncate abandons a prefix by copying the tail to a
+// fresh slice), so a sub-slice taken under the lock stays valid and
+// immutable after release. The cursor advances under histMu only after
+// delivery, which is what lets Truncate treat it as the floor of what
+// this subscriber still needs.
 func (s *Subscription) pump() {
 	defer close(s.events)
-	cursor := s.from
 	for {
 		s.log.histMu.Lock()
-		for cursor > s.log.start+uint64(len(s.log.hist)) && !s.closed {
+		for s.cursor > s.log.base+uint64(len(s.log.hist)) && !s.closed {
 			s.log.cond.Wait()
 		}
 		if s.closed {
 			s.log.histMu.Unlock()
 			return
 		}
-		batch := s.log.hist[cursor-s.log.start-1 : len(s.log.hist)]
+		batch := s.log.hist[s.cursor-s.log.base-1 : len(s.log.hist)]
 		s.log.histMu.Unlock()
 		for i := range batch {
 			select {
@@ -90,7 +101,9 @@ func (s *Subscription) pump() {
 			case <-s.stop:
 				return
 			}
+			s.log.histMu.Lock()
+			s.cursor++
+			s.log.histMu.Unlock()
 		}
-		cursor += uint64(len(batch))
 	}
 }

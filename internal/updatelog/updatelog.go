@@ -54,22 +54,31 @@ type Log struct {
 	queue   []*request
 	writing bool
 
-	start uint64        // seq already reflected at construction; hist starts at start+1
+	start uint64        // seq already reflected at construction
 	seq   uint64        // last assigned seq; owned by the leader
 	head  atomic.Uint64 // last applied seq
 	pub   atomic.Uint64 // last published seq (epoch visible to readers)
 
 	histMu sync.Mutex
-	hist   []Record // applied records, hist[i].Seq == start+i+1
+	base   uint64                     // seq preceding hist[0]; start until truncated
+	hist   []Record                   // retained records, hist[i].Seq == base+i+1
+	subs   map[*Subscription]struct{} // active subscriptions, for Truncate's floor
 	cond   *sync.Cond
 }
 
 // New returns a Log driving the given applier. startSeq is the sequence
 // number already reflected in the applier's published state (0 for a
 // fresh index); the first applied update gets startSeq+1. History
-// replay via Records/Subscribe is available from startSeq+1 onward.
+// replay via Records/Subscribe is available from startSeq+1 onward,
+// and grows without bound until Truncate reclaims consumed prefixes.
 func New(applier Applier, startSeq uint64) *Log {
-	l := &Log{applier: applier, start: startSeq, seq: startSeq}
+	l := &Log{
+		applier: applier,
+		start:   startSeq,
+		seq:     startSeq,
+		base:    startSeq,
+		subs:    make(map[*Subscription]struct{}),
+	}
 	l.head.Store(startSeq)
 	l.pub.Store(startSeq)
 	l.cond = sync.NewCond(&l.histMu)
@@ -106,13 +115,17 @@ func (l *Log) Submit(op Op, id int, loc model.Location) (int, uint64, error) {
 // released. Exactly one goroutine runs lead at a time (guarded by
 // l.writing), which is what makes the Applier single-writer.
 func (l *Log) lead() {
-	var batch []*request
+	// batch and applied are leader-owned buffers reused across rounds.
+	// applied must NOT alias batch (e.g. batch[:0]): a rejected update
+	// followed by an applied one would overwrite batch's slots, leaving
+	// the rejected request never woken and another woken twice.
+	var batch, applied []*request
 	for {
 		batch = append(batch[:0], l.queue...)
 		l.queue = l.queue[:0]
 		l.mu.Unlock()
 
-		applied := batch[:0]
+		applied = applied[:0]
 		for _, req := range batch {
 			req.rec.Seq = l.seq + 1
 			if err := l.applier.ApplyUpdate(&req.rec); err != nil {
@@ -159,18 +172,19 @@ func (l *Log) HeadSeq() uint64 { return l.head.Load() }
 func (l *Log) PublishedSeq() uint64 { return l.pub.Load() }
 
 // Records returns a copy of the applied records with from <= Seq <= to
-// (to = 0 means "through head"). Sequence numbers below the log's start
-// are not available and yield an error.
+// (to = 0 means "through head"). Sequence numbers below the retained
+// history — the log's start, or the last Truncate cut — are not
+// available and yield an error.
 func (l *Log) Records(from, to uint64) ([]Record, error) {
 	l.histMu.Lock()
 	defer l.histMu.Unlock()
 	if from == 0 {
-		from = l.start + 1
+		from = l.base + 1
 	}
-	if from <= l.start {
-		return nil, fmt.Errorf("updatelog: seq %d predates log start %d", from, l.start+1)
+	if from <= l.base {
+		return nil, fmt.Errorf("updatelog: seq %d predates retained history (starts at %d)", from, l.base+1)
 	}
-	avail := l.start + uint64(len(l.hist))
+	avail := l.base + uint64(len(l.hist))
 	if to == 0 || to > avail {
 		to = avail
 	}
@@ -178,6 +192,38 @@ func (l *Log) Records(from, to uint64) ([]Record, error) {
 		return nil, nil
 	}
 	out := make([]Record, to-from+1)
-	copy(out, l.hist[from-l.start-1:to-l.start])
+	copy(out, l.hist[from-l.base-1:to-l.base])
 	return out, nil
+}
+
+// Truncate drops applied records with Seq <= upToSeq from the retained
+// history, bounding the log's memory under sustained churn. Records an
+// active subscription has not yet consumed are always kept: the
+// effective cut is min(upToSeq, oldest unconsumed seq - 1), so no
+// subscriber ever observes a gap. Truncated sequences are no longer
+// available to Records or Subscribe. Returns the last seq actually
+// dropped (0 if nothing could be dropped).
+func (l *Log) Truncate(upToSeq uint64) uint64 {
+	l.histMu.Lock()
+	defer l.histMu.Unlock()
+	cut := upToSeq
+	for s := range l.subs {
+		if s.cursor <= cut {
+			cut = s.cursor - 1
+		}
+	}
+	if avail := l.base + uint64(len(l.hist)); cut > avail {
+		cut = avail
+	}
+	if cut <= l.base {
+		return 0
+	}
+	// Copy the tail into a fresh slice so the dropped prefix's backing
+	// array becomes collectible. In-flight pump batches sliced from the
+	// old array stay valid: it is never mutated, only abandoned.
+	rest := make([]Record, uint64(len(l.hist))-(cut-l.base))
+	copy(rest, l.hist[cut-l.base:])
+	l.hist = rest
+	l.base = cut
+	return cut
 }

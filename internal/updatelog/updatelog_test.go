@@ -123,6 +123,114 @@ func TestFailedUpdateConsumesNoSeq(t *testing.T) {
 	}
 }
 
+// gateApplier wraps fakeApplier but blocks inside the first ApplyUpdate
+// until released, letting tests build a combined batch deterministically
+// behind a stalled leader.
+type gateApplier struct {
+	fakeApplier
+	entered chan struct{} // closed once the first ApplyUpdate is inside
+	release chan struct{} // the first ApplyUpdate returns when this closes
+	first   sync.Once
+}
+
+func (g *gateApplier) ApplyUpdate(r *Record) error {
+	g.first.Do(func() {
+		close(g.entered)
+		<-g.release
+	})
+	return g.fakeApplier.ApplyUpdate(r)
+}
+
+// TestRejectedInCombinedBatchWakesAll is the regression test for the
+// combining-leader aliasing bug: with the leader blocked mid-apply, a
+// rejected update queues ahead of applied ones so all three land in one
+// combined batch. Every submitter must be woken exactly once — the
+// rejected one with its error, the others with their seqs — and no
+// duplicate wakeup token may leak into the pooled request (a later
+// Submit must apply, not return early with stale state).
+func TestRejectedInCombinedBatchWakesAll(t *testing.T) {
+	g := &gateApplier{
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	g.rejectID = 77
+	l := New(g, 0)
+
+	type result struct {
+		seq uint64
+		err error
+	}
+	submit := func(id int) <-chan result {
+		c := make(chan result, 1)
+		go func() {
+			_, seq, err := l.Submit(OpDelete, id, model.Location{})
+			c <- result{seq, err}
+		}()
+		return c
+	}
+	queued := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			l.mu.Lock()
+			q := len(l.queue)
+			l.mu.Unlock()
+			if q == n {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("queue never reached %d pending requests", n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	leaderC := submit(1) // becomes leader, stalls inside ApplyUpdate
+	<-g.entered
+	rejectedC := submit(77) // first in the next combined batch
+	queued(1)
+	okB := submit(2)
+	okC := submit(3)
+	queued(3)
+	close(g.release)
+
+	wait := func(name string, c <-chan result) result {
+		t.Helper()
+		select {
+		case r := <-c:
+			return r
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s: Submit never returned (lost wakeup)", name)
+			return result{}
+		}
+	}
+	if r := wait("leader", leaderC); r.err != nil || r.seq != 1 {
+		t.Fatalf("leader: seq=%d err=%v, want seq=1", r.seq, r.err)
+	}
+	if r := wait("rejected", rejectedC); !errors.Is(r.err, errRejected) || r.seq != 0 {
+		t.Fatalf("rejected: seq=%d err=%v, want seq=0 errRejected", r.seq, r.err)
+	}
+	seqs := map[uint64]bool{}
+	for name, c := range map[string]<-chan result{"okB": okB, "okC": okC} {
+		r := wait(name, c)
+		if r.err != nil {
+			t.Fatalf("%s: %v", name, r.err)
+		}
+		seqs[r.seq] = true
+	}
+	if !seqs[2] || !seqs[3] {
+		t.Fatalf("applied seqs = %v, want {2,3}", seqs)
+	}
+	// A leaked duplicate token would satisfy this Submit's wait before
+	// its update is applied.
+	if _, seq, err := l.Submit(OpDelete, 4, model.Location{}); err != nil || seq != 4 {
+		t.Fatalf("post-batch submit: seq=%d err=%v, want seq=4", seq, err)
+	}
+	if l.HeadSeq() != 4 {
+		t.Fatalf("head = %d, want 4", l.HeadSeq())
+	}
+}
+
 // TestStartSeqOffset checks a log constructed over already-published state:
 // numbering continues from startSeq and history replay is bounded below.
 func TestStartSeqOffset(t *testing.T) {
@@ -353,6 +461,93 @@ func TestSlowSubscriberBackpressure(t *testing.T) {
 		case <-time.After(10 * time.Second):
 			t.Fatalf("backlog drain stalled at event %d", i)
 		}
+	}
+}
+
+// TestTruncateBoundsHistory drops a consumed prefix and verifies the
+// retained window: dropped seqs are unavailable to Records and
+// Subscribe, later seqs replay as before, and sequence numbering is
+// unaffected.
+func TestTruncateBoundsHistory(t *testing.T) {
+	l := New(&fakeApplier{}, 0)
+	for i := 0; i < 10; i++ {
+		if _, _, err := l.Submit(OpInsert, 0, loc(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Truncate(5); got != 5 {
+		t.Fatalf("Truncate(5) = %d, want 5", got)
+	}
+	if got := l.Truncate(3); got != 0 {
+		t.Fatalf("Truncate(3) behind the cut at 5 = %d, want 0", got)
+	}
+	recs, err := l.Records(0, 0)
+	if err != nil || len(recs) != 5 || recs[0].Seq != 6 {
+		t.Fatalf("Records after truncate = %v, %v; want seqs 6..10", recs, err)
+	}
+	if _, err := l.Records(3, 0); err == nil {
+		t.Fatal("Records(3) into the truncated range succeeded")
+	}
+	if _, err := l.Subscribe(5, 1); err == nil {
+		t.Fatal("Subscribe(5) into the truncated range succeeded")
+	}
+	s, err := l.Subscribe(0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for want := uint64(6); want <= 10; want++ {
+		select {
+		case r := <-s.Events():
+			if r.Seq != want {
+				t.Fatalf("event seq = %d, want %d", r.Seq, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for seq %d", want)
+		}
+	}
+	if _, seq, err := l.Submit(OpInsert, 0, loc(0)); err != nil || seq != 11 {
+		t.Fatalf("post-truncate submit: seq=%d err=%v, want seq=11", seq, err)
+	}
+}
+
+// TestTruncateRetainsUnconsumed pins the subscriber-safety floor:
+// history an active subscription has not yet consumed survives
+// Truncate, so a stalled subscriber still receives everything in order;
+// once it closes, the same Truncate reclaims the lot.
+func TestTruncateRetainsUnconsumed(t *testing.T) {
+	l := New(&fakeApplier{}, 0)
+	s, err := l.Subscribe(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 5
+	for i := 0; i < total; i++ {
+		if _, _, err := l.Submit(OpInsert, 0, loc(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nothing drained yet: the pump has consumed at most what fits in
+	// its buffer, so the cut must stop below total.
+	if got := l.Truncate(total); got >= total {
+		t.Fatalf("Truncate(%d) with a stalled subscriber = %d", total, got)
+	}
+	for want := uint64(1); want <= total; want++ {
+		select {
+		case r := <-s.Events():
+			if r.Seq != want {
+				t.Fatalf("event seq = %d, want %d (truncated under an active subscriber)", r.Seq, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for seq %d", want)
+		}
+	}
+	s.Close()
+	if got := l.Truncate(total); got != total {
+		t.Fatalf("Truncate(%d) after Close = %d, want %d", total, got, total)
+	}
+	if recs, err := l.Records(0, 0); err != nil || len(recs) != 0 {
+		t.Fatalf("Records after full truncation = %v, %v; want empty", recs, err)
 	}
 }
 
