@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"viptree"
 	"viptree/internal/bench"
@@ -903,3 +904,98 @@ func BenchmarkAblationMergeHeuristic(b *testing.B) {
 // by the bench package (they are the same type; the helper only documents
 // the intent).
 func toModelVenue(v *viptree.Venue) *model.Venue { return v }
+
+// BenchmarkWALAppend measures the durable update path end to end — update
+// log apply plus write-ahead-log append — under each fsync policy. The gap
+// between the always row and the others is the price of per-batch fsync;
+// Close is inside the timed region so the interval/rotate rows pay their
+// deferred fsync backlog instead of hiding it.
+func BenchmarkWALAppend(b *testing.B) {
+	v := viptree.MelbourneCentral(viptree.ScaleTiny)
+	tree := viptree.MustBuildVIPTree(v)
+	objs := bench.Objects(toModelVenue(v), 50, 7)
+	locs := bench.Points(toModelVenue(v), 1024, 8)
+	policies := []struct {
+		name string
+		sync viptree.WALSyncPolicy
+	}{
+		{"always", viptree.SyncAlways()},
+		{"interval10ms", viptree.SyncInterval(10 * time.Millisecond)},
+		{"rotate", viptree.SyncOnRotate()},
+	}
+	for _, pol := range policies {
+		b.Run(pol.name, func(b *testing.B) {
+			eng, _, err := viptree.OpenEngine(tree, viptree.EngineOptions{
+				Objects:    tree.IndexObjects(objs),
+				WALDir:     b.TempDir(),
+				WALOptions: viptree.WALOptions{Sync: pol.sync},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.Move(i%len(objs), locs[i%len(locs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+		})
+	}
+}
+
+// BenchmarkRecovery measures crash-recovery startup: scanning a WAL of n
+// records and replaying it onto a freshly restored object index. The
+// records/s metric bounds how much log a deployment can afford between
+// snapshot compactions for a given startup budget.
+func BenchmarkRecovery(b *testing.B) {
+	v := viptree.MelbourneCentral(viptree.ScaleTiny)
+	tree := viptree.MustBuildVIPTree(v)
+	objs := bench.Objects(toModelVenue(v), 50, 7)
+	locs := bench.Points(toModelVenue(v), 1024, 8)
+	for _, n := range []int{1_000, 10_000} {
+		b.Run(fmt.Sprintf("records-%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			eng, _, err := viptree.OpenEngine(tree, viptree.EngineOptions{
+				Objects:    tree.IndexObjects(objs),
+				WALDir:     dir,
+				WALOptions: viptree.WALOptions{Sync: viptree.SyncOnRotate()},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if err := eng.Move(i%len(objs), locs[i%len(locs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng2, rep, err := viptree.OpenEngine(tree, viptree.EngineOptions{
+					Objects:    tree.IndexObjects(objs),
+					WALDir:     dir,
+					WALOptions: viptree.WALOptions{Sync: viptree.SyncOnRotate()},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Replayed != n {
+					b.Fatalf("replayed %d records, want %d", rep.Replayed, n)
+				}
+				if err := eng2.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}

@@ -13,6 +13,13 @@
 //	indexbuild -venue Men-2 -index vip -scale small
 //	indexbuild -venue CL -index gtree -scale small
 //	indexbuild -venue Men -index vip -out men-vip.snap -objects 100
+//	indexbuild -compact men-vip.snap -wal /var/lib/vip/wal -out men-vip2.snap
+//
+// With -compact SNAP -wal DIR the command runs WAL compaction instead of a
+// build: it loads the snapshot, replays the write-ahead log records past the
+// snapshot's sequence stamp onto its object index, writes a freshly stamped
+// snapshot to -out, and reclaims the WAL segments the new snapshot covers.
+// Run it periodically to bound both recovery time and log size.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"viptree/internal/baseline/gtree"
 	"viptree/internal/baseline/road"
 	"viptree/internal/bench"
+	"viptree/internal/engine"
 	"viptree/internal/index"
 	"viptree/internal/iptree"
 	"viptree/internal/model"
@@ -43,6 +51,8 @@ func main() {
 		out         = flag.String("out", "", "write a binary snapshot of the built index to this file (ip and vip only)")
 		objects     = flag.Int("objects", 0, "embed an object index over this many random objects into the snapshot (0 = none)")
 		objSeed     = flag.Int64("objseed", 1, "random seed for the embedded object set")
+		compactFrom = flag.String("compact", "", "compaction mode: load this snapshot, replay the -wal onto its object index, write a freshly stamped snapshot to -out, and reclaim covered WAL segments")
+		walDir      = flag.String("wal", "", "write-ahead log directory to replay in -compact mode")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -56,6 +66,15 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *compactFrom != "" {
+		if *walDir == "" || *out == "" {
+			fmt.Fprintln(os.Stderr, "-compact requires both -wal (the log to replay) and -out (the new snapshot)")
+			os.Exit(2)
+		}
+		compact(*compactFrom, *walDir, *out)
+		return
+	}
 
 	var sc venuegen.Scale
 	switch *scale {
@@ -144,6 +163,66 @@ func main() {
 		fmt.Printf("snapshot: serializing was %.1fx faster than building — load with `queryrunner -load %s`\n",
 			float64(buildTime)/float64(serTime), *out)
 	}
+}
+
+// compact folds the write-ahead log into a fresh snapshot: replay everything
+// past the old snapshot's stamp, save the result (stamped at the new head),
+// and reclaim the WAL segments the new snapshot now covers. The WAL keeps
+// only what the new snapshot cannot reconstruct, so recovery after a crash
+// replays a short suffix instead of the whole history.
+func compact(from, walDir, out string) {
+	snap, err := snapshot.Load(from)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if snap.Objects == nil {
+		fmt.Fprintf(os.Stderr, "%s embeds no object index; there is nothing to replay a WAL onto (rebuild with -objects)\n", from)
+		os.Exit(2)
+	}
+	snapshotter, ok := snap.Index().(index.Snapshotter)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "%s index kind %s cannot be persisted\n", from, snap.Kind())
+		os.Exit(2)
+	}
+	eng, rep, err := engine.Open(snap.Index(), engine.Options{
+		Objects: snap.Objects,
+		WALDir:  walDir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	torn := ""
+	if rep.TornTail {
+		torn = fmt.Sprintf(", torn tail truncated (%d bytes)", rep.DroppedBytes)
+	}
+	fmt.Printf("wal: %d segments, %d records scanned in %v%s; %d replayed onto snapshot seq %d in %v, head %d\n",
+		rep.Segments, rep.Scanned, rep.ScanElapsed.Round(time.Microsecond), torn,
+		rep.Replayed, rep.SnapshotSeq, rep.ReplayElapsed.Round(time.Microsecond), rep.Head)
+
+	if err := snapshot.Save(out, snap.Venue, snapshotter, snap.Objects); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("snapshot %s: %.2f MB, stamped at seq %d\n",
+		out, float64(info.Size())/(1<<20), rep.Head)
+
+	reclaimed, err := eng.WAL().Checkpoint(rep.Head)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := eng.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wal: reclaimed %d of %d segments covered by the new snapshot\n", reclaimed, rep.Segments)
 }
 
 func printTreeStats(s iptree.Stats) {

@@ -30,6 +30,17 @@
 //	queryrunner -load men-vip.snap -query distance -n 10000 -verify
 //	queryrunner -venue Men -index vip -query knn -n 50000 -update-ratio 0.1 -parallel 4
 //	queryrunner -venue Men -index vip -query distance -n 100000 -batch 1024
+//	queryrunner -venue Men -index vip -query knn -update-ratio 0.2 -wal /tmp/men.wal
+//
+// With -wal DIR every object update is appended to a durable write-ahead
+// log before the process exits: on startup the runner recovers whatever a
+// previous run left in DIR (replaying the log over the loaded index and
+// reporting the recovery time), and on SIGINT/SIGTERM it drains the
+// in-flight batch, flushes the log to disk and exits 0 — no durably
+// acknowledged update is ever lost, even across a kill -9 (the torn tail is
+// truncated on the next start). -wal-sync picks the fsync policy: always
+// (every batch, the default), interval=50ms, or rotate (only at segment
+// boundaries).
 //
 // With -batch N the workload is submitted in batches of N queries, which is
 // how a real serving frontend hands work to the engine: each batch flows
@@ -46,8 +57,11 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
+	"strings"
+	"syscall"
 	"time"
 
 	"viptree/internal/baseline/distaware"
@@ -61,6 +75,7 @@ import (
 	"viptree/internal/model"
 	"viptree/internal/snapshot"
 	"viptree/internal/venuegen"
+	"viptree/internal/wal"
 )
 
 func main() {
@@ -80,6 +95,8 @@ func main() {
 		updateRatio = flag.Float64("update-ratio", 0, "fraction of operations that are object updates (moves) in [0,1); requires a mutable object index (ip/vip)")
 		batch       = flag.Int("batch", 0, "submit the workload in batches of this many queries (0 = one batch for the whole workload); each batch runs through the batched query planner")
 		noPlanner   = flag.Bool("no-planner", false, "disable the batched query planner (engine falls back to per-query execution inside ExecuteBatch)")
+		walDir      = flag.String("wal", "", "durable write-ahead log directory: recover any state a previous run left there, then log every object update (requires a mutable object index: ip, vip or a tree snapshot)")
+		walSync     = flag.String("wal-sync", "always", "wal fsync policy: always, rotate, or interval=<duration> (e.g. interval=50ms)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -90,7 +107,9 @@ func main() {
 				"into the stream and reports QPS (reads) and UPS (updates) separately.\n"+
 				"-batch N submits the workload in batches of N queries through the\n"+
 				"batched query planner and reports batched throughput; -no-planner\n"+
-				"disables the planner for an apples-to-apples baseline.\n\nFlags:\n")
+				"disables the planner for an apples-to-apples baseline. -wal DIR makes\n"+
+				"updates durable: the runner recovers DIR on startup and flushes it on\n"+
+				"shutdown (SIGINT/SIGTERM drain cleanly and exit 0).\n\nFlags:\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -146,11 +165,38 @@ func main() {
 		objs = bench.Objects(v, *objects, *seed+7)
 		oq = ix.NewObjectQuerier(objs)
 	}
-	// Live object IDs and locations: a snapshot saved from a mutated index
-	// may contain deleted slots, which must be neither move targets nor part
-	// of the verification ground truth.
+
+	// Latency sampling is a fixed ring of atomic slots: recording is one
+	// clock read plus one slot write per operation, so the hot loop stays
+	// allocation-free even with percentiles enabled.
+	engOpts := engine.Options{Workers: *parallel, Objects: oq, LatencySampleSize: 1 << 14, DisablePlanner: *noPlanner}
+	var eng *engine.Engine
+	if *walDir != "" {
+		sync, err := parseSyncPolicy(*walSync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		engOpts.WALDir = *walDir
+		engOpts.WALOptions = wal.Options{Sync: sync}
+		var rep *engine.WALRecovery
+		eng, rep, err = engine.Open(ix, engOpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printRecovery(rep, sync)
+	} else {
+		eng = engine.New(ix, engOpts)
+	}
+
+	// Live object IDs and locations: WAL replay may have inserted, moved or
+	// deleted objects, and a snapshot saved from a mutated index may contain
+	// deleted slots — dead slots must be neither move targets nor part of
+	// the verification ground truth.
 	liveIDs := make([]int, 0, len(objs))
 	if mi, ok := oq.(*iptree.ObjectIndex); ok {
+		objs = mi.Objects()
 		live := make([]model.Location, 0, len(objs))
 		for id := range objs {
 			if loc, alive := mi.Location(id); alive {
@@ -164,11 +210,6 @@ func main() {
 			liveIDs = append(liveIDs, id)
 		}
 	}
-
-	// Latency sampling is a fixed ring of atomic slots: recording is one
-	// clock read plus one slot write per operation, so the hot loop stays
-	// allocation-free even with percentiles enabled.
-	eng := engine.New(ix, engine.Options{Workers: *parallel, Objects: oq, LatencySampleSize: 1 << 14, DisablePlanner: *noPlanner})
 	if *updateRatio > 0 {
 		if eng.Mutable() == nil {
 			fmt.Fprintf(os.Stderr, "index %s does not support live object updates; use -index ip or vip (or a tree snapshot)\n", ix.Name())
@@ -269,19 +310,34 @@ func main() {
 		}
 	}
 
+	// Graceful shutdown: SIGINT/SIGTERM stops the run between batches — the
+	// in-flight batch drains, the WAL flushes to disk, and the process exits
+	// 0 having durably acknowledged everything it applied. (With -batch 0
+	// the whole workload is one batch, so the signal takes effect at the end.)
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigC)
+
 	// -batch N submits the workload the way a serving frontend would: in
 	// fixed-size batches, each one planned and executed as a unit. With
 	// -batch 0 the whole workload is one batch (the historical behaviour).
 	start := time.Now()
 	var results []engine.Result
 	nBatches := 1
+	interrupted := false
 	if *batch > 0 && *batch < len(queries) {
 		results = make([]engine.Result, 0, len(queries))
 		nBatches = 0
-		for off := 0; off < len(queries); off += *batch {
+		for off := 0; off < len(queries) && !interrupted; off += *batch {
 			end := min(off+*batch, len(queries))
 			results = append(results, eng.ExecuteBatch(queries[off:end])...)
 			nBatches++
+			select {
+			case sig := <-sigC:
+				fmt.Printf("caught %v: draining and flushing the wal\n", sig)
+				interrupted = true
+			default:
+			}
 		}
 	} else {
 		results = eng.ExecuteBatch(queries)
@@ -290,6 +346,12 @@ func main() {
 	if lagStop != nil {
 		close(lagStop)
 		<-lagDone
+	}
+
+	if interrupted {
+		closeWAL(eng)
+		fmt.Printf("interrupted: drained %d/%d operations cleanly\n", len(results), len(queries))
+		return
 	}
 
 	failed := 0
@@ -314,6 +376,8 @@ func main() {
 		}
 		fmt.Printf("verified %d results against the D2D ground truth\n", len(results))
 	}
+
+	closeWAL(eng)
 
 	workers := eng.Workers()
 	perQuery := float64(total.Microseconds()) / float64(len(queries))
@@ -344,6 +408,49 @@ func main() {
 	qps := float64(len(queries)) / total.Seconds()
 	fmt.Printf("%s %s %s: %d queries, %d workers (%d cores)%s, %.2f us/query, %.0f qps, %s (total %v)\n",
 		v.Name, ix.Name(), *query, len(queries), workers, runtime.NumCPU(), mode, perQuery, qps, latencies, total)
+}
+
+// parseSyncPolicy maps the -wal-sync flag to a wal.SyncPolicy.
+func parseSyncPolicy(s string) (wal.SyncPolicy, error) {
+	switch {
+	case s == "always":
+		return wal.SyncAlways(), nil
+	case s == "rotate":
+		return wal.SyncOnRotate(), nil
+	case strings.HasPrefix(s, "interval="):
+		d, err := time.ParseDuration(strings.TrimPrefix(s, "interval="))
+		if err != nil || d <= 0 {
+			return wal.SyncPolicy{}, fmt.Errorf("-wal-sync interval: want a positive duration, got %q", s)
+		}
+		return wal.SyncInterval(d), nil
+	}
+	return wal.SyncPolicy{}, fmt.Errorf("-wal-sync: want always, rotate or interval=<duration>, got %q", s)
+}
+
+// printRecovery reports what engine.Open reconstructed from the WAL and how
+// long each recovery phase took — the startup cost of durability.
+func printRecovery(rep *engine.WALRecovery, sync wal.SyncPolicy) {
+	torn := ""
+	if rep.TornTail {
+		torn = fmt.Sprintf(", torn tail truncated (%d bytes)", rep.DroppedBytes)
+	}
+	fmt.Printf("wal: %d segments, %d records scanned in %v%s; %d replayed onto snapshot seq %d in %v, head %d, fsync %v\n",
+		rep.Segments, rep.Scanned, rep.ScanElapsed.Round(time.Microsecond), torn,
+		rep.Replayed, rep.SnapshotSeq, rep.ReplayElapsed.Round(time.Microsecond), rep.Head, sync)
+}
+
+// closeWAL flushes the write-ahead log and reports the durable watermark:
+// every sequence up to it survives a crash after this point. A no-op for
+// non-durable runs.
+func closeWAL(eng *engine.Engine) {
+	if eng.WAL() == nil {
+		return
+	}
+	if err := eng.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "wal close:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wal: flushed, durable seq %d\n", eng.WAL().DurableSeq())
 }
 
 // formatQuantiles renders the p50/p95/p99 per-operation latencies sampled by

@@ -40,6 +40,7 @@ import (
 	"viptree/internal/index"
 	"viptree/internal/model"
 	"viptree/internal/updatelog"
+	"viptree/internal/wal"
 )
 
 // Kind selects the query type executed by the engine.
@@ -161,6 +162,16 @@ type Options struct {
 	// identical either way; the switch exists for A/B measurement and as an
 	// escape hatch.
 	DisablePlanner bool
+	// WALDir enables the durable write-ahead log: every object update is
+	// persisted to segment files under this directory and recovered on the
+	// next start. Engines with a WAL must be built with Open (which runs
+	// recovery); New refuses the option rather than silently serving
+	// non-durably.
+	WALDir string
+	// WALOptions tunes the write-ahead log (fsync policy, segment size,
+	// retry/backoff/probe behaviour). The Dir field is ignored — WALDir
+	// wins. Only meaningful together with WALDir.
+	WALOptions wal.Options
 }
 
 // Engine executes queries against one index. Its configuration is immutable
@@ -174,12 +185,19 @@ type Engine struct {
 	logged  index.ChangeLogger         // nil when the querier has no update log
 	batcher index.DistanceBatcher      // nil when the index has no batched path, or the planner is disabled
 	workers int
+	wal     *wal.WAL // nil for non-durable engines; set by Open
 	counts  [numKinds]atomic.Int64
 	lat     *latencyRing // nil when sampling is disabled
 }
 
-// New returns an engine over the index.
+// New returns an engine over the index. For a durable engine (a write-ahead
+// log under Options.WALDir) use Open instead — New panics on the option,
+// because accepting it without running recovery would silently drop the
+// durability the caller asked for.
 func New(idx index.Index, opts Options) *Engine {
+	if opts.WALDir != "" {
+		panic("engine: Options.WALDir requires engine.Open (New would silently skip WAL recovery)")
+	}
 	w := opts.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -249,13 +267,18 @@ func (e *Engine) ChangeLog() *updatelog.Log {
 	return e.logged.ChangeLog()
 }
 
-// updatable reports whether object updates can be executed.
+// updatable reports whether object updates can be executed. A durable
+// engine whose WAL is degraded rejects updates (they could not be made
+// durable) while reads keep flowing.
 func (e *Engine) updatable() error {
 	if e.objects == nil {
 		return ErrNoObjectIndex
 	}
 	if e.mutable == nil {
 		return ErrImmutableObjects
+	}
+	if e.wal != nil && !e.wal.Healthy() {
+		return wal.ErrDegradedReadOnly
 	}
 	return nil
 }

@@ -211,8 +211,12 @@ type objApplier struct{ oi *ObjectIndex }
 func (a objApplier) ApplyUpdate(r *updatelog.Record) error { return a.oi.applyUpdate(r) }
 func (a objApplier) PublishEpoch(seq uint64)               { a.oi.publishEpoch(seq) }
 
-// newObjectIndex returns an empty object index over the tree.
-func newObjectIndex(t *Tree, name string) *ObjectIndex {
+// newObjectIndex returns an empty object index over the tree. startSeq is
+// the update-log sequence number already reflected in the initial state (0
+// for a fresh index, the stamped snapshot seq for a restored one): the
+// first applied update gets startSeq+1, which is what lets WAL replay
+// resume exactly where the snapshot left off.
+func newObjectIndex(t *Tree, name string, startSeq uint64) *ObjectIndex {
 	oi := &ObjectIndex{
 		tree:        t,
 		name:        name,
@@ -226,7 +230,7 @@ func newObjectIndex(t *Tree, name string) *ObjectIndex {
 		leafData:     make([]*leafObjects, len(t.nodes)),
 		subtreeCount: make([]int64, len(t.nodes)),
 	})
-	oi.log = updatelog.New(objApplier{oi}, 0)
+	oi.log = updatelog.New(objApplier{oi}, startSeq)
 	for i := range t.nodes {
 		n := &t.nodes[i]
 		if !n.IsLeaf() || n.Matrix == nil {
@@ -256,7 +260,7 @@ func newObjectIndex(t *Tree, name string) *ObjectIndex {
 // index used by KNN and Range queries. Object IDs are the slice positions.
 // The returned index accepts further Insert/Delete/Move updates.
 func (t *Tree) IndexObjects(objects []model.Location) *ObjectIndex {
-	oi := newObjectIndex(t, t.Name())
+	oi := newObjectIndex(t, t.Name(), 0)
 	oi.objects = append(oi.objects, objects...)
 	oi.objLeaf = make([]NodeID, len(objects))
 	oi.alive = len(objects)
@@ -590,8 +594,8 @@ func (oi *ObjectIndex) NumObjects() int {
 }
 
 // Epoch returns the sequence number of the published epoch: 0 for a fresh
-// or restored index, advancing by one per applied update. Queries never
-// advance it.
+// index, the stamped snapshot seq for a restored one, advancing by one per
+// applied update. Queries never advance it.
 func (oi *ObjectIndex) Epoch() uint64 { return oi.cur.Load().seq }
 
 // ChangeLog returns the update log behind the index: the ordered, gap-free

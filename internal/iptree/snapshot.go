@@ -111,6 +111,11 @@ type ObjectIndexState struct {
 	Name    string
 	Objects []model.Location
 	Leaves  []LeafObjectsState
+	// Seq is the update-log sequence number the exported epoch covers: WAL
+	// replay after restoring this state must start at Seq+1. Old snapshots
+	// without the field decode as 0 (gob leaves missing fields zero), which
+	// restores the pre-stamp behaviour of starting a fresh log.
+	Seq uint64
 }
 
 // ExportState exports the built state of the IP-Tree. To keep exporting
@@ -245,7 +250,7 @@ func (oi *ObjectIndex) ExportState() *ObjectIndexState {
 			maxID = max(maxID, lo.ids[len(lo.ids)-1]+1)
 		}
 	}
-	st := &ObjectIndexState{Name: oi.name, Objects: make([]model.Location, maxID)}
+	st := &ObjectIndexState{Name: oi.name, Objects: make([]model.Location, maxID), Seq: ep.seq}
 	for leaf, lo := range ep.leafData {
 		if lo == nil || len(lo.ids) == 0 {
 			continue
@@ -439,7 +444,7 @@ func RestoreObjectIndex(t *Tree, st *ObjectIndexState) (*ObjectIndex, error) {
 			return nil, fmt.Errorf("iptree: restore: object %d partition %d out of range", i, o.Partition)
 		}
 	}
-	oi := newObjectIndex(t, st.Name)
+	oi := newObjectIndex(t, st.Name, st.Seq)
 	oi.objects = append(oi.objects, st.Objects...)
 	oi.objLeaf = make([]NodeID, len(st.Objects))
 	for i := range oi.objLeaf {
@@ -515,9 +520,11 @@ func RestoreObjectIndex(t *Tree, st *ObjectIndexState) (*ObjectIndex, error) {
 			oi.free = append(oi.free, ObjectID(id))
 		}
 	}
-	// Publish the restored state as epoch 0: the restored index starts a
-	// fresh update log, with queries serving from this epoch immediately.
-	oi.publishEpoch(0)
+	// Publish the restored state at the stamped sequence: the update log
+	// continues from st.Seq (fresh exports carry 0, stamped snapshots the
+	// seq they were cut at), with queries serving from this epoch
+	// immediately and WAL replay resuming at st.Seq+1.
+	oi.publishEpoch(st.Seq)
 	return oi, nil
 }
 

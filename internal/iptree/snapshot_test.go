@@ -350,3 +350,63 @@ func TestMutatedObjectIndexRoundTrip(t *testing.T) {
 		t.Fatal("object inserted into restored index is not alive")
 	}
 }
+
+// TestSnapshotSeqStamp checks the update-log sequence stamp: exports carry
+// the seq of the pinned epoch, restores resume the log exactly there, and
+// old snapshots (no stamp → gob zero) keep restoring at seq 0.
+func TestSnapshotSeqStamp(t *testing.T) {
+	v := snapshotTestVenue(t)
+	tree := MustBuildIPTree(v, Options{})
+	rng := rand.New(rand.NewSource(7))
+	objs := make([]model.Location, 40)
+	for i := range objs {
+		objs[i] = v.RandomLocation(rng)
+	}
+	oi := tree.IndexObjects(objs)
+
+	// A fresh build has applied no updates: the stamp is 0, exactly what
+	// pre-stamp snapshots decode as.
+	if got := oi.ExportState().Seq; got != 0 {
+		t.Fatalf("fresh export stamped seq %d, want 0", got)
+	}
+
+	for i := 0; i < 25; i++ {
+		if _, err := oi.Insert(v.RandomLocation(rng)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	st := gobClone(t, oi.ExportState())
+	if st.Seq != 25 {
+		t.Fatalf("export after 25 updates stamped seq %d, want 25", st.Seq)
+	}
+
+	restored, err := RestoreObjectIndex(tree, st)
+	if err != nil {
+		t.Fatalf("RestoreObjectIndex: %v", err)
+	}
+	if got := restored.Epoch(); got != 25 {
+		t.Fatalf("restored epoch %d, want the stamp 25", got)
+	}
+	if got := restored.ChangeLog().HeadSeq(); got != 25 {
+		t.Fatalf("restored log head %d, want 25", got)
+	}
+	// The next update continues the sequence rather than restarting it —
+	// the property WAL replay relies on.
+	if _, err := restored.Insert(v.RandomLocation(rng)); err != nil {
+		t.Fatalf("insert after restore: %v", err)
+	}
+	if got := restored.ChangeLog().HeadSeq(); got != 26 {
+		t.Fatalf("post-restore update got seq %d, want 26", got)
+	}
+
+	// Old snapshot compatibility: a state with the zero stamp restores at
+	// seq 0, the pre-stamp behaviour.
+	st.Seq = 0
+	legacy, err := RestoreObjectIndex(tree, st)
+	if err != nil {
+		t.Fatalf("RestoreObjectIndex (legacy): %v", err)
+	}
+	if legacy.Epoch() != 0 || legacy.ChangeLog().HeadSeq() != 0 {
+		t.Fatalf("legacy restore at epoch %d / head %d, want 0/0", legacy.Epoch(), legacy.ChangeLog().HeadSeq())
+	}
+}

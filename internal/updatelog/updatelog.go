@@ -54,10 +54,11 @@ type Log struct {
 	queue   []*request
 	writing bool
 
-	start uint64        // seq already reflected at construction
-	seq   uint64        // last assigned seq; owned by the leader
-	head  atomic.Uint64 // last applied seq
-	pub   atomic.Uint64 // last published seq (epoch visible to readers)
+	start   uint64        // seq already reflected at construction
+	seq     uint64        // last assigned seq; owned by the leader
+	head    atomic.Uint64 // last applied seq
+	pub     atomic.Uint64 // last published seq (epoch visible to readers)
+	durable atomic.Uint64 // last seq persisted by a durability layer
 
 	histMu sync.Mutex
 	base   uint64                     // seq preceding hist[0]; start until truncated
@@ -81,6 +82,7 @@ func New(applier Applier, startSeq uint64) *Log {
 	}
 	l.head.Store(startSeq)
 	l.pub.Store(startSeq)
+	l.durable.Store(startSeq)
 	l.cond = sync.NewCond(&l.histMu)
 	return l
 }
@@ -195,6 +197,30 @@ func (l *Log) Records(from, to uint64) ([]Record, error) {
 	copy(out, l.hist[from-l.base-1:to-l.base])
 	return out, nil
 }
+
+// AdvanceDurable records that every update with Seq <= seq has been made
+// durable by a persistence layer (the WAL calls this after each successful
+// fsync) and reclaims the covered in-memory history automatically, subject
+// to Truncate's subscriber floor. The watermark is monotonic: stale calls
+// are ignored.
+func (l *Log) AdvanceDurable(seq uint64) {
+	for {
+		cur := l.durable.Load()
+		if seq <= cur {
+			return
+		}
+		if l.durable.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	l.Truncate(seq)
+}
+
+// DurableSeq returns the durable watermark: the last sequence number a
+// persistence layer has reported as surviving a crash. It starts at the
+// construction startSeq (snapshot-restored state is durable by definition)
+// and only moves when a durability layer reports progress.
+func (l *Log) DurableSeq() uint64 { return l.durable.Load() }
 
 // Truncate drops applied records with Seq <= upToSeq from the retained
 // history, bounding the log's memory under sustained churn. Records an

@@ -1,0 +1,294 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Fault errors injected by FaultFS. Exposed so tests can assert on them with
+// errors.Is through whatever wrapping the WAL adds.
+var (
+	// ErrInjectedCrash reports a write issued at or after the configured
+	// crash point: the machine "lost power" mid-write.
+	ErrInjectedCrash = errors.New("walfault: injected crash")
+	// ErrInjectedSyncFailure reports an fsync made to fail by FailSync.
+	ErrInjectedSyncFailure = errors.New("walfault: injected fsync failure")
+	// ErrInjectedWriteFailure reports a write made to fail by FailWrites or
+	// ShortWriteOnce.
+	ErrInjectedWriteFailure = errors.New("walfault: injected write failure")
+)
+
+// FaultFS is an in-memory FS with injectable faults, used by the WAL's
+// crash-recovery and degraded-mode tests. It supports three failure modes:
+//
+//   - Crash points: CrashAfter(n) makes the n-th byte written from now on
+//     the last one that reaches "disk" — the write that crosses the budget
+//     is applied partially (modelling a torn write) and fails, and every
+//     later write and fsync fails too. The surviving bytes stay readable,
+//     so a recovery run over the same FaultFS sees exactly what a process
+//     restarted after power loss would see. Revive clears the crashed
+//     state while keeping the contents.
+//
+//   - Fsync failures: FailSync makes every Sync fail until ClearFaults,
+//     modelling a dying disk. Writes still succeed, so the WAL's degraded
+//     read-only mode and its automatic recovery probing can be driven
+//     deterministically.
+//
+//   - Write failures: FailWrites fails every write (without the partial
+//     application of a crash); ShortWriteOnce fails exactly one write
+//     after applying only its first k bytes.
+//
+// FaultFS is safe for concurrent use.
+type FaultFS struct {
+	mu    sync.Mutex
+	files map[string]*bytes.Buffer
+
+	written     int64 // total bytes successfully applied
+	crashBudget int64 // -1: no crash point armed
+	crashed     bool
+
+	syncErr  error
+	writeErr error
+	shortN   int64 // pending ShortWriteOnce byte count
+	short    bool
+}
+
+// NewFaultFS returns an empty fault-injecting in-memory filesystem with no
+// faults armed.
+func NewFaultFS() *FaultFS {
+	return &FaultFS{files: make(map[string]*bytes.Buffer), crashBudget: -1}
+}
+
+// CrashAfter arms a crash point n bytes of writes from now. The write that
+// crosses the budget is applied partially and fails; everything after fails.
+func (f *FaultFS) CrashAfter(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashBudget = f.written + n
+	f.crashed = false
+}
+
+// Crashed reports whether the armed crash point has been hit.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Revive clears a hit crash point (the process "restarted"): the surviving
+// bytes remain, writes and syncs succeed again.
+func (f *FaultFS) Revive() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashBudget = -1
+	f.crashed = false
+}
+
+// FailSync makes every Sync fail until ClearFaults.
+func (f *FaultFS) FailSync() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErr = ErrInjectedSyncFailure
+}
+
+// FailWrites makes every write fail (applying nothing) until ClearFaults.
+func (f *FaultFS) FailWrites() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeErr = ErrInjectedWriteFailure
+}
+
+// ShortWriteOnce makes the next write apply only its first k bytes and fail.
+func (f *FaultFS) ShortWriteOnce(k int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.short, f.shortN = true, k
+}
+
+// ClearFaults clears sync and write failures (crash points are cleared by
+// Revive).
+func (f *FaultFS) ClearFaults() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErr, f.writeErr, f.short = nil, nil, false
+}
+
+// BytesWritten returns the total bytes applied so far, which is how crash
+// tests choose randomized crash offsets inside the written range.
+func (f *FaultFS) BytesWritten() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// Contents returns a copy of the named file's bytes (tests use it to mutate
+// segments for corruption scenarios via WriteFile).
+func (f *FaultFS) Contents(name string) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	buf, ok := f.files[name]
+	if !ok {
+		return nil, false
+	}
+	return bytes.Clone(buf.Bytes()), true
+}
+
+// WriteFile replaces the named file's bytes outside of fault accounting.
+func (f *FaultFS) WriteFile(name string, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.files[name] = bytes.NewBuffer(bytes.Clone(data))
+}
+
+// MkdirAll implements FS (directories are implicit in the flat namespace).
+func (f *FaultFS) MkdirAll(string) error { return nil }
+
+// ReadDir implements FS: every file whose path starts with dir.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var names []string
+	for name := range f.files {
+		if d, base := splitPath(name); d == dir {
+			names = append(names, base)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// splitPath separates a path into its directory and base components.
+func splitPath(p string) (dir, base string) {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[:i], p[i+1:]
+		}
+	}
+	return "", p
+}
+
+// Open implements FS.
+func (f *FaultFS) Open(name string) (io.ReadCloser, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	buf, ok := f.files[name]
+	if !ok {
+		return nil, fmt.Errorf("walfault: open %s: no such file", name)
+	}
+	return io.NopCloser(bytes.NewReader(bytes.Clone(buf.Bytes()))), nil
+}
+
+// OpenAppend implements FS.
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.files[name]; !ok {
+		f.files[name] = &bytes.Buffer{}
+	}
+	return &faultFile{fs: f, name: name}, nil
+}
+
+// Truncate implements FS.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return fmt.Errorf("walfault: truncate %s: %w", name, ErrInjectedCrash)
+	}
+	buf, ok := f.files[name]
+	if !ok {
+		return fmt.Errorf("walfault: truncate %s: no such file", name)
+	}
+	if size < 0 || size > int64(buf.Len()) {
+		return fmt.Errorf("walfault: truncate %s to %d: out of range [0,%d]", name, size, buf.Len())
+	}
+	buf.Truncate(int(size))
+	return nil
+}
+
+// Size implements FS.
+func (f *FaultFS) Size(name string) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	buf, ok := f.files[name]
+	if !ok {
+		return 0, fmt.Errorf("walfault: size %s: no such file", name)
+	}
+	return int64(buf.Len()), nil
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.files[name]; !ok {
+		return fmt.Errorf("walfault: remove %s: no such file", name)
+	}
+	delete(f.files, name)
+	return nil
+}
+
+// faultFile is an append handle routing every write through the fault
+// checks. Close is a no-op (contents live in the FS map).
+type faultFile struct {
+	fs   *FaultFS
+	name string
+}
+
+// Write implements File, applying the configured faults in order: armed
+// short write, persistent write failure, crash budget.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	buf, ok := f.files[ff.name]
+	if !ok {
+		return 0, fmt.Errorf("walfault: write %s: file removed", ff.name)
+	}
+	if f.short {
+		f.short = false
+		k := min(f.shortN, int64(len(p)))
+		buf.Write(p[:k])
+		f.written += k
+		return int(k), fmt.Errorf("walfault: write %s: %w (short write, %d of %d bytes)",
+			ff.name, ErrInjectedWriteFailure, k, len(p))
+	}
+	if f.writeErr != nil {
+		return 0, fmt.Errorf("walfault: write %s: %w", ff.name, f.writeErr)
+	}
+	if f.crashed {
+		return 0, fmt.Errorf("walfault: write %s: %w", ff.name, ErrInjectedCrash)
+	}
+	if f.crashBudget >= 0 && f.written+int64(len(p)) > f.crashBudget {
+		k := f.crashBudget - f.written
+		buf.Write(p[:k])
+		f.written += k
+		f.crashed = true
+		return int(k), fmt.Errorf("walfault: write %s: %w (torn after %d of %d bytes)",
+			ff.name, ErrInjectedCrash, k, len(p))
+	}
+	buf.Write(p)
+	f.written += int64(len(p))
+	return len(p), nil
+}
+
+// Sync implements File.
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return fmt.Errorf("walfault: sync %s: %w", ff.name, ErrInjectedCrash)
+	}
+	if f.syncErr != nil {
+		return fmt.Errorf("walfault: sync %s: %w", ff.name, f.syncErr)
+	}
+	return nil
+}
+
+// Close implements File.
+func (ff *faultFile) Close() error { return nil }

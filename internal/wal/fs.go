@@ -1,0 +1,95 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the small filesystem surface the WAL runs on. Production code uses
+// OSFS; tests substitute a FaultFS that injects short writes, fsync errors
+// and crash points at chosen byte offsets, which is how the crash-recovery
+// property tests simulate power loss without killing the test process.
+//
+// All paths are as passed by the WAL (the segment directory joined with a
+// segment file name); implementations must not interpret them further.
+type FS interface {
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir lists the file names (not full paths) in the directory,
+	// in unspecified order.
+	ReadDir(dir string) ([]string, error)
+	// Open opens an existing file for reading.
+	Open(name string) (io.ReadCloser, error)
+	// OpenAppend opens a file for appending, creating it when missing.
+	// Writes always land at the current end of the file.
+	OpenAppend(name string) (File, error)
+	// Truncate cuts the named file to the given size. Used to discard a
+	// torn tail during recovery and to roll back a partial append before
+	// a retry.
+	Truncate(name string, size int64) error
+	// Size returns the current size of the named file in bytes.
+	Size(name string) (int64, error)
+	// Remove deletes the named file (checkpointing reclaims sealed
+	// segments through it).
+	Remove(name string) error
+}
+
+// File is an append-only segment handle.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage (fsync).
+	Sync() error
+	// Close releases the handle. It does not imply Sync.
+	Close() error
+}
+
+// OSFS is the production FS backed by the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Open implements FS.
+func (OSFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// Size implements FS.
+func (OSFS) Size(name string) (int64, error) {
+	info, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// join builds a path inside the segment directory. Centralised so every FS
+// sees consistent paths.
+func join(dir, name string) string { return filepath.Join(dir, name) }

@@ -1,0 +1,325 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"viptree/internal/updatelog"
+)
+
+// On-disk layout. A WAL directory holds numbered segment files named
+// <firstSeq>.wal (20 decimal digits, so lexical order is seq order). Each
+// segment starts with an 8-byte magic and then holds back-to-back frames:
+//
+//	offset  size  field
+//	0       4     payload length (big-endian uint32)
+//	4       4     CRC-32C of the payload (big-endian uint32)
+//	8       —     payload: one update record in the updatelog wire encoding
+//
+// Frames are self-delimiting and individually checksummed, so recovery can
+// tell exactly where a torn write cut the log: the first frame of the LAST
+// segment that is short or fails its CRC marks the torn tail, and everything
+// before it is intact. The same damage anywhere else cannot be explained by
+// a crashed append and is reported as mid-log corruption instead — a WAL
+// never truncates data that a previous run had durably written in front of
+// other data.
+const (
+	segMagic    = "VWALSEG1"
+	segSuffix   = ".wal"
+	frameHeader = 8
+	// maxFrameLen bounds the payload length accepted during recovery; the
+	// wire encoding of a record is tens of bytes, so anything near this
+	// limit is a corrupt length field, not a real frame.
+	maxFrameLen = 1 << 16
+)
+
+// crcTable is the CRC-32C (Castagnoli) table used for frame checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is the sentinel wrapped by every CorruptionError; check with
+// errors.Is.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// CorruptionError reports damage recovery refuses to repair: a bad frame in
+// the middle of the log (not at the tail of the last segment), a record
+// whose checksum passes but whose content does not decode, a sequence-number
+// discontinuity, or a gap between segments. Unlike a torn tail — expected
+// after a crash, silently truncated — mid-log corruption means previously
+// durable data was damaged, and replaying past it would silently drop
+// acknowledged updates; the only safe response is to fail the open.
+type CorruptionError struct {
+	// Segment is the file name of the damaged segment.
+	Segment string
+	// Offset is the byte offset of the damage within the segment.
+	Offset int64
+	// Reason describes the damage.
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("wal: mid-log corruption in %s at offset %d: %s", e.Segment, e.Offset, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrCorrupt) hold.
+func (e *CorruptionError) Unwrap() error { return ErrCorrupt }
+
+// Recovery is the result of scanning a WAL directory: every intact record in
+// sequence order, plus what (if anything) was cut from the tail.
+type Recovery struct {
+	// Records holds the recovered records; seqs are contiguous ascending,
+	// Records[0].Seq == Base+1.
+	Records []updatelog.Record
+	// Base is the sequence number preceding the first retained record
+	// (records up to Base were reclaimed by checkpointing; a snapshot
+	// covering at least Base is required to reconstruct full state).
+	Base uint64
+	// Head is the last recovered sequence number; Head == Base when the
+	// log is empty.
+	Head uint64
+	// Segments is the number of segment files scanned.
+	Segments int
+	// TornTail reports that a partial or corrupt frame was found at the
+	// very tail of the last segment and truncated away — the expected
+	// signature of a crash mid-append. TornSegment and DroppedBytes say
+	// where and how much.
+	TornTail     bool
+	TornSegment  string
+	DroppedBytes int64
+	// Elapsed is the wall-clock duration of the scan.
+	Elapsed time.Duration
+}
+
+// segInfo tracks one on-disk segment for the appender and Checkpoint.
+type segInfo struct {
+	name    string
+	first   uint64 // seq of the first record (the name's number)
+	last    uint64 // seq of the last record; last < first when empty
+	size    int64
+	records int
+}
+
+// segmentName renders the canonical file name of the segment whose first
+// record carries seq.
+func segmentName(seq uint64) string {
+	return fmt.Sprintf("%020d%s", seq, segSuffix)
+}
+
+// parseSegmentName extracts the first-record seq from a segment file name.
+func parseSegmentName(name string) (uint64, bool) {
+	s, ok := strings.CutSuffix(name, segSuffix)
+	if !ok || len(s) != 20 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// appendFrame appends the framed wire encoding of r to buf.
+func appendFrame(buf []byte, r *updatelog.Record) []byte {
+	// Reserve the header, encode the payload in place, then fill in the
+	// header over the reserved bytes.
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHeader)...)
+	buf = updatelog.AppendRecord(buf, r)
+	payload := buf[start+frameHeader:]
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+// tornError marks a frame-level problem that, at the tail of the last
+// segment, is a torn write rather than corruption.
+type tornError struct{ reason string }
+
+func (e *tornError) Error() string { return e.reason }
+
+// scanSegment decodes every frame of one segment body (the bytes after the
+// magic), appending records to out. It returns the new record slice, the
+// number of bytes consumed past the magic, and an error: a *tornError for
+// damage a crashed append explains (short frame, bad CRC, bad length), or a
+// *CorruptionError for damage it cannot (undecodable content or a seq
+// discontinuity behind a valid checksum).
+func scanSegment(name string, body []byte, expect uint64, out []updatelog.Record) ([]updatelog.Record, int64, error) {
+	off := int64(0)
+	for int64(len(body)) > off {
+		rest := body[off:]
+		if len(rest) < frameHeader {
+			return out, off, &tornError{fmt.Sprintf("partial frame header (%d bytes)", len(rest))}
+		}
+		length := binary.BigEndian.Uint32(rest)
+		if length == 0 || length > maxFrameLen {
+			return out, off, &tornError{fmt.Sprintf("implausible frame length %d", length)}
+		}
+		if uint32(len(rest)-frameHeader) < length {
+			return out, off, &tornError{fmt.Sprintf("partial frame payload (%d of %d bytes)", len(rest)-frameHeader, length)}
+		}
+		payload := rest[frameHeader : frameHeader+int(length)]
+		if sum := crc32.Checksum(payload, crcTable); sum != binary.BigEndian.Uint32(rest[4:]) {
+			return out, off, &tornError{"frame checksum mismatch"}
+		}
+		rec, n, err := updatelog.DecodeRecord(payload)
+		if err != nil || n != len(payload) {
+			// The checksum is valid but the content is not a record: a torn
+			// write cannot produce this, so it is corruption wherever it is.
+			reason := "framed payload is not a record"
+			if err != nil {
+				reason = fmt.Sprintf("framed payload does not decode: %v", err)
+			}
+			return out, off, &CorruptionError{Segment: name, Offset: off + int64(len(segMagic)), Reason: reason}
+		}
+		if rec.Seq != expect {
+			return out, off, &CorruptionError{
+				Segment: name, Offset: off + int64(len(segMagic)),
+				Reason: fmt.Sprintf("record seq %d, expected %d", rec.Seq, expect),
+			}
+		}
+		out = append(out, rec)
+		expect++
+		off += frameHeader + int64(length)
+	}
+	return out, off, nil
+}
+
+// hasValidFrameAfter reports whether any byte offset past the first one in
+// rest starts a checksummed frame. It distinguishes a torn tail (garbage
+// to the end of the file — truncatable) from mid-segment damage in the
+// last segment (intact frames survive behind the bad one — corruption).
+// The scan is bounded: real torn tails are at most one write long, so a
+// frame that only appears beyond the horizon never occurs in practice.
+func hasValidFrameAfter(rest []byte) bool {
+	const scanHorizon = 4096
+	for s := 1; s+frameHeader <= len(rest) && s <= scanHorizon; s++ {
+		length := binary.BigEndian.Uint32(rest[s:])
+		if length == 0 || length > maxFrameLen {
+			continue
+		}
+		end := s + frameHeader + int(length)
+		if end > len(rest) {
+			continue
+		}
+		payload := rest[s+frameHeader : end]
+		if crc32.Checksum(payload, crcTable) == binary.BigEndian.Uint32(rest[s+4:]) {
+			return true
+		}
+	}
+	return false
+}
+
+// recoverDir scans the WAL directory, truncating a torn tail in place, and
+// returns the recovery result plus the per-segment layout the appender
+// resumes from. Mid-log corruption fails the scan with a *CorruptionError.
+func recoverDir(fs FS, dir string) (*Recovery, []segInfo, error) {
+	start := time.Now()
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	var segs []segInfo
+	for _, name := range names {
+		first, ok := parseSegmentName(name)
+		if !ok {
+			continue // foreign file; leave it alone
+		}
+		segs = append(segs, segInfo{name: name, first: first})
+	}
+	rec := &Recovery{}
+	if len(segs) == 0 {
+		rec.Elapsed = time.Since(start)
+		return rec, nil, nil
+	}
+	rec.Base = segs[0].first - 1
+	expect := segs[0].first
+	for i := range segs {
+		seg := &segs[i]
+		last := i == len(segs)-1
+		path := join(dir, seg.name)
+		if seg.first != expect {
+			return nil, nil, &CorruptionError{
+				Segment: seg.name,
+				Reason:  fmt.Sprintf("segment starts at seq %d, expected %d (missing segment?)", seg.first, expect),
+			}
+		}
+		body, err := readAll(fs, path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: reading %s: %w", seg.name, err)
+		}
+		if len(body) < len(segMagic) || string(body[:len(segMagic)]) != segMagic {
+			if last && len(body) < len(segMagic) {
+				// Crash between segment creation and the magic landing on
+				// disk: the file holds no records, drop it entirely.
+				rec.TornTail, rec.TornSegment = true, seg.name
+				rec.DroppedBytes += int64(len(body))
+				if err := fs.Remove(path); err != nil {
+					return nil, nil, fmt.Errorf("wal: dropping torn segment %s: %w", seg.name, err)
+				}
+				segs = segs[:i]
+				break
+			}
+			return nil, nil, &CorruptionError{Segment: seg.name, Reason: "bad segment magic"}
+		}
+		before := len(rec.Records)
+		var consumed int64
+		rec.Records, consumed, err = scanSegment(seg.name, body[len(segMagic):], expect, rec.Records)
+		if err != nil {
+			var torn *tornError
+			if !errors.As(err, &torn) {
+				return nil, nil, err
+			}
+			if !last {
+				return nil, nil, &CorruptionError{
+					Segment: seg.name, Offset: int64(len(segMagic)) + consumed,
+					Reason: fmt.Sprintf("%s followed by segment %s", torn.reason, segs[i+1].name),
+				}
+			}
+			if hasValidFrameAfter(body[int64(len(segMagic))+consumed:]) {
+				// A torn write never leaves intact frames past the damage:
+				// the bytes after the cut were simply never written. Valid
+				// frames behind the bad one mean the damage hit previously
+				// durable data — truncating would silently drop them.
+				return nil, nil, &CorruptionError{
+					Segment: seg.name, Offset: int64(len(segMagic)) + consumed,
+					Reason: fmt.Sprintf("%s followed by intact frames", torn.reason),
+				}
+			}
+			// Torn tail: cut the last segment back to its intact prefix.
+			keep := int64(len(segMagic)) + consumed
+			rec.TornTail, rec.TornSegment = true, seg.name
+			rec.DroppedBytes += int64(len(body)) - keep
+			if err := fs.Truncate(path, keep); err != nil {
+				return nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", seg.name, err)
+			}
+			body = body[:keep]
+		}
+		seg.records = len(rec.Records) - before
+		seg.last = expect + uint64(seg.records) - 1
+		seg.size = int64(len(segMagic)) + consumed
+		expect += uint64(seg.records)
+	}
+	rec.Head = rec.Base + uint64(len(rec.Records))
+	rec.Segments = len(segs)
+	rec.Elapsed = time.Since(start)
+	return rec, segs, nil
+}
+
+// readAll reads the whole file through the FS.
+func readAll(fs FS, path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

@@ -88,6 +88,7 @@ import (
 	"viptree/internal/snapshot"
 	"viptree/internal/updatelog"
 	"viptree/internal/venuegen"
+	"viptree/internal/wal"
 )
 
 // Core data-model types.
@@ -424,3 +425,74 @@ func SaveSnapshot(path string, v *Venue, ix Snapshotter, objects *ObjectIndex) e
 
 // LoadSnapshot reads a snapshot from a file written by SaveSnapshot.
 func LoadSnapshot(path string) (*IndexSnapshot, error) { return snapshot.Load(path) }
+
+// Durability: a segmented write-ahead log makes object updates crash-safe.
+// Open an engine with EngineOptions.WALDir set (via OpenEngine) and every
+// update applied by the index is appended to an on-disk log and fsynced per
+// the configured policy; after a crash the next OpenEngine replays the log
+// over the loaded snapshot, truncating any torn tail left by the crash.
+type (
+	// WAL is the segmented, CRC-framed write-ahead log. Through it callers
+	// observe the durable watermark (DurableSeq), force an fsync (Flush) and
+	// reclaim segments covered by a snapshot (Checkpoint).
+	WAL = wal.WAL
+	// WALOptions configures the log: directory, segment size, fsync policy
+	// (SyncAlways, SyncInterval, SyncOnRotate) and the retry/probe timings
+	// of degraded mode.
+	WALOptions = wal.Options
+	// WALSyncPolicy picks when appended records are fsynced — the
+	// durability/throughput trade-off.
+	WALSyncPolicy = wal.SyncPolicy
+	// WALHealth is a point-in-time health snapshot of the log: state,
+	// watermarks, segment count and the error behind a degradation.
+	WALHealth = wal.Health
+	// WALState is the log's lifecycle state (healthy, degraded, closed).
+	WALState = wal.State
+	// WALCorruptionError reports mid-log corruption found during recovery —
+	// damage that cannot be explained by a torn final write and therefore
+	// refuses to load rather than silently dropping records.
+	WALCorruptionError = wal.CorruptionError
+	// WALRecoveryReport describes what OpenEngine reconstructed: records
+	// scanned and replayed, torn-tail truncation, and the scan/replay split
+	// of the recovery wall clock.
+	WALRecoveryReport = engine.WALRecovery
+	// EngineHealth reports whether a durable engine currently accepts
+	// updates; see Engine.Health.
+	EngineHealth = engine.Health
+)
+
+// Fsync policies for WALOptions.Sync.
+var (
+	// SyncAlways fsyncs after every applied batch: an acknowledged-durable
+	// update is never lost, at the cost of one fsync per batch.
+	SyncAlways = wal.SyncAlways
+	// SyncInterval fsyncs at most every d: bounded data loss, higher
+	// throughput.
+	SyncInterval = wal.SyncInterval
+	// SyncOnRotate fsyncs only at segment boundaries: fastest, loses up to
+	// a segment on crash.
+	SyncOnRotate = wal.SyncOnRotate
+)
+
+// ErrWALDegradedReadOnly is reported by updates while the write-ahead log
+// cannot reach its disk: the engine serves reads and rejects writes rather
+// than acknowledging updates it cannot persist, and resumes automatically
+// once a disk probe succeeds.
+var ErrWALDegradedReadOnly = wal.ErrDegradedReadOnly
+
+// ErrWALCorrupt is the sentinel wrapped by every *WALCorruptionError.
+var ErrWALCorrupt = wal.ErrCorrupt
+
+// OpenEngine is NewEngine plus durability: it recovers the write-ahead log
+// under opts.WALDir (replaying whatever the restored object index does not
+// already cover), attaches the log to the index's change feed, and returns
+// the recovery report alongside the engine. Close the engine to flush and
+// release the log.
+//
+//	eng, rep, err := viptree.OpenEngine(tree, viptree.EngineOptions{
+//		Objects: tree.IndexObjects(objects),
+//		WALDir:  "/var/lib/vip/wal",
+//	})
+func OpenEngine(ix Index, opts EngineOptions) (*Engine, *WALRecoveryReport, error) {
+	return engine.Open(ix, opts)
+}
