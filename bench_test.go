@@ -326,6 +326,130 @@ func BenchmarkExecuteBatch(b *testing.B) {
 	}
 }
 
+// Full-scale Menzies fixture shared by the batched object-query benchmarks:
+// built once (outside benchVenueSpecs so the venue-sweeping benchmarks never
+// construct full-scale baselines) and reused across BenchmarkBatchedKNN and
+// BenchmarkBatchedRange.
+var (
+	menFullOnce sync.Once
+	menFullVip  *viptree.VIPTree
+	menFullOI   *viptree.ObjectIndex
+	menFullWork []struct {
+		name   string
+		points []viptree.Location
+	}
+)
+
+func menFullObjects() (*viptree.VIPTree, *viptree.ObjectIndex) {
+	menFullOnce.Do(func() {
+		v := viptree.Menzies(viptree.ScaleFull)
+		menFullVip = viptree.MustBuildVIPTree(v)
+		menFullOI = menFullVip.IndexObjects(bench.Objects(toModelVenue(v), 1000, 7))
+		const n = 1024
+		hot := bench.Points(toModelVenue(v), 8, 22)
+		clustered := make([]viptree.Location, n)
+		for i := range clustered {
+			clustered[i] = hot[i%len(hot)]
+		}
+		menFullWork = []struct {
+			name   string
+			points []viptree.Location
+		}{
+			{"clustered", clustered},
+			{"uniform", bench.Points(toModelVenue(v), n, 21)},
+		}
+	})
+	return menFullVip, menFullOI
+}
+
+// BenchmarkBatchedKNN measures the index-level batched kNN path (KNNBatch)
+// against the per-query KNN loop on the full-scale Menzies venue, for
+// clustered sources (8 distinct points tiled to 1024 — the hot-lobby
+// workload the shared climbs and the climb cache amortise) and uniform
+// sources (1024 distinct points — the worst case, where only intra-batch
+// sharing helps). One op is one full batch; the qps metric is queries
+// answered per second. The acceptance bar is the clustered batch row at
+// ≥2× the clustered loop row; cache=off isolates what the tree-lifetime
+// climb cache adds on top of intra-batch climb sharing.
+func BenchmarkBatchedKNN(b *testing.B) {
+	tree, oi := menFullObjects()
+	workers := runtime.GOMAXPROCS(0)
+	for _, w := range menFullWork {
+		queries := make([]viptree.KNNQuery, len(w.points))
+		for i, p := range w.points {
+			queries[i] = viptree.KNNQuery{Q: p, K: 5}
+		}
+		out := make([][]viptree.ObjectResult, len(queries))
+		for _, cache := range []string{"on", "off"} {
+			b.Run(w.name+"/batch/cache="+cache, func(b *testing.B) {
+				if cache == "off" {
+					tree.SetClimbCacheCapacity(0)
+					defer tree.SetClimbCacheCapacity(-1) // back to the default
+				} else {
+					tree.SetClimbCacheCapacity(-1) // drop entries left by other runs
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					oi.KNNBatch(queries, out, workers)
+				}
+				b.ReportMetric(float64(b.N*len(queries))/b.Elapsed().Seconds(), "qps")
+			})
+		}
+		b.Run(w.name+"/loop", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					out[0] = oi.KNN(q.Q, q.K)
+				}
+			}
+			b.ReportMetric(float64(b.N*len(queries))/b.Elapsed().Seconds(), "qps")
+		})
+	}
+}
+
+// BenchmarkBatchedRange is the range counterpart of BenchmarkBatchedKNN:
+// RangeBatch against the per-query Range loop on the same full-scale
+// fixture and workloads, sharing the climb cache with the kNN benchmark.
+func BenchmarkBatchedRange(b *testing.B) {
+	tree, oi := menFullObjects()
+	workers := runtime.GOMAXPROCS(0)
+	for _, w := range menFullWork {
+		queries := make([]viptree.RangeQuery, len(w.points))
+		for i, p := range w.points {
+			queries[i] = viptree.RangeQuery{Q: p, R: 100}
+		}
+		out := make([][]viptree.ObjectResult, len(queries))
+		for _, cache := range []string{"on", "off"} {
+			b.Run(w.name+"/batch/cache="+cache, func(b *testing.B) {
+				if cache == "off" {
+					tree.SetClimbCacheCapacity(0)
+					defer tree.SetClimbCacheCapacity(-1)
+				} else {
+					tree.SetClimbCacheCapacity(-1)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					oi.RangeBatch(queries, out, workers)
+				}
+				b.ReportMetric(float64(b.N*len(queries))/b.Elapsed().Seconds(), "qps")
+			})
+		}
+		b.Run(w.name+"/loop", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					out[0] = oi.Range(q.Q, q.R)
+				}
+			}
+			b.ReportMetric(float64(b.N*len(queries))/b.Elapsed().Seconds(), "qps")
+		})
+	}
+}
+
 // BenchmarkKNN measures the warm kNN hot path (Algorithm 5) on the VIP-Tree
 // with allocation statistics: the warm path must report 1 alloc/op — the
 // returned result slice — with all traversal state in pooled epoch-stamped

@@ -45,10 +45,18 @@
 // With -batch N the workload is submitted in batches of N queries, which is
 // how a real serving frontend hands work to the engine: each batch flows
 // through the batched query planner (shared-climb execution over grouped
-// leaf pairs), and the report adds the per-batch latency next to the
+// leaf pairs for distance, shared source climbs and the climb cache for
+// kNN/range), and the report adds the per-batch latency next to the
 // per-query quantiles. -no-planner keeps the same batching but disables the
 // planner (engine.Options.DisablePlanner), which is the honest baseline when
 // measuring what the planner buys.
+//
+// With -workload zipf the query points are Zipf-skewed over per-partition
+// hot spots instead of uniform: a few hot sources dominate, so batched
+// kNN/range execution hits the climb cache on almost every query. The
+// report then includes the cache hit rate next to the throughput:
+//
+//	queryrunner -venue Men -index vip -query knn -n 50000 -batch 256 -workload zipf
 package main
 
 import (
@@ -89,6 +97,7 @@ func main() {
 		objects     = flag.Int("objects", 50, "number of indexed objects for kNN/range queries (ignored when the snapshot embeds an object index)")
 		radius      = flag.Float64("r", 100, "radius in metres for range queries")
 		seed        = flag.Int64("seed", 1, "workload seed")
+		workload    = flag.String("workload", "uniform", "query point distribution: uniform, or zipf (Zipf-skewed over per-partition hot spots — repeated sources exercise the planner's climb cache)")
 		parallel    = flag.Int("parallel", 1, "engine worker count (0 = GOMAXPROCS)")
 		load        = flag.String("load", "", "serve from this index snapshot (written by indexbuild -out) instead of building")
 		verify      = flag.Bool("verify", false, "cross-check every result against the exact D2D ground truth")
@@ -119,6 +128,10 @@ func main() {
 	}
 	if *batch < 0 {
 		fmt.Fprintln(os.Stderr, "-batch must be >= 0")
+		os.Exit(2)
+	}
+	if *workload != "uniform" && *workload != "zipf" {
+		fmt.Fprintln(os.Stderr, "-workload must be uniform or zipf")
 		os.Exit(2)
 	}
 
@@ -232,15 +245,25 @@ func main() {
 		if *query == "path" {
 			kind = engine.KindPath
 		}
-		for _, p := range bench.Pairs(v, *n, *seed) {
-			queries = append(queries, engine.Query{Kind: kind, S: p.S, T: p.T})
+		// With -workload zipf the sources are skewed, the targets uniform:
+		// the hot-source pattern a venue sees at rush hour.
+		var srcs []model.Location
+		if *workload == "zipf" {
+			srcs = zipfPoints(v, *n, *seed)
+		}
+		for i, p := range bench.Pairs(v, *n, *seed) {
+			s := p.S
+			if srcs != nil {
+				s = srcs[i]
+			}
+			queries = append(queries, engine.Query{Kind: kind, S: s, T: p.T})
 		}
 	case "knn":
-		for _, p := range bench.Points(v, *n, *seed) {
+		for _, p := range queryPoints(v, *n, *seed, *workload) {
 			queries = append(queries, engine.Query{Kind: engine.KindKNN, S: p, K: *k})
 		}
 	case "range":
-		for _, p := range bench.Points(v, *n, *seed) {
+		for _, p := range queryPoints(v, *n, *seed, *workload) {
 			queries = append(queries, engine.Query{Kind: engine.KindRange, S: p, Radius: *radius})
 		}
 	default:
@@ -321,6 +344,7 @@ func main() {
 	// -batch N submits the workload the way a serving frontend would: in
 	// fixed-size batches, each one planned and executed as a unit. With
 	// -batch 0 the whole workload is one batch (the historical behaviour).
+	pre := eng.Stats() // baseline for the climb-cache hit rate of the measured run
 	start := time.Now()
 	var results []engine.Result
 	nBatches := 1
@@ -390,6 +414,14 @@ func main() {
 	if *noPlanner {
 		mode += ", planner off"
 	}
+	// Climb-cache hit rate of the measured run: only batched kNN/range
+	// execution touches the cache, so the line appears exactly when the
+	// planner routed object queries through the batch path.
+	if st := eng.Stats(); st.ClimbCacheHits+st.ClimbCacheMisses > pre.ClimbCacheHits+pre.ClimbCacheMisses {
+		hits := st.ClimbCacheHits - pre.ClimbCacheHits
+		lookups := hits + st.ClimbCacheMisses - pre.ClimbCacheMisses
+		mode += fmt.Sprintf(", climb cache %.1f%% hits (%d/%d)", 100*float64(hits)/float64(lookups), hits, lookups)
+	}
 	if updates > 0 {
 		if clog := eng.ChangeLog(); clog != nil {
 			head, pub := clog.HeadSeq(), clog.PublishedSeq()
@@ -408,6 +440,36 @@ func main() {
 	qps := float64(len(queries)) / total.Seconds()
 	fmt.Printf("%s %s %s: %d queries, %d workers (%d cores)%s, %.2f us/query, %.0f qps, %s (total %v)\n",
 		v.Name, ix.Name(), *query, len(queries), workers, runtime.NumCPU(), mode, perQuery, qps, latencies, total)
+}
+
+// queryPoints draws the kNN/range query points for the chosen workload.
+func queryPoints(v *model.Venue, n int, seed int64, workload string) []model.Location {
+	if workload == "zipf" {
+		return zipfPoints(v, n, seed)
+	}
+	return bench.Points(v, n, seed)
+}
+
+// zipfPoints returns n query points Zipf-skewed over the venue's partitions:
+// every partition gets one fixed hot spot, the partitions are ranked by a
+// seeded shuffle, and points are drawn rank-skewed — a handful of hot
+// sources (lobbies, entrances at rush hour) dominate the stream. Because
+// each hot spot is one exact location, repeated draws share their Algorithm-2
+// climb through the planner's climb cache; the same seed always yields the
+// same stream.
+func zipfPoints(v *model.Venue, n int, seed int64) []model.Location {
+	rng := rand.New(rand.NewSource(seed))
+	hot := make([]model.Location, v.NumPartitions())
+	for pid := range hot {
+		hot[pid] = v.RandomLocationIn(model.PartitionID(pid), rng)
+	}
+	rng.Shuffle(len(hot), func(i, j int) { hot[i], hot[j] = hot[j], hot[i] })
+	z := rand.NewZipf(rng, 1.3, 1, uint64(len(hot)-1))
+	out := make([]model.Location, n)
+	for i := range out {
+		out[i] = hot[z.Uint64()]
+	}
+	return out
 }
 
 // parseSyncPolicy maps the -wal-sync flag to a wal.SyncPolicy.

@@ -179,15 +179,19 @@ type Options struct {
 // querier is mutable (index.MutableObjectIndexer), object updates may run
 // concurrently with reads — including mixed within one batch.
 type Engine struct {
-	idx     index.Index
-	objects index.ObjectQuerier
-	mutable index.MutableObjectIndexer // nil when objects is immutable
-	logged  index.ChangeLogger         // nil when the querier has no update log
-	batcher index.DistanceBatcher      // nil when the index has no batched path, or the planner is disabled
-	workers int
-	wal     *wal.WAL // nil for non-durable engines; set by Open
-	counts  [numKinds]atomic.Int64
-	lat     *latencyRing // nil when sampling is disabled
+	idx          index.Index
+	objects      index.ObjectQuerier
+	mutable      index.MutableObjectIndexer // nil when objects is immutable
+	logged       index.ChangeLogger         // nil when the querier has no update log
+	batcher      index.DistanceBatcher      // nil when the index has no batched path, or the planner is disabled
+	knnBatcher   index.KNNBatcher           // nil when the querier has no batched kNN path, or the planner is disabled
+	rangeBatcher index.RangeBatcher         // nil when the querier has no batched range path, or the planner is disabled
+	cacheRep     index.ClimbCacheReporter   // nil when the querier reports no climb cache
+	workers      int
+	wal          *wal.WAL // nil for non-durable engines; set by Open
+	counts       [numKinds]atomic.Int64
+	batched      [numKinds]atomic.Int64 // queries answered through batched index entry points
+	lat          *latencyRing           // nil when sampling is disabled
 }
 
 // New returns an engine over the index. For a durable engine (a write-ahead
@@ -207,7 +211,10 @@ func New(idx index.Index, opts Options) *Engine {
 	e := &Engine{idx: idx, objects: opts.Objects, mutable: mut, logged: logged, workers: w}
 	if !opts.DisablePlanner {
 		e.batcher, _ = idx.(index.DistanceBatcher)
+		e.knnBatcher, _ = opts.Objects.(index.KNNBatcher)
+		e.rangeBatcher, _ = opts.Objects.(index.RangeBatcher)
 	}
+	e.cacheRep, _ = opts.Objects.(index.ClimbCacheReporter)
 	if opts.LatencySampleSize > 0 {
 		e.lat = newLatencyRing(opts.LatencySampleSize)
 	}
@@ -349,13 +356,14 @@ func (e *Engine) execute(q Query) Result {
 }
 
 // ExecuteBatch runs every query and returns the results in query order,
-// fanning the work out over the engine's worker pool. All-read batches on a
-// batch-capable index (index.DistanceBatcher) are routed through the batched
-// query planner (planner.go), which shares climbs between distance queries;
-// batches containing updates, and engines built with
-// Options.DisablePlanner, execute every query individually. Results are
-// identical either way. It is safe to call from multiple goroutines at once;
-// each call uses its own pool.
+// fanning the work out over the engine's worker pool. Batches on a
+// batch-capable index (index.DistanceBatcher for distance queries,
+// index.KNNBatcher/RangeBatcher for object queries) are routed through the
+// batched query planner (planner.go), which shares climbs between queries;
+// updates mixed into a batch split it into maximal read runs that are still
+// planned around them. Engines built with Options.DisablePlanner execute
+// every query individually. Results are identical either way. It is safe to
+// call from multiple goroutines at once; each call uses its own pool.
 func (e *Engine) ExecuteBatch(queries []Query) []Result {
 	return e.ExecuteBatchWorkers(queries, e.workers)
 }
@@ -389,10 +397,20 @@ func (e *Engine) ExecuteBatchWorkers(queries []Query, workers int) []Result {
 }
 
 // Stats reports the number of operations executed per kind since New: the
-// four read kinds plus the three object-update kinds.
+// four read kinds plus the three object-update kinds, the share of reads
+// the planner routed through batched index entry points, and the climb
+// cache counters of the attached object querier (when it reports one).
 type Stats struct {
 	Distance, Path, KNN, Range int64
 	Insert, Delete, Move       int64
+	// BatchedDistance/KNN/Range count the queries answered through the
+	// index-level batched entry points (DistanceBatch/KNNBatch/RangeBatch)
+	// by the planner; each is a subset of the matching kind counter above.
+	BatchedDistance, BatchedKNN, BatchedRange int64
+	// ClimbCacheHits/Misses/Bytes mirror the object querier's climb cache
+	// (index.ClimbCacheReporter); zero when the querier reports none.
+	ClimbCacheHits, ClimbCacheMisses uint64
+	ClimbCacheBytes                  int64
 }
 
 // Total returns the total number of executed operations (reads and updates).
@@ -406,13 +424,23 @@ func (s Stats) Updates() int64 { return s.Insert + s.Delete + s.Move }
 
 // Stats returns a snapshot of the engine's query counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
-		Distance: e.counts[KindDistance].Load(),
-		Path:     e.counts[KindPath].Load(),
-		KNN:      e.counts[KindKNN].Load(),
-		Range:    e.counts[KindRange].Load(),
-		Insert:   e.counts[KindInsert].Load(),
-		Delete:   e.counts[KindDelete].Load(),
-		Move:     e.counts[KindMove].Load(),
+	s := Stats{
+		Distance:        e.counts[KindDistance].Load(),
+		Path:            e.counts[KindPath].Load(),
+		KNN:             e.counts[KindKNN].Load(),
+		Range:           e.counts[KindRange].Load(),
+		Insert:          e.counts[KindInsert].Load(),
+		Delete:          e.counts[KindDelete].Load(),
+		Move:            e.counts[KindMove].Load(),
+		BatchedDistance: e.batched[KindDistance].Load(),
+		BatchedKNN:      e.batched[KindKNN].Load(),
+		BatchedRange:    e.batched[KindRange].Load(),
 	}
+	if e.cacheRep != nil {
+		cc := e.cacheRep.ClimbCacheStats()
+		s.ClimbCacheHits = cc.Hits
+		s.ClimbCacheMisses = cc.Misses
+		s.ClimbCacheBytes = cc.Bytes
+	}
+	return s
 }

@@ -9,71 +9,186 @@ import (
 )
 
 // This file implements the batched query planner. When the engine's index
-// supports batched distance queries (index.DistanceBatcher — the IP-Tree and
-// VIP-Tree, which share leaf-to-LCA climbs across a batch), ExecuteBatch
-// routes the distance queries of an all-read batch through one DistanceBatch
-// call instead of per-query Distance calls, and fans only the remaining
-// reads over the worker pool. Results are positionally identical to the
-// unplanned path: DistanceBatch is bit-identical to per-pair Distance, and
-// the other queries still run through Execute. Batches containing object
-// updates fall back to the unplanned path — updates may observe or modify
-// state mid-batch, and the legacy interleaving is the documented behaviour.
+// supports batched queries (index.DistanceBatcher for distance queries —
+// the IP-Tree and VIP-Tree, which share leaf-to-LCA climbs across a batch —
+// and index.KNNBatcher/RangeBatcher for object queries, which share the
+// Algorithm-2 source climbs and the climb cache), ExecuteBatch routes the
+// batchable queries through the index-level batch calls instead of per-query
+// calls, and fans only the remaining reads over the worker pool. Results are
+// positionally identical to the unplanned path: the batch calls are
+// bit-identical to their per-query counterparts, and the other queries still
+// run through Execute.
+//
+// Batches containing object updates are split into maximal read runs: the
+// reads between two updates still plan, the updates execute with the legacy
+// interleaving (pooled within their own run). A read observes the object
+// state after every update of an earlier run and before every update of a
+// later one — at least as strong as the unplanned path, which interleaves
+// the whole batch arbitrarily.
 
 // planBatch attempts the planned execution of a batch, writing results into
 // out. It returns false — having written nothing — when the batch does not
-// qualify: no batch-capable index, an update or unknown kind in the batch,
-// or fewer than two distance queries to amortise.
+// qualify: no batch-capable index, an unknown kind in the batch, or no run
+// with at least two batchable queries of one kind to amortise.
 func (e *Engine) planBatch(queries []Query, out []Result, workers int) bool {
-	if e.batcher == nil {
+	if e.batcher == nil && e.knnBatcher == nil && e.rangeBatcher == nil {
 		return false
 	}
-	nDist := 0
+	// One qualification pass: count batchable queries per read run, bailing
+	// on unknown kinds (the unplanned path reports ErrUnknownKind per
+	// query). A run qualifies when one kind has >= 2 queries to amortise
+	// and the index grants the capability.
+	plan := false
+	nDist, nKNN, nRange := 0, 0, 0
+	flush := func() {
+		if (e.batcher != nil && nDist >= 2) ||
+			(e.knnBatcher != nil && nKNN >= 2) ||
+			(e.rangeBatcher != nil && nRange >= 2) {
+			plan = true
+		}
+		nDist, nKNN, nRange = 0, 0, 0
+	}
 	for i := range queries {
 		switch queries[i].Kind {
 		case KindDistance:
 			nDist++
-		case KindPath, KindKNN, KindRange:
+		case KindKNN:
+			nKNN++
+		case KindRange:
+			nRange++
+		case KindPath:
+		case KindInsert, KindDelete, KindMove:
+			flush()
 		default:
 			return false
 		}
 	}
-	if nDist < 2 {
+	flush()
+	if !plan {
 		return false
 	}
-	var start time.Time
-	if e.lat != nil {
-		start = time.Now()
-	}
-	pairs := make([]index.LocationPair, 0, nDist)
-	pos := make([]int32, 0, nDist)
-	rest := make([]int32, 0, len(queries)-nDist)
-	for i := range queries {
-		if queries[i].Kind == KindDistance {
-			pairs = append(pairs, index.LocationPair{S: queries[i].S, T: queries[i].T})
-			pos = append(pos, int32(i))
+	// Execute the runs in order: planned read runs, pooled update runs.
+	lo := 0
+	for i := 0; i <= len(queries); i++ {
+		if i < len(queries) && queries[i].Kind.IsUpdate() == queries[lo].Kind.IsUpdate() {
+			continue
+		}
+		if queries[lo].Kind.IsUpdate() {
+			runPooled(i-lo, workers, func(k int) {
+				out[lo+k] = e.Execute(queries[lo+k])
+			})
 		} else {
+			e.planReadRun(queries[lo:i], out[lo:i], workers)
+		}
+		lo = i
+	}
+	return true
+}
+
+// planReadRun executes one all-read run: the batchable segments (>= 2
+// queries of a kind with the matching capability) go through the index-level
+// batch calls, everything else through the pooled per-query path. With
+// latency sampling enabled, each batched segment records the amortised
+// per-query share of its duration — kNN and range exactly like distance.
+func (e *Engine) planReadRun(queries []Query, out []Result, workers int) {
+	nDist, nKNN, nRange := 0, 0, 0
+	for i := range queries {
+		switch queries[i].Kind {
+		case KindDistance:
+			nDist++
+		case KindKNN:
+			nKNN++
+		case KindRange:
+			nRange++
+		}
+	}
+	batchDist := e.batcher != nil && nDist >= 2
+	batchKNN := e.knnBatcher != nil && nKNN >= 2
+	batchRange := e.rangeBatcher != nil && nRange >= 2
+	var (
+		pairs    []index.LocationPair
+		distPos  []int32
+		knns     []index.KNNQuery
+		knnPos   []int32
+		ranges   []index.RangeQuery
+		rangePos []int32
+		rest     []int32
+	)
+	for i := range queries {
+		q := &queries[i]
+		switch {
+		case q.Kind == KindDistance && batchDist:
+			pairs = append(pairs, index.LocationPair{S: q.S, T: q.T})
+			distPos = append(distPos, int32(i))
+		case q.Kind == KindKNN && batchKNN:
+			knns = append(knns, index.KNNQuery{Q: q.S, K: q.K})
+			knnPos = append(knnPos, int32(i))
+		case q.Kind == KindRange && batchRange:
+			ranges = append(ranges, index.RangeQuery{Q: q.S, R: q.Radius})
+			rangePos = append(rangePos, int32(i))
+		default:
 			rest = append(rest, int32(i))
 		}
 	}
-	dists := make([]float64, len(pairs))
-	e.batcher.DistanceBatch(pairs, dists, workers)
-	for k, i := range pos {
-		out[i] = Result{Dist: dists[k]}
-	}
-	e.counts[KindDistance].Add(int64(len(pairs)))
-	if e.lat != nil {
-		// The batch shares work across queries, so per-query latency is the
-		// amortised share of the batched segment.
-		per := time.Since(start) / time.Duration(len(pairs))
-		for range pairs {
-			e.lat.record(per)
+	if batchDist {
+		start := e.latStart()
+		dists := make([]float64, len(pairs))
+		e.batcher.DistanceBatch(pairs, dists, workers)
+		for k, i := range distPos {
+			out[i] = Result{Dist: dists[k]}
 		}
+		e.counts[KindDistance].Add(int64(len(pairs)))
+		e.batched[KindDistance].Add(int64(len(pairs)))
+		e.recordAmortised(start, len(pairs))
+	}
+	if batchKNN {
+		start := e.latStart()
+		objs := make([][]index.ObjectResult, len(knns))
+		e.knnBatcher.KNNBatch(knns, objs, workers)
+		for k, i := range knnPos {
+			out[i] = Result{Objects: objs[k]}
+		}
+		e.counts[KindKNN].Add(int64(len(knns)))
+		e.batched[KindKNN].Add(int64(len(knns)))
+		e.recordAmortised(start, len(knns))
+	}
+	if batchRange {
+		start := e.latStart()
+		objs := make([][]index.ObjectResult, len(ranges))
+		e.rangeBatcher.RangeBatch(ranges, objs, workers)
+		for k, i := range rangePos {
+			out[i] = Result{Objects: objs[k]}
+		}
+		e.counts[KindRange].Add(int64(len(ranges)))
+		e.batched[KindRange].Add(int64(len(ranges)))
+		e.recordAmortised(start, len(ranges))
 	}
 	runPooled(len(rest), workers, func(k int) {
 		i := rest[k]
 		out[i] = e.Execute(queries[i])
 	})
-	return true
+}
+
+// latStart returns the segment start time when latency sampling is on.
+func (e *Engine) latStart() time.Time {
+	if e.lat == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// recordAmortised records n latency samples of the amortised per-query share
+// of the batched segment that started at start. The batch shares work across
+// queries, so the amortised share — not the full segment duration — is the
+// per-query cost the ring should reflect.
+func (e *Engine) recordAmortised(start time.Time, n int) {
+	if e.lat == nil || n == 0 {
+		return
+	}
+	per := time.Since(start) / time.Duration(n)
+	for i := 0; i < n; i++ {
+		e.lat.record(per)
+	}
 }
 
 // runPooled executes fn(i) for every i in [0, n) over a pool of the given

@@ -106,10 +106,12 @@ func TestPlannerDisabledMatches(t *testing.T) {
 	}
 }
 
-// TestPlannerFallbackOnUpdates checks that a batch containing object updates
-// bypasses the planner safely: the distance results still match per-query
-// Execute (an insert cannot affect distances), the update itself takes
-// effect, and the operation counters balance.
+// TestPlannerFallbackOnUpdates checks that a batch containing an object
+// update stays safe AND planned: the update splits the batch into two read
+// runs that each still batch their distance queries, the distance results
+// match per-query Execute (an insert cannot affect distances), the update
+// itself takes effect, and the operation counters balance — including the
+// batched-query counters, which must cover every distance query in both runs.
 func TestPlannerFallbackOnUpdates(t *testing.T) {
 	v := testVenue(t)
 	vip := iptree.MustBuildVIPTree(v, iptree.Options{})
@@ -151,6 +153,70 @@ func TestPlannerFallbackOnUpdates(t *testing.T) {
 	st := eng.Stats()
 	if st.Distance != int64(len(queries)-1) || st.Insert != 1 {
 		t.Fatalf("Stats() = %+v, want %d distance and 1 insert", st, len(queries)-1)
+	}
+	// Both read runs around the insert plan: all 40 distance queries batch.
+	if st.BatchedDistance != int64(len(queries)-1) {
+		t.Fatalf("Stats().BatchedDistance = %d, want %d (read runs around the update must still plan)",
+			st.BatchedDistance, len(queries)-1)
+	}
+}
+
+// TestPlannerReadRunSplitting is the regression test for the read-run
+// splitter: a batch mixing distance, kNN and range queries around a Move
+// must produce exactly the results of sequential per-query execution (reads
+// before the update see the old object state, reads after see the new one),
+// and the batched counters must account for every read in both runs.
+func TestPlannerReadRunSplitting(t *testing.T) {
+	v := testVenue(t)
+	vip := iptree.MustBuildVIPTree(v, iptree.Options{})
+	rng := rand.New(rand.NewSource(83))
+	objects := make([]model.Location, 12)
+	for i := range objects {
+		objects[i] = v.RandomLocation(rng)
+	}
+	eng := engine.New(vip, engine.Options{Workers: 4, Objects: vip.IndexObjects(objects)})
+	// Twin engine over the same tree and object set, executed strictly
+	// per-query: the reference for run-order semantics.
+	twin := engine.New(vip, engine.Options{Workers: 1, Objects: vip.IndexObjects(objects)})
+
+	var queries []engine.Query
+	half := func(seed int64) {
+		hr := rand.New(rand.NewSource(seed))
+		for i := 0; i < 6; i++ {
+			queries = append(queries,
+				engine.Query{Kind: engine.KindDistance, S: v.RandomLocation(hr), T: v.RandomLocation(hr)},
+				engine.Query{Kind: engine.KindKNN, S: v.RandomLocation(hr), K: 3},
+				engine.Query{Kind: engine.KindRange, S: v.RandomLocation(hr), Radius: 120},
+			)
+		}
+	}
+	half(7)
+	// The move relocates object 0 far enough to change nearby kNN answers.
+	queries = append(queries, engine.Query{Kind: engine.KindMove, ObjectID: 0, S: v.RandomLocation(rng)})
+	half(11)
+
+	want := make([]engine.Result, len(queries))
+	for i, q := range queries {
+		want[i] = twin.Execute(q)
+	}
+	got := eng.ExecuteBatch(queries)
+	for i := range want {
+		if !resultsEqual(got[i], want[i]) {
+			t.Fatalf("query %d (%v): planned %+v != sequential %+v", i, queries[i].Kind, got[i], want[i])
+		}
+	}
+
+	st := eng.Stats()
+	if st.BatchedDistance != 12 || st.BatchedKNN != 12 || st.BatchedRange != 12 {
+		t.Fatalf("batched counters = %d/%d/%d (distance/kNN/range), want 12 each: %+v",
+			st.BatchedDistance, st.BatchedKNN, st.BatchedRange, st)
+	}
+	if st.Move != 1 {
+		t.Fatalf("Stats().Move = %d, want 1", st.Move)
+	}
+	// The batched kNN/range runs exercised the climb cache.
+	if st.ClimbCacheHits+st.ClimbCacheMisses == 0 {
+		t.Fatalf("climb cache untouched by batched object queries: %+v", st)
 	}
 }
 

@@ -52,6 +52,15 @@ var (
 	_ index.DistanceBatcher = (*iptree.VIPTree)(nil)
 )
 
+// Compile-time assertions for the batched-object capability: the shared
+// IP-Tree/VIP-Tree object index answers kNN and range batches with shared
+// source climbs and reports its climb cache counters.
+var (
+	_ index.KNNBatcher         = (*iptree.ObjectIndex)(nil)
+	_ index.RangeBatcher       = (*iptree.ObjectIndex)(nil)
+	_ index.ClimbCacheReporter = (*iptree.ObjectIndex)(nil)
+)
+
 func allIndexers(t *testing.T, v *model.Venue) []index.ObjectIndexer {
 	t.Helper()
 	ip, err := iptree.BuildIPTree(v, iptree.Options{})
@@ -349,6 +358,108 @@ func TestChangeLoggerConformance(t *testing.T) {
 			t.Errorf("change-log conformance table lists %q but no index reported that name", name)
 		}
 	}
+}
+
+// TestObjectBatcherConformance pins down which object queriers implement
+// the batched kNN/range capability: exactly those of the IP-Tree and
+// VIP-Tree (the indexes whose per-source climbs a batch can share). For
+// implementers, the batched answers must match the per-query ones exactly,
+// and the capability — together with the climb cache counters — must
+// survive the Combine wrapper, because the engine may probe through the
+// Full interface.
+func TestObjectBatcherConformance(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{
+		Name: "objbatch", Floors: 2, RoomsPerHallway: 8, Seed: 8,
+	})
+	wantBatcher := map[string]bool{
+		"IP-Tree":  true,
+		"VIP-Tree": true,
+		"DistMx":   false,
+		"DistAw":   false,
+		"G-tree":   false,
+		"ROAD":     false,
+	}
+	rng := rand.New(rand.NewSource(9))
+	objects := make([]model.Location, 15)
+	for i := range objects {
+		objects[i] = v.RandomLocation(rng)
+	}
+	points := make([]model.Location, 8)
+	for i := range points {
+		points[i] = v.RandomLocation(rng)
+	}
+	seen := map[string]bool{}
+	for _, ixr := range allIndexers(t, v) {
+		name := ixr.Name()
+		seen[name] = true
+		want, known := wantBatcher[name]
+		if !known {
+			t.Errorf("index %q missing from the object-batcher conformance table", name)
+			continue
+		}
+		oq := ixr.NewObjectQuerier(objects)
+		kb, gotKNN := oq.(index.KNNBatcher)
+		rb, gotRange := oq.(index.RangeBatcher)
+		if gotKNN != want || gotRange != want {
+			t.Errorf("index %q: implements KNNBatcher/RangeBatcher = %v/%v, want %v", name, gotKNN, gotRange, want)
+			continue
+		}
+		if !want {
+			continue
+		}
+		knns := make([]index.KNNQuery, len(points))
+		ranges := make([]index.RangeQuery, len(points))
+		for i, p := range points {
+			knns[i] = index.KNNQuery{Q: p, K: 4}
+			ranges[i] = index.RangeQuery{Q: p, R: 80}
+		}
+		knnOut := make([][]index.ObjectResult, len(points))
+		rangeOut := make([][]index.ObjectResult, len(points))
+		kb.KNNBatch(knns, knnOut, 2)
+		rb.RangeBatch(ranges, rangeOut, 2)
+		for i, p := range points {
+			if got, want := knnOut[i], oq.KNN(p, 4); !objectResultsEqual(got, want) {
+				t.Errorf("index %q: KNNBatch[%d] = %v, want %v", name, i, got, want)
+			}
+			if got, want := rangeOut[i], oq.Range(p, 80); !objectResultsEqual(got, want) {
+				t.Errorf("index %q: RangeBatch[%d] = %v, want %v", name, i, got, want)
+			}
+		}
+		// The capability and the climb cache counters must survive Combine.
+		full := index.Combine(ixr, oq)
+		if _, ok := full.(index.KNNBatcher); !ok {
+			t.Errorf("index %q: Combine dropped the KNNBatcher capability", name)
+		}
+		if _, ok := full.(index.RangeBatcher); !ok {
+			t.Errorf("index %q: Combine dropped the RangeBatcher capability", name)
+		}
+		rep, ok := full.(index.ClimbCacheReporter)
+		if !ok {
+			t.Errorf("index %q: Combine dropped the ClimbCacheReporter capability", name)
+		} else if cc := rep.ClimbCacheStats(); cc.Hits+cc.Misses == 0 {
+			t.Errorf("index %q: climb cache counted no lookups after two batches: %+v", name, cc)
+		}
+		if _, ok := full.(index.DistanceBatcher); !ok {
+			t.Errorf("index %q: Combine dropped the DistanceBatcher capability alongside the object batchers", name)
+		}
+	}
+	for name := range wantBatcher {
+		if !seen[name] {
+			t.Errorf("object-batcher conformance table lists %q but no index reported that name", name)
+		}
+	}
+}
+
+func objectResultsEqual(a, b []index.ObjectResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func approxEqual(a, b float64) bool {

@@ -109,6 +109,20 @@ type DistanceBatcher interface {
 	DistanceBatch(pairs []LocationPair, out []float64, workers int)
 }
 
+// KNNQuery is one query of a batched kNN call: the query point and the
+// result count.
+type KNNQuery struct {
+	Q model.Location
+	K int
+}
+
+// RangeQuery is one query of a batched range call: the query point and the
+// distance bound in metres.
+type RangeQuery struct {
+	Q model.Location
+	R float64
+}
+
 // ObjectResult is one object returned by a kNN or range query.
 type ObjectResult struct {
 	// ObjectID is the position of the object in the object set passed to
@@ -128,6 +142,59 @@ type ObjectQuerier interface {
 	// Range returns every object within distance r of q in ascending
 	// distance order.
 	Range(q model.Location, r float64) []ObjectResult
+}
+
+// KNNBatcher is an ObjectQuerier that can answer many kNN queries as one
+// batch, amortising work shared between queries (for the tree indexes: the
+// Algorithm-2 leaf-to-root climb of queries issued from the same source
+// location, computed once per distinct source and reused across the batch).
+// The IP-Tree and VIP-Tree object indexes implement the capability;
+// conformance_test.go pins down the set.
+type KNNBatcher interface {
+	ObjectQuerier
+	// KNNBatch computes KNN(q.Q, q.K) for every query q, writing each
+	// result into the matching slot of out, which must be at least
+	// len(queries) long. Results are bit-identical to per-query KNN calls
+	// against one consistent state: the whole batch answers from a single
+	// pinned epoch, and results do not depend on workers (<= 1 executes on
+	// the calling goroutine).
+	KNNBatch(queries []KNNQuery, out [][]ObjectResult, workers int)
+}
+
+// RangeBatcher is an ObjectQuerier that can answer many range queries as one
+// batch; the sharing and consistency contract is that of KNNBatcher. The
+// IP-Tree and VIP-Tree object indexes implement the capability;
+// conformance_test.go pins down the set.
+type RangeBatcher interface {
+	ObjectQuerier
+	// RangeBatch computes Range(q.Q, q.R) for every query q into out, which
+	// must be at least len(queries) long, with the same bit-identity,
+	// single-epoch and worker-independence guarantees as KNNBatch.
+	RangeBatch(queries []RangeQuery, out [][]ObjectResult, workers int)
+}
+
+// ClimbCacheStats is a snapshot of the counters of a climb cache: the
+// tree-lifetime cache of per-source climb tables consulted by the batched
+// kNN/range path (see KNNBatcher).
+type ClimbCacheStats struct {
+	// Hits and Misses count cache lookups by batched queries.
+	Hits, Misses uint64
+	// Evictions counts entries displaced by the clock hand to admit new ones.
+	Evictions uint64
+	// Entries and Bytes describe the cache's current residency.
+	Entries int
+	Bytes   int64
+	// Sweeps counts the leaf-to-root matrix sweep levels executed by batched
+	// climb-table fills — cache hits execute none, which the instrumented
+	// tests pin.
+	Sweeps uint64
+}
+
+// ClimbCacheReporter is implemented by object queriers that maintain a climb
+// cache and can report its counters (surfaced through engine.Stats and
+// queryrunner output).
+type ClimbCacheReporter interface {
+	ClimbCacheStats() ClimbCacheStats
 }
 
 // ObjectIndexer is an Index that can embed a set of objects, yielding the
@@ -209,13 +276,58 @@ func (c combinedBatcher) DistanceBatch(pairs []LocationPair, out []float64, work
 	c.batcher.DistanceBatch(pairs, out, workers)
 }
 
+// objectBatcher is the batched half of the object capability surface: the
+// IP-Tree/VIP-Tree object index implements both batch kinds (and the climb
+// cache counters) together, so Combine forwards them as one bundle.
+type objectBatcher interface {
+	KNNBatcher
+	RangeBatcher
+	ClimbCacheReporter
+}
+
+// combinedObjBatcher forwards the batched kNN/range capability (and the
+// climb-cache counters) of the wrapped object querier.
+type combinedObjBatcher struct {
+	combined
+	ob objectBatcher
+}
+
+func (c combinedObjBatcher) KNNBatch(queries []KNNQuery, out [][]ObjectResult, workers int) {
+	c.ob.KNNBatch(queries, out, workers)
+}
+
+func (c combinedObjBatcher) RangeBatch(queries []RangeQuery, out [][]ObjectResult, workers int) {
+	c.ob.RangeBatch(queries, out, workers)
+}
+
+func (c combinedObjBatcher) ClimbCacheStats() ClimbCacheStats { return c.ob.ClimbCacheStats() }
+
+// combinedFullBatcher forwards both the batched-distance capability of the
+// wrapped index and the batched-object capability of the wrapped querier.
+type combinedFullBatcher struct {
+	combinedObjBatcher
+	batcher DistanceBatcher
+}
+
+func (c combinedFullBatcher) DistanceBatch(pairs []LocationPair, out []float64, workers int) {
+	c.batcher.DistanceBatch(pairs, out, workers)
+}
+
 // Combine glues a distance index and an object querier (usually built from
 // the same underlying structure) into the Full capability interface. The
 // combined index reports the distance index's name and statistics, and
-// preserves the wrapped index's DistanceBatcher capability when present.
+// preserves the wrapped index's DistanceBatcher capability and the wrapped
+// querier's KNNBatcher/RangeBatcher capability when present.
 func Combine(ix Index, objects ObjectQuerier) Full {
 	c := combined{Index: ix, objects: objects}
-	if b, ok := ix.(DistanceBatcher); ok {
+	b, _ := ix.(DistanceBatcher)
+	ob, _ := objects.(objectBatcher)
+	switch {
+	case b != nil && ob != nil:
+		return combinedFullBatcher{combinedObjBatcher: combinedObjBatcher{combined: c, ob: ob}, batcher: b}
+	case ob != nil:
+		return combinedObjBatcher{combined: c, ob: ob}
+	case b != nil:
 		return combinedBatcher{combined: c, batcher: b}
 	}
 	return c

@@ -202,6 +202,11 @@ type ObjectIndex struct {
 	// warm kNN/Range queries down to the result-slice allocation and safe
 	// for concurrent callers.
 	scratchPool sync.Pool
+
+	// obPool recycles the per-batch plan state of KNNBatch/RangeBatch
+	// (objbatch.go): the source dedup set, grouping arrays and the climb
+	// block arena.
+	obPool sync.Pool
 }
 
 // objApplier adapts ObjectIndex to updatelog.Applier without exporting the
@@ -754,7 +759,18 @@ func (oi *ObjectIndex) branchAndBound(ep *objEpoch, q model.Location, k int, rad
 			ds[i], _ = sd.tab.get(a)
 		}
 	}
+	return oi.bestFirst(ep, q, qLeaf, k, radius, oc)
+}
 
+// bestFirst runs the best-first traversal of Algorithm 5 against a
+// pre-seeded scratch: oc.nodes must already hold dist(q, ·) for the access
+// doors of every ancestor of qLeaf (the Algorithm 2 output). branchAndBound
+// seeds it from a fresh climb; the batched path (objbatch.go) seeds it from
+// a shared climb block carrying the very same values, which is what keeps
+// batched answers bit-identical to sequential ones.
+func (oi *ObjectIndex) bestFirst(ep *objEpoch, q model.Location, qLeaf NodeID, k int, radius float64, oc *objScratch) []index.ObjectResult {
+	t := oi.tree
+	nd := &oc.nodes
 	results := resultCollector{k: k, radius: radius, results: oc.results[:0]}
 	heap := oc.heap[:0]
 	if ep.subtreeCount[t.root] > 0 {

@@ -147,6 +147,12 @@ type Tree struct {
 	batchPool    sync.Pool
 	scratchPoolB sync.Pool
 
+	// climb is the tree-lifetime cache of Algorithm-2 climb blocks consulted
+	// by the batched kNN/range path (climbcache.go). Climb blocks depend
+	// only on the static tree topology, so the cache lives on the tree and
+	// is shared by every object index embedded into it.
+	climb climbCache
+
 	// timings records the wall-clock cost of each construction phase; zero
 	// for trees restored from a snapshot.
 	timings BuildTimings
@@ -469,18 +475,23 @@ func (t *Tree) Stats() index.Stats {
 
 func (t *Tree) indexStats(name string, memory int64) index.Stats {
 	s := t.TreeStats()
+	cc := t.climb.stats()
 	return index.Stats{
 		Name:        name,
 		MemoryBytes: memory,
 		Details: map[string]float64{
-			"nodes":              float64(s.Nodes),
-			"leaves":             float64(s.Leaves),
-			"height":             float64(s.Height),
-			"avg_access_doors":   s.AvgAccessDoors,
-			"max_access_doors":   float64(s.MaxAccessDoors),
-			"avg_fanout":         s.AvgFanout,
-			"avg_superior_doors": s.AvgSuperiorDoors,
-			"matrix_bytes":       float64(s.MatrixBytes),
+			"nodes":               float64(s.Nodes),
+			"leaves":              float64(s.Leaves),
+			"height":              float64(s.Height),
+			"avg_access_doors":    s.AvgAccessDoors,
+			"max_access_doors":    float64(s.MaxAccessDoors),
+			"avg_fanout":          s.AvgFanout,
+			"avg_superior_doors":  s.AvgSuperiorDoors,
+			"matrix_bytes":        float64(s.MatrixBytes),
+			"climb_cache_hits":    float64(cc.Hits),
+			"climb_cache_misses":  float64(cc.Misses),
+			"climb_cache_entries": float64(cc.Entries),
+			"climb_cache_bytes":   float64(cc.Bytes),
 		},
 	}
 }

@@ -190,6 +190,25 @@ type (
 	// IP-Tree and VIP-Tree implement it and the engine's batched query
 	// planner uses it automatically.
 	DistanceBatcher = index.DistanceBatcher
+	// KNNQuery is one query of a batched kNN call (query point and result
+	// count).
+	KNNQuery = index.KNNQuery
+	// RangeQuery is one query of a batched range call (query point and
+	// distance bound).
+	RangeQuery = index.RangeQuery
+	// KNNBatcher is the capability interface of object queriers that answer
+	// many kNN queries in one call, sharing the per-source climbs; the
+	// IP-Tree and VIP-Tree object indexes implement it and the engine's
+	// batched query planner uses it automatically.
+	KNNBatcher = index.KNNBatcher
+	// RangeBatcher is the batched-range counterpart of KNNBatcher.
+	RangeBatcher = index.RangeBatcher
+	// ClimbCacheStats is a snapshot of the climb cache counters of a tree
+	// (hits, misses, evictions, residency and climb sweeps).
+	ClimbCacheStats = index.ClimbCacheStats
+	// ClimbCacheReporter is implemented by object queriers that maintain a
+	// climb cache and report its counters.
+	ClimbCacheReporter = index.ClimbCacheReporter
 	// IndexStats is the uniform construction metadata reported by Stats.
 	IndexStats = index.Stats
 )
