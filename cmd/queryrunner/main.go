@@ -60,6 +60,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -145,7 +146,10 @@ func main() {
 		loadStart := time.Now()
 		snap, err := snapshot.Load(*load)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			// The typed failure kind (missing, truncated, checksum, …) tells an
+			// operator — or a supervisor parsing stderr — whether to fix the
+			// path, re-copy the file, or rebuild the index.
+			fmt.Fprintf(os.Stderr, "queryrunner: cannot serve from %s: %v [%s]\n", *load, err, snapshot.Classify(err))
 			os.Exit(1)
 		}
 		v = snap.Venue
@@ -195,7 +199,11 @@ func main() {
 		var rep *engine.WALRecovery
 		eng, rep, err = engine.Open(ix, engOpts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			kind := "wal-io"
+			if errors.Is(err, wal.ErrCorrupt) {
+				kind = "wal-corrupt"
+			}
+			fmt.Fprintf(os.Stderr, "queryrunner: cannot recover %s: %v [%s]\n", *walDir, err, kind)
 			os.Exit(1)
 		}
 		printRecovery(rep, sync)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -13,6 +14,8 @@ import (
 
 	"viptree/internal/bench"
 	"viptree/internal/engine"
+	"viptree/internal/index"
+	"viptree/internal/snapshot"
 	"viptree/internal/venuegen"
 	"viptree/internal/wal"
 )
@@ -82,6 +85,63 @@ func waitForChurn(t *testing.T, walDir string) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatal("runner never started appending to the wal")
+}
+
+// TestLoadErrorsAreTyped runs the real binary against missing, garbage and
+// torn -load snapshots: each must exit non-zero with the typed failure kind
+// on stderr, so a supervisor can tell "fix the path" from "re-copy the file".
+func TestLoadErrorsAreTyped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a real binary")
+	}
+	bin := buildRunner(t)
+	dir := t.TempDir()
+
+	valid := filepath.Join(dir, "valid.snap")
+	cfg := bench.DefaultConfig(venuegen.ScaleTiny)
+	cfg.VenueNames = []string{"MC"}
+	v := cfg.Venues()[0].Venue
+	ix := buildIndex(v, "vip")
+	if err := snapshot.Save(valid, v, ix.(index.Snapshotter), nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := filepath.Join(dir, "garbage.snap")
+	os.WriteFile(garbage, bytes.Repeat([]byte("definitely not a snapshot "), 8), 0o644)
+	torn := filepath.Join(dir, "torn.snap")
+	os.WriteFile(torn, data[:len(data)/2], 0o644)
+
+	cases := []struct {
+		name, load, kind string
+	}{
+		{"missing", filepath.Join(dir, "no-such.snap"), "[missing]"},
+		{"garbage", garbage, "[not-snapshot]"},
+		{"torn", torn, "[truncated]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(bin, "-load", tc.load, "-n", "1").CombinedOutput()
+			if err == nil {
+				t.Fatalf("runner exited 0 on a bad snapshot:\n%s", out)
+			}
+			var xerr *exec.ExitError
+			if !errors.As(err, &xerr) || xerr.ExitCode() == 0 {
+				t.Fatalf("want a non-zero exit, got %v", err)
+			}
+			if !bytes.Contains(out, []byte(tc.kind)) {
+				t.Fatalf("stderr missing the typed kind %s:\n%s", tc.kind, out)
+			}
+		})
+	}
+
+	// The happy path still serves: the same binary, the same snapshot, valid.
+	out, err := exec.Command(bin, "-load", valid, "-n", "10", "-verify").CombinedOutput()
+	if err != nil {
+		t.Fatalf("runner failed on the valid snapshot: %v\n%s", err, out)
+	}
 }
 
 // TestGracefulShutdownLosesNothing interrupts the runner mid-churn and

@@ -1,0 +1,112 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"viptree/internal/engine"
+	"viptree/internal/iptree"
+	"viptree/internal/model"
+	"viptree/internal/wal"
+)
+
+// openDurable builds a durable engine over a fresh VIP-Tree with a WAL on a
+// FaultFS (no faults armed unless the test arms them).
+func openDurable(t *testing.T, objects int) (*engine.Engine, *model.Venue) {
+	t.Helper()
+	v := testVenue(t)
+	tree := iptree.MustBuildVIPTree(v, iptree.Options{})
+	eng, _, err := engine.Open(tree, engine.Options{
+		Workers:    4,
+		Objects:    tree.IndexObjects(baseObjects(v, objects, 1)),
+		WALDir:     "wal",
+		WALOptions: fastWALOptions(wal.NewFaultFS()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, v
+}
+
+// TestCloseIdempotent pins the shutdown contract: Close flushes and returns
+// nil, every further Close is a no-op returning the same nil, and a
+// non-durable engine tolerates any number of Closes.
+func TestCloseIdempotent(t *testing.T) {
+	eng, v := openDurable(t, 10)
+	rng := rand.New(rand.NewSource(41))
+	if _, err := eng.Insert(v.RandomLocation(rng)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := eng.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+1, err)
+		}
+	}
+	// Updates after Close are rejected (the WAL is gone), reads keep serving.
+	if _, err := eng.Insert(v.RandomLocation(rng)); err == nil {
+		t.Fatal("insert accepted after Close")
+	}
+	if r := eng.ExecuteBatch(probeQueries(v, 2)); r[0].Err != nil {
+		t.Fatalf("read after Close: %v", r[0].Err)
+	}
+
+	nd := engine.New(iptree.MustBuildVIPTree(testVenue(t), iptree.Options{}), engine.Options{})
+	for i := 0; i < 3; i++ {
+		if err := nd.Close(); err != nil {
+			t.Fatalf("non-durable Close #%d: %v", i+1, err)
+		}
+	}
+}
+
+// TestCloseConcurrentWithExecuteBatch races Close against serving batches:
+// reads must keep answering correctly throughout (Close only detaches the
+// WAL), updates must either apply durably before the close or be rejected
+// with a typed error, and no goroutine may panic or deadlock. Run under
+// -race this also pins the memory-safety of the shutdown path.
+func TestCloseConcurrentWithExecuteBatch(t *testing.T) {
+	eng, v := openDurable(t, 20)
+
+	const callers = 4
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			<-start
+			for round := 0; round < 20; round++ {
+				qs := probeQueries(v, 4)
+				// One update rides along so the batch crosses the WAL.
+				qs = append(qs, engine.Query{Kind: engine.KindInsert, S: v.RandomLocation(rng)})
+				for i, r := range eng.ExecuteBatchContext(context.Background(), qs) {
+					if r.Err == nil {
+						continue
+					}
+					if qs[i].Kind.IsUpdate() &&
+						(errors.Is(r.Err, wal.ErrDegradedReadOnly) || errors.Is(r.Err, wal.ErrClosed)) {
+						continue // rejected by the closing WAL: allowed
+					}
+					t.Errorf("caller %d round %d query %d (%v): %v", c, round, i, qs[i].Kind, r.Err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		if err := eng.Close(); err != nil {
+			t.Errorf("concurrent Close: %v", err)
+		}
+	}()
+	close(start)
+	wg.Wait()
+	if err := eng.Close(); err != nil {
+		t.Fatalf("final Close: %v", err)
+	}
+}

@@ -224,6 +224,11 @@ func New(idx index.Index, opts Options) *Engine {
 // Index returns the underlying index.
 func (e *Engine) Index() index.Index { return e.idx }
 
+// Objects returns the attached object querier, or nil for a distance-only
+// engine. Serving layers use it for introspection (object counts, epochs);
+// queries should go through the typed entry points.
+func (e *Engine) Objects() index.ObjectQuerier { return e.objects }
+
 // Workers returns the batch parallelism of the engine.
 func (e *Engine) Workers() int { return e.workers }
 
@@ -364,13 +369,22 @@ func (e *Engine) execute(q Query) Result {
 // planned around them. Engines built with Options.DisablePlanner execute
 // every query individually. Results are identical either way. It is safe to
 // call from multiple goroutines at once; each call uses its own pool.
+//
+// ExecuteBatch neither checks deadlines nor isolates panics — a serving
+// front-end should use ExecuteBatchContext, which does both.
 func (e *Engine) ExecuteBatch(queries []Query) []Result {
-	return e.ExecuteBatchWorkers(queries, e.workers)
+	return e.executeBatch(execCtx{}, queries, e.workers)
 }
 
 // ExecuteBatchWorkers is ExecuteBatch with an explicit worker count
 // (1 executes the batch sequentially on the calling goroutine).
 func (e *Engine) ExecuteBatchWorkers(queries []Query, workers int) []Result {
+	return e.executeBatch(execCtx{}, queries, workers)
+}
+
+// executeBatch is the shared batch executor behind ExecuteBatch,
+// ExecuteBatchWorkers and ExecuteBatchContext.
+func (e *Engine) executeBatch(ec execCtx, queries []Query, workers int) []Result {
 	out := make([]Result, len(queries))
 	if len(queries) == 0 {
 		return out
@@ -383,7 +397,7 @@ func (e *Engine) ExecuteBatchWorkers(queries []Query, workers int) []Result {
 		// be spawned only to find the cursor exhausted.
 		workers = len(queries)
 	}
-	if e.planBatch(queries, out, workers) {
+	if e.planBatch(&ec, queries, out, workers) {
 		return out
 	}
 	// Work-stealing by atomic cursor: queries are cheap and uniform enough
@@ -391,7 +405,7 @@ func (e *Engine) ExecuteBatchWorkers(queries []Query, workers int) []Result {
 	// calling goroutine participates as a worker (runPooled), so workers==1
 	// is a plain sequential loop.
 	runPooled(len(queries), workers, func(i int) {
-		out[i] = e.Execute(queries[i])
+		out[i] = e.executeOne(&ec, queries[i])
 	})
 	return out
 }

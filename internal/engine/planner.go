@@ -29,8 +29,11 @@ import (
 // planBatch attempts the planned execution of a batch, writing results into
 // out. It returns false — having written nothing — when the batch does not
 // qualify: no batch-capable index, an unknown kind in the batch, or no run
-// with at least two batchable queries of one kind to amortise.
-func (e *Engine) planBatch(queries []Query, out []Result, workers int) bool {
+// with at least two batchable queries of one kind to amortise. The execution
+// context is honoured at segment granularity: a canceled context marks the
+// remaining segments' queries with the cancellation error, and in safe mode
+// a panicking segment yields *PanicError results for exactly its queries.
+func (e *Engine) planBatch(ec *execCtx, queries []Query, out []Result, workers int) bool {
 	if e.batcher == nil && e.knnBatcher == nil && e.rangeBatcher == nil {
 		return false
 	}
@@ -75,10 +78,10 @@ func (e *Engine) planBatch(queries []Query, out []Result, workers int) bool {
 		}
 		if queries[lo].Kind.IsUpdate() {
 			runPooled(i-lo, workers, func(k int) {
-				out[lo+k] = e.Execute(queries[lo+k])
+				out[lo+k] = e.executeOne(ec, queries[lo+k])
 			})
 		} else {
-			e.planReadRun(queries[lo:i], out[lo:i], workers)
+			e.planReadRun(ec, queries[lo:i], out[lo:i], workers)
 		}
 		lo = i
 	}
@@ -90,7 +93,7 @@ func (e *Engine) planBatch(queries []Query, out []Result, workers int) bool {
 // batch calls, everything else through the pooled per-query path. With
 // latency sampling enabled, each batched segment records the amortised
 // per-query share of its duration — kNN and range exactly like distance.
-func (e *Engine) planReadRun(queries []Query, out []Result, workers int) {
+func (e *Engine) planReadRun(ec *execCtx, queries []Query, out []Result, workers int) {
 	nDist, nKNN, nRange := 0, 0, 0
 	for i := range queries {
 		switch queries[i].Kind {
@@ -132,41 +135,71 @@ func (e *Engine) planReadRun(queries []Query, out []Result, workers int) {
 	}
 	if batchDist {
 		start := e.latStart()
-		dists := make([]float64, len(pairs))
-		e.batcher.DistanceBatch(pairs, dists, workers)
-		for k, i := range distPos {
-			out[i] = Result{Dist: dists[k]}
+		if ec.canceled() {
+			markAll(out, distPos, ec.cancelErr())
+		} else {
+			dists := make([]float64, len(pairs))
+			if perr := ec.guard(func() { e.batcher.DistanceBatch(pairs, dists, workers) }); perr != nil {
+				markAll(out, distPos, perr)
+			} else {
+				for k, i := range distPos {
+					out[i] = Result{Dist: dists[k]}
+				}
+				e.counts[KindDistance].Add(int64(len(pairs)))
+				e.batched[KindDistance].Add(int64(len(pairs)))
+				e.recordAmortised(start, len(pairs))
+			}
 		}
-		e.counts[KindDistance].Add(int64(len(pairs)))
-		e.batched[KindDistance].Add(int64(len(pairs)))
-		e.recordAmortised(start, len(pairs))
 	}
 	if batchKNN {
 		start := e.latStart()
-		objs := make([][]index.ObjectResult, len(knns))
-		e.knnBatcher.KNNBatch(knns, objs, workers)
-		for k, i := range knnPos {
-			out[i] = Result{Objects: objs[k]}
+		if ec.canceled() {
+			markAll(out, knnPos, ec.cancelErr())
+		} else {
+			objs := make([][]index.ObjectResult, len(knns))
+			if perr := ec.guard(func() { e.knnBatcher.KNNBatch(knns, objs, workers) }); perr != nil {
+				markAll(out, knnPos, perr)
+			} else {
+				for k, i := range knnPos {
+					out[i] = Result{Objects: objs[k]}
+				}
+				e.counts[KindKNN].Add(int64(len(knns)))
+				e.batched[KindKNN].Add(int64(len(knns)))
+				e.recordAmortised(start, len(knns))
+			}
 		}
-		e.counts[KindKNN].Add(int64(len(knns)))
-		e.batched[KindKNN].Add(int64(len(knns)))
-		e.recordAmortised(start, len(knns))
 	}
 	if batchRange {
 		start := e.latStart()
-		objs := make([][]index.ObjectResult, len(ranges))
-		e.rangeBatcher.RangeBatch(ranges, objs, workers)
-		for k, i := range rangePos {
-			out[i] = Result{Objects: objs[k]}
+		if ec.canceled() {
+			markAll(out, rangePos, ec.cancelErr())
+		} else {
+			objs := make([][]index.ObjectResult, len(ranges))
+			if perr := ec.guard(func() { e.rangeBatcher.RangeBatch(ranges, objs, workers) }); perr != nil {
+				markAll(out, rangePos, perr)
+			} else {
+				for k, i := range rangePos {
+					out[i] = Result{Objects: objs[k]}
+				}
+				e.counts[KindRange].Add(int64(len(ranges)))
+				e.batched[KindRange].Add(int64(len(ranges)))
+				e.recordAmortised(start, len(ranges))
+			}
 		}
-		e.counts[KindRange].Add(int64(len(ranges)))
-		e.batched[KindRange].Add(int64(len(ranges)))
-		e.recordAmortised(start, len(ranges))
 	}
 	runPooled(len(rest), workers, func(k int) {
 		i := rest[k]
-		out[i] = e.Execute(queries[i])
+		out[i] = e.executeOne(ec, queries[i])
 	})
+}
+
+// markAll writes err into every result addressed by pos — the per-segment
+// outcome of a canceled or panicked batched index call. The per-kind
+// counters are deliberately not advanced: they count executed queries.
+func markAll(out []Result, pos []int32, err error) {
+	for _, i := range pos {
+		out[i] = Result{Err: err}
+	}
 }
 
 // latStart returns the segment start time when latency sampling is on.
@@ -196,6 +229,13 @@ func (e *Engine) recordAmortised(start time.Time, n int) {
 // width w spawns w-1 goroutines — and a width of one (or a single item)
 // runs entirely on the caller with no goroutines at all. Items are handed
 // out through an atomic cursor; fn must write only item-owned state.
+//
+// A panic in fn is captured (first one wins), the pool drains, and the
+// panic value is re-raised on the calling goroutine — so a recover around
+// runPooled observes worker panics exactly like caller panics. Note fn is
+// usually executeOne, which already recovers per query in safe mode; the
+// re-raise matters for the unguarded ExecuteBatch path and for panics in
+// the pool plumbing itself.
 func runPooled(n, workers int, fn func(i int)) {
 	if n == 0 {
 		return
@@ -209,11 +249,20 @@ func runPooled(n, workers int, fn func(i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
+	var (
+		next     atomic.Int64
+		panicked atomic.Bool
+		panicVal any
+	)
 	work := func() {
+		defer func() {
+			if v := recover(); v != nil && panicked.CompareAndSwap(false, true) {
+				panicVal = v
+			}
+		}()
 		for {
 			i := int(next.Add(1)) - 1
-			if i >= n {
+			if i >= n || panicked.Load() {
 				return
 			}
 			fn(i)
@@ -229,4 +278,7 @@ func runPooled(n, workers int, fn func(i int)) {
 	}
 	work()
 	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
 }

@@ -80,15 +80,18 @@ func Open(idx index.Index, opts Options) (*Engine, *WALRecovery, error) {
 	}
 	if rec.Head > snapSeq {
 		if rec.Base > snapSeq {
+			w.Close()
 			return nil, nil, fmt.Errorf("engine: wal retains seqs (%d,%d] but the index only covers %d: the checkpointed prefix is gone and no snapshot bridges the gap",
 				rec.Base, rec.Head, snapSeq)
 		}
 		start := time.Now()
 		for _, r := range rec.Records[snapSeq-rec.Base:] {
 			if err := replayRecord(mutable, r); err != nil {
+				w.Close()
 				return nil, nil, fmt.Errorf("engine: wal replay at seq %d: %w", r.Seq, err)
 			}
 			if got := log.HeadSeq(); got != r.Seq {
+				w.Close()
 				return nil, nil, fmt.Errorf("engine: wal replay diverged: index at seq %d after applying record %d", got, r.Seq)
 			}
 			report.Replayed++
@@ -96,6 +99,7 @@ func Open(idx index.Index, opts Options) (*Engine, *WALRecovery, error) {
 		report.ReplayElapsed = time.Since(start)
 	}
 	if err := w.Follow(log); err != nil {
+		w.Close()
 		return nil, nil, err
 	}
 	if head := log.HeadSeq(); head > report.Head {

@@ -34,6 +34,12 @@ func (o Options) workers() int {
 // fn writes only item-owned state (disjoint per i), which is what makes
 // parallel builds bit-identical to sequential ones. With one worker it
 // degenerates to a plain loop on the calling goroutine.
+//
+// A panic in fn is captured (first one wins), the pool drains, and the
+// panic value is re-raised on the calling goroutine, so a recover around
+// runParallel — the engine's per-query panic isolation reaches index calls
+// through exactly that — observes worker panics instead of the process
+// dying on an unrecovered goroutine.
 func runParallel(n, workers int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
@@ -44,15 +50,24 @@ func runParallel(n, workers int, fn func(worker, i int)) {
 		}
 		return
 	}
-	var next atomic.Int64
+	var (
+		next     atomic.Int64
+		panicked atomic.Bool
+		panicVal any
+	)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil && panicked.CompareAndSwap(false, true) {
+					panicVal = v
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= n || panicked.Load() {
 					return
 				}
 				fn(worker, i)
@@ -60,6 +75,9 @@ func runParallel(n, workers int, fn func(worker, i int)) {
 		}(w)
 	}
 	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
 }
 
 // epochStamps is a dense stamped membership set over integer IDs (doors,

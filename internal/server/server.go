@@ -1,0 +1,337 @@
+// Package server turns the query engine into a multi-venue serving node: a
+// long-running process that hosts one engine per venue from a directory of
+// snapshot files, hot-swaps a venue's engine when a newer snapshot lands,
+// and keeps answering queries through bad snapshots, disk faults, overload
+// and shutdown.
+//
+// # Layout and lifecycle
+//
+// The snapshot directory is flat: a file named <venue>@<label>.snap serves
+// venue <venue> at version <label>. Labels order lexically — the highest
+// label is the newest version — so a build box publishes a new version by
+// copying in a new file; nothing is ever modified in place. A watcher
+// goroutine polls the directory, creates venues on first sight and drives
+// each through the lifecycle
+//
+//	loading → serving ⇄ swapping
+//	             ↓ (health)      ↘ (every candidate failed)
+//	          degraded            quarantined
+//
+// Swaps are atomic: queries resolve the venue's engine through one pointer
+// (venue.cur), in-flight batches hold a reference and drain on the old
+// engine before it is closed, and the pointer only ever points at a
+// snapshot that passed checksum, decode and Verify — a failed candidate is
+// quarantined with a typed reason (snapshot.Classify) and retried with
+// bounded exponential backoff while the previous engine keeps serving.
+//
+// # Durability
+//
+// With Options.WALRoot set, each venue's object updates are logged to a
+// write-ahead log under WALRoot/<venue>/<label> — one log lineage per
+// snapshot version, so a hot swap starts a fresh lineage and recovery
+// always replays a log onto the exact snapshot it was recorded against.
+//
+// # Robustness
+//
+// Admission control bounds the number of in-flight query requests
+// (Options.MaxInflight); excess requests are shed with 429 before they
+// touch an engine. Every request runs under a deadline
+// (Options.RequestTimeout) threaded into engine.ExecuteBatchContext, which
+// also isolates per-query panics — a crashing query becomes a 500 and a
+// counter, not a dead process. Snapshot reads go through the wal.FS seam,
+// so tests inject torn files, corrupt payloads and slow disks without a
+// real filesystem.
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viptree/internal/wal"
+)
+
+// Options configures a Node.
+type Options struct {
+	// SnapshotDir is the directory watched for <venue>@<label>.snap files.
+	SnapshotDir string
+	// WALRoot enables durable object updates: per-venue, per-snapshot WAL
+	// directories are created under it. Empty serves non-durably.
+	WALRoot string
+	// FS is the filesystem snapshots are read from (and, through
+	// WALOptions.FS when unset, the WAL's too). Defaults to wal.OSFS{}.
+	FS wal.FS
+	// PollInterval is the snapshot watcher's poll period. Default 500ms.
+	PollInterval time.Duration
+	// MaxInflight bounds concurrently admitted query requests; excess
+	// requests get 429. Default 256.
+	MaxInflight int
+	// RequestTimeout is the per-request deadline threaded into the engine.
+	// Default 5s.
+	RequestTimeout time.Duration
+	// RetryBase and RetryMax bound the quarantine retry backoff: attempt n
+	// waits RetryBase<<(n-1), capped at RetryMax. Defaults 1s and 1min.
+	RetryBase, RetryMax time.Duration
+	// Workers is the per-engine batch parallelism (engine.Options.Workers).
+	Workers int
+	// WALOptions tunes the write-ahead logs (Dir is ignored; the node sets
+	// it per lineage). WALOptions.FS defaults to Options.FS.
+	WALOptions wal.Options
+	// Logf receives one line per lifecycle event (swap, quarantine, drain).
+	// Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() {
+	if o.FS == nil {
+		o.FS = wal.OSFS{}
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 500 * time.Millisecond
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 256
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = time.Second
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = time.Minute
+	}
+	if o.WALOptions.FS == nil {
+		o.WALOptions.FS = o.FS
+	}
+}
+
+// Node is a multi-venue serving node. Create with New, serve its Handler,
+// stop with Close. All methods are safe for concurrent use.
+type Node struct {
+	opts  Options
+	start time.Time
+
+	mu     sync.Mutex
+	venues map[string]*venue
+
+	sem       chan struct{} // admission semaphore, cap MaxInflight
+	shedTotal atomic.Int64
+
+	draining  chan struct{} // closed by BeginDrain
+	drainOnce sync.Once
+	stop      chan struct{} // closed by Close: stops the watcher
+	watcherWG sync.WaitGroup
+	retireWG  sync.WaitGroup // outstanding async engine retirements
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds a node over the snapshot directory and runs one synchronous
+// scan before returning, so venues already on disk are serving (or
+// quarantined) by the time the caller binds a listener. The watcher then
+// keeps polling in the background until Close.
+func New(opts Options) (*Node, error) {
+	opts.withDefaults()
+	if opts.SnapshotDir == "" {
+		return nil, fmt.Errorf("server: Options.SnapshotDir is required")
+	}
+	n := &Node{
+		opts:     opts,
+		start:    time.Now(),
+		venues:   make(map[string]*venue),
+		sem:      make(chan struct{}, opts.MaxInflight),
+		draining: make(chan struct{}),
+		stop:     make(chan struct{}),
+	}
+	if _, err := n.opts.FS.ReadDir(opts.SnapshotDir); err != nil {
+		return nil, fmt.Errorf("server: snapshot dir %s: %w", opts.SnapshotDir, err)
+	}
+	n.scan()
+	n.watcherWG.Add(1)
+	go n.watch()
+	return n, nil
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.opts.Logf != nil {
+		n.opts.Logf(format, args...)
+	}
+}
+
+// watch is the snapshot watcher goroutine: one scan per poll interval.
+func (n *Node) watch() {
+	defer n.watcherWG.Done()
+	t := time.NewTicker(n.opts.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.scan()
+		}
+	}
+}
+
+// snapFile is one parsed snapshot directory entry.
+type snapFile struct {
+	name  string // file name within SnapshotDir
+	venue string
+	label string
+}
+
+// parseSnapName splits "<venue>@<label>.snap"; ok is false for anything else.
+func parseSnapName(name string) (sf snapFile, ok bool) {
+	base, found := strings.CutSuffix(name, ".snap")
+	if !found {
+		return sf, false
+	}
+	venueName, label, found := strings.Cut(base, "@")
+	if !found || venueName == "" || label == "" {
+		return sf, false
+	}
+	return snapFile{name: name, venue: venueName, label: label}, true
+}
+
+// scan lists the snapshot directory once and offers each venue its
+// candidate files, newest first. Load, verify and swap happen inside the
+// venue; the node only routes.
+func (n *Node) scan() {
+	select {
+	case <-n.draining:
+		return // a draining node swaps nothing in
+	default:
+	}
+	names, err := n.opts.FS.ReadDir(n.opts.SnapshotDir)
+	if err != nil {
+		n.logf("server: scanning %s: %v", n.opts.SnapshotDir, err)
+		return
+	}
+	byVenue := make(map[string][]snapFile)
+	for _, name := range names {
+		if sf, ok := parseSnapName(name); ok {
+			byVenue[sf.venue] = append(byVenue[sf.venue], sf)
+		}
+	}
+	for name, files := range byVenue {
+		// Newest (highest label) first.
+		sort.Slice(files, func(i, j int) bool { return files[i].label > files[j].label })
+		n.venueFor(name).consider(files)
+	}
+}
+
+// venueFor returns the named venue, creating it in the loading state on
+// first sight.
+func (n *Node) venueFor(name string) *venue {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.venues[name]
+	if !ok {
+		v = newVenue(n, name)
+		n.venues[name] = v
+	}
+	return v
+}
+
+// Venue returns the named venue's public view, or false.
+func (n *Node) Venue(name string) (*venue, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.venues[name]
+	return v, ok
+}
+
+// venueList returns the venues sorted by name.
+func (n *Node) venueList() []*venue {
+	n.mu.Lock()
+	vs := make([]*venue, 0, len(n.venues))
+	for _, v := range n.venues {
+		vs = append(vs, v)
+	}
+	n.mu.Unlock()
+	sort.Slice(vs, func(i, j int) bool { return vs[i].name < vs[j].name })
+	return vs
+}
+
+// admit reserves an admission slot, reporting false when the node is at
+// MaxInflight or draining. Callers must release() every successful admit.
+func (n *Node) admit() bool {
+	select {
+	case <-n.draining:
+		return false
+	default:
+	}
+	select {
+	case n.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (n *Node) release() { <-n.sem }
+
+// Draining reports whether BeginDrain has been called.
+func (n *Node) Draining() bool {
+	select {
+	case <-n.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// BeginDrain flips the node out of readiness: /readyz turns 503, new query
+// requests are shed, and the watcher stops swapping — while requests
+// already admitted keep running. The HTTP server's own Shutdown then
+// finishes the in-flight requests; Close releases the engines.
+func (n *Node) BeginDrain() {
+	n.drainOnce.Do(func() { close(n.draining) })
+}
+
+// Close drains and shuts the node down: stops the watcher, retires every
+// venue's engine (waiting for in-flight batches to finish) and flushes the
+// write-ahead logs. The first error (a WAL that could not flush) is
+// returned; closing twice returns the first result.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() {
+		n.BeginDrain()
+		close(n.stop)
+		n.watcherWG.Wait()
+		for _, v := range n.venueList() {
+			if err := v.shutdown(); err != nil && n.closeErr == nil {
+				n.closeErr = err
+			}
+		}
+		n.retireWG.Wait()
+	})
+	return n.closeErr
+}
+
+// Uptime is the time since New.
+func (n *Node) Uptime() time.Duration { return time.Since(n.start) }
+
+// Summary returns the one-line drain-time summary: per-venue counters plus
+// node totals, the line servenode prints on clean exit.
+func (n *Node) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "served %s", n.Uptime().Round(time.Millisecond))
+	for _, v := range n.venueList() {
+		s := v.Stats()
+		fmt.Fprintf(&b, " | %s: state=%s epoch=%d queries=%d swaps=%d quarantined=%d panics=%d shed=%d",
+			v.name, s.State, s.Epoch, s.Queries, s.Swaps, s.Quarantines, s.Panics, s.Shed)
+	}
+	fmt.Fprintf(&b, " | shed_total=%d", n.shedTotal.Load())
+	return b.String()
+}
+
+// readAll drains r, closing it either way.
+func readAll(r io.ReadCloser) ([]byte, error) {
+	defer r.Close()
+	return io.ReadAll(r)
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"viptree/internal/snapshot"
+	"viptree/internal/wal"
+)
+
+// TestHotSwapZeroFailures drops a newer snapshot while query traffic runs:
+// the epoch must advance, every request in flight across the swap must
+// succeed with exact answers, and afterwards kNN must see the new version's
+// object set.
+func TestHotSwapZeroFailures(t *testing.T) {
+	f := fixture(t)
+	n, fs := testNode(t, map[string]string{"alpha": "0001"}, nil)
+	h := n.Handler()
+
+	qs, want := distanceProbe(f, 8, 61)
+	var failures atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, resp := queryBatch(t, h, "alpha", qs)
+				if code != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				for i, r := range resp.Results {
+					if r.Err != "" || abs(r.Dist-want[i]) > 1e-6 {
+						failures.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	// Let traffic flow, then drop the new version mid-stream.
+	time.Sleep(5 * time.Millisecond)
+	fs.WriteFile("snaps/alpha@0002.snap", f.versions["0002"])
+	v, _ := n.Venue("alpha")
+	waitFor(t, 2*time.Second, "epoch 2", func() bool { return v.Epoch() == 2 })
+	time.Sleep(5 * time.Millisecond) // traffic on the new engine too
+	close(stop)
+	wg.Wait()
+
+	if failures.Load() != 0 {
+		t.Fatalf("%d failed or wrong answers across the swap", failures.Load())
+	}
+	code, resp := queryBatch(t, h, "alpha", []WireQuery{
+		{Kind: "knn", S: qs[0].S, K: 100},
+	})
+	if code != http.StatusOK || len(resp.Results[0].Objects) != f.objectCount["0002"] {
+		t.Fatalf("after swap: code %d, %d objects, want %d",
+			code, len(resp.Results[0].Objects), f.objectCount["0002"])
+	}
+	if s := v.Stats(); s.Swaps != 2 || s.Snapshot != "alpha@0002.snap" {
+		t.Fatalf("stats after swap: %+v", s)
+	}
+}
+
+// TestCorruptSnapshotQuarantined drops a corrupt newer snapshot: the venue
+// must quarantine it with the right typed reason and keep serving the old
+// version; a later valid snapshot must still swap in.
+func TestCorruptSnapshotQuarantined(t *testing.T) {
+	f := fixture(t)
+	n, fs := testNode(t, map[string]string{"alpha": "0001"}, nil)
+	h := n.Handler()
+	v, _ := n.Venue("alpha")
+
+	corrupt := append([]byte(nil), f.versions["0002"]...)
+	corrupt[len(corrupt)-1] ^= 0xFF
+	fs.WriteFile("snaps/alpha@0002.snap", corrupt)
+
+	waitFor(t, 2*time.Second, "quarantine", func() bool { return v.quarantines.Load() >= 1 })
+	s := v.Stats()
+	if len(s.Quarantined) != 1 || s.Quarantined[0].Reason != snapshot.FailChecksum {
+		t.Fatalf("quarantine ledger: %+v", s.Quarantined)
+	}
+	if s.Epoch != 1 || s.Snapshot != "alpha@0001.snap" {
+		t.Fatalf("corrupt snapshot changed serving state: %+v", s)
+	}
+	// Still serving exact answers from the old version.
+	qs, want := distanceProbe(f, 5, 67)
+	code, resp := queryBatch(t, h, "alpha", qs)
+	if code != http.StatusOK {
+		t.Fatalf("query while quarantining: %d", code)
+	}
+	for i, r := range resp.Results {
+		if r.Err != "" || abs(r.Dist-want[i]) > 1e-6 {
+			t.Fatalf("query %d wrong under quarantine: %+v", i, r)
+		}
+	}
+
+	// Backoff: the corrupt file is retried, attempts grow.
+	waitFor(t, 2*time.Second, "retry", func() bool {
+		st := v.Stats()
+		return len(st.Quarantined) == 1 && st.Quarantined[0].Attempts >= 2
+	})
+
+	// A valid 0003 still swaps in past the quarantined 0002.
+	fs.WriteFile("snaps/alpha@0003.snap", f.versions["0003"])
+	waitFor(t, 2*time.Second, "swap to 0003", func() bool { return v.Epoch() == 2 })
+	if st := v.Stats(); st.Snapshot != "alpha@0003.snap" {
+		t.Fatalf("serving %q, want 0003", st.Snapshot)
+	}
+}
+
+// TestTornSnapshotQuarantined: a truncated copy (torn mid-write) is typed
+// FailTruncated; fixing the file in place swaps it in on retry.
+func TestTornSnapshotQuarantined(t *testing.T) {
+	f := fixture(t)
+	n, fs := testNode(t, map[string]string{"alpha": "0001"}, nil)
+	v, _ := n.Venue("alpha")
+
+	fs.WriteFile("snaps/alpha@0002.snap", f.versions["0002"][:len(f.versions["0002"])/3])
+	waitFor(t, 2*time.Second, "quarantine", func() bool { return v.quarantines.Load() >= 1 })
+	if s := v.Stats(); len(s.Quarantined) != 1 || s.Quarantined[0].Reason != snapshot.FailTruncated {
+		t.Fatalf("quarantine ledger: %+v", s.Quarantined)
+	}
+
+	// The slow copy completes: the same file is valid now, and the retry
+	// path must pick it up (the quarantine entry clears).
+	fs.WriteFile("snaps/alpha@0002.snap", f.versions["0002"])
+	waitFor(t, 2*time.Second, "swap to completed 0002", func() bool { return v.Epoch() == 2 })
+	if s := v.Stats(); len(s.Quarantined) != 0 || s.Snapshot != "alpha@0002.snap" {
+		t.Fatalf("after recovery: %+v", s)
+	}
+}
+
+// TestInitialLoadAllBad: a venue whose only snapshots are broken is
+// quarantined (503 on query, unready), and recovers as soon as a valid
+// snapshot lands.
+func TestInitialLoadAllBad(t *testing.T) {
+	f := fixture(t)
+	fs := wal.NewFaultFS()
+	fs.WriteFile("snaps/alpha@0001.snap", []byte("not a snapshot at all"))
+	n, err := New(Options{
+		SnapshotDir:  "snaps",
+		FS:           fs,
+		PollInterval: 2 * time.Millisecond,
+		RetryBase:    5 * time.Millisecond,
+		RetryMax:     20 * time.Millisecond,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	h := n.Handler()
+
+	v, ok := n.Venue("alpha")
+	if !ok {
+		t.Fatal("venue not created")
+	}
+	if got := v.Health(); got.State != StateQuarantined || got.Healthy {
+		t.Fatalf("health: %+v, want quarantined", got)
+	}
+	qs, _ := distanceProbe(f, 1, 71)
+	if code, _ := queryBatch(t, h, "alpha", qs); code != http.StatusServiceUnavailable {
+		t.Fatalf("query against quarantined venue: %d, want 503", code)
+	}
+	if code, _ := doJSON(t, h, "GET", "/readyz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with quarantined venue: %d, want 503", code)
+	}
+
+	fs.WriteFile("snaps/alpha@0002.snap", f.versions["0001"])
+	waitFor(t, 2*time.Second, "recovery", func() bool { return v.Epoch() == 1 })
+	if code, _ := queryBatch(t, h, "alpha", qs); code != http.StatusOK {
+		t.Fatalf("query after recovery: %d", code)
+	}
+}
+
+// TestOldSnapshotIgnored: a file older than the served label must never be
+// swapped in (no downgrade), and its presence must not churn the epoch.
+func TestOldSnapshotIgnored(t *testing.T) {
+	f := fixture(t)
+	n, fs := testNode(t, map[string]string{"alpha": "0003"}, nil)
+	v, _ := n.Venue("alpha")
+
+	fs.WriteFile("snaps/alpha@0001.snap", f.versions["0001"])
+	time.Sleep(20 * time.Millisecond) // several poll cycles
+	if s := v.Stats(); s.Epoch != 1 || s.Snapshot != "alpha@0003.snap" {
+		t.Fatalf("old snapshot caused churn: %+v", s)
+	}
+}

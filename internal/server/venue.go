@@ -1,0 +1,427 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"viptree/internal/engine"
+	"viptree/internal/snapshot"
+)
+
+// State is a venue's lifecycle state as surfaced by /statsz and /healthz.
+type State string
+
+// The venue lifecycle states.
+const (
+	// StateLoading: no engine yet, first snapshot still loading.
+	StateLoading State = "loading"
+	// StateServing: a verified engine is live and healthy.
+	StateServing State = "serving"
+	// StateSwapping: serving, with a newer snapshot loading in the
+	// background.
+	StateSwapping State = "swapping"
+	// StateDegraded: serving reads, but the engine's WAL is degraded —
+	// updates are rejected until the disk recovers.
+	StateDegraded State = "degraded"
+	// StateQuarantined: no live engine and every candidate snapshot failed;
+	// queries get 503 while the candidates back off and retry.
+	StateQuarantined State = "quarantined"
+	// StateStopped: the venue was shut down (node drain); terminal.
+	StateStopped State = "stopped"
+)
+
+// liveEngine is one venue engine generation: the engine, its provenance and
+// a reference count that lets a swap retire it only after every in-flight
+// batch has drained. The pointer-recheck in acquire keeps the invariant
+// that a reference obtained while the engine is current is always safe to
+// use until released.
+type liveEngine struct {
+	eng   *engine.Engine
+	file  string // snapshot file this engine was loaded from
+	label string
+	epoch uint64 // venue swap epoch this engine became live at
+
+	inflight  atomic.Int64
+	retired   atomic.Bool
+	drained   chan struct{}
+	drainOnce sync.Once
+}
+
+func (le *liveEngine) release() {
+	if le.inflight.Add(-1) == 0 && le.retired.Load() {
+		le.drainOnce.Do(func() { close(le.drained) })
+	}
+}
+
+// quarEntry is the quarantine record of one failed snapshot file.
+type quarEntry struct {
+	Reason   snapshot.FailureKind
+	Err      string
+	Attempts int
+	// NextRetry is when the file may be tried again (exponential backoff,
+	// capped at Options.RetryMax).
+	NextRetry time.Time
+}
+
+// venue supervises one venue: the live engine pointer queries resolve
+// through, the quarantine ledger, and the per-venue counters.
+type venue struct {
+	name string
+	node *Node
+
+	cur atomic.Pointer[liveEngine]
+
+	mu         sync.Mutex            // guards swap/quarantine bookkeeping, not the query path
+	phase      State                 // loading/serving/swapping/quarantined (degraded is derived)
+	served     string                // label currently served ("" before first swap)
+	quarantine map[string]*quarEntry // snapshot file -> failure record
+
+	epoch       atomic.Uint64
+	queries     atomic.Int64 // queries executed (not requests)
+	swaps       atomic.Int64 // successful engine swaps (first load included)
+	quarantines atomic.Int64 // quarantine events (re-failures included)
+	panics      atomic.Int64 // queries answered with a recovered panic
+	shed        atomic.Int64 // requests shed by admission control
+	canceled    atomic.Int64 // queries cut off by a request deadline
+}
+
+func newVenue(n *Node, name string) *venue {
+	return &venue{
+		name:       name,
+		node:       n,
+		phase:      StateLoading,
+		quarantine: make(map[string]*quarEntry),
+	}
+}
+
+// Name returns the venue name.
+func (v *venue) Name() string { return v.name }
+
+// Epoch returns the venue's swap epoch: 0 before the first engine, then
+// incremented by every successful swap. Query responses echo it, which is
+// how clients (and the CI hot-swap check) observe a swap.
+func (v *venue) Epoch() uint64 { return v.epoch.Load() }
+
+// acquire returns a referenced live engine, or nil when the venue has none
+// (still loading, quarantined, or shut down). The loop re-checks the
+// pointer after taking the reference: if the engine was retired in between,
+// the reference is dropped and the new pointer tried instead — so a
+// returned engine is never one whose drain has been signalled.
+func (v *venue) acquire() *liveEngine {
+	for {
+		le := v.cur.Load()
+		if le == nil {
+			return nil
+		}
+		le.inflight.Add(1)
+		if v.cur.Load() == le && !le.retired.Load() {
+			return le
+		}
+		le.release()
+		if v.cur.Load() == le {
+			return nil // retired in place: the venue is shutting down
+		}
+	}
+}
+
+// consider is called by the watcher with the venue's snapshot files, newest
+// first. It loads the newest eligible candidate that is newer than what is
+// being served; on failure the candidate is quarantined and the next one is
+// tried, so the venue converges to the newest snapshot that actually
+// verifies.
+func (v *venue) consider(files []snapFile) {
+	v.mu.Lock()
+	served := v.served
+	now := time.Now()
+	var candidates []snapFile
+	for _, sf := range files {
+		if sf.label <= served && served != "" {
+			break // files are newest-first; the rest are older than served
+		}
+		if q := v.quarantine[sf.name]; q != nil && now.Before(q.NextRetry) {
+			continue // backing off
+		}
+		candidates = append(candidates, sf)
+	}
+	if len(candidates) == 0 {
+		v.mu.Unlock()
+		return
+	}
+	if v.phase == StateServing {
+		v.phase = StateSwapping
+	}
+	v.mu.Unlock()
+
+	swapped := false
+	for _, sf := range candidates {
+		if v.tryLoad(sf) {
+			swapped = true
+			break
+		}
+	}
+
+	v.mu.Lock()
+	switch {
+	case swapped:
+		v.phase = StateServing
+	case v.cur.Load() != nil:
+		v.phase = StateServing // every candidate failed; the old engine serves on
+	default:
+		v.phase = StateQuarantined
+	}
+	v.mu.Unlock()
+}
+
+// tryLoad loads, verifies and swaps in one snapshot file. On any failure
+// the file is quarantined with its typed reason and the venue is left
+// exactly as it was.
+func (v *venue) tryLoad(sf snapFile) bool {
+	eng, err := v.buildEngine(sf)
+	if err != nil {
+		v.quarantineFile(sf, err)
+		return false
+	}
+
+	le := &liveEngine{
+		eng:     eng,
+		file:    sf.name,
+		label:   sf.label,
+		epoch:   v.epoch.Load() + 1,
+		drained: make(chan struct{}),
+	}
+	v.mu.Lock()
+	old := v.cur.Swap(le)
+	v.served = sf.label
+	delete(v.quarantine, sf.name)
+	v.epoch.Add(1)
+	v.swaps.Add(1)
+	v.mu.Unlock()
+	v.node.logf("server: venue %s: serving %s (epoch %d)", v.name, sf.name, le.epoch)
+
+	if old != nil {
+		// Retire asynchronously: in-flight batches drain on the old engine,
+		// then its WAL flushes. The node's Close waits for all retirements.
+		v.node.retireWG.Add(1)
+		go func() {
+			defer v.node.retireWG.Done()
+			if err := retire(old); err != nil {
+				v.node.logf("server: venue %s: closing old engine %s: %v", v.name, old.file, err)
+			}
+		}()
+	}
+	return true
+}
+
+// retire drains and closes a dereferenced engine generation: no new
+// references can form (the pointer moved on, or was swapped to nil), so
+// inflight only falls.
+func retire(le *liveEngine) error {
+	le.retired.Store(true)
+	if le.inflight.Load() == 0 {
+		le.drainOnce.Do(func() { close(le.drained) })
+	}
+	<-le.drained
+	return le.eng.Close()
+}
+
+// buildEngine reads, verifies and wires up one snapshot file: the full
+// verify-before-swap path. Every error is classifiable by
+// snapshot.Classify.
+func (v *venue) buildEngine(sf snapFile) (*engine.Engine, error) {
+	path := v.node.opts.SnapshotDir + "/" + sf.name
+	f, err := v.node.opts.FS.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := readAll(f)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := snapshot.Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	if err := snap.Verify(); err != nil {
+		return nil, err
+	}
+
+	eopts := engine.Options{Workers: v.node.opts.Workers}
+	if snap.Objects != nil {
+		eopts.Objects = snap.Objects
+	}
+	if v.node.opts.WALRoot != "" && snap.Objects != nil {
+		eopts.WALDir = v.node.opts.WALRoot + "/" + v.name + "/" + sf.label
+		eopts.WALOptions = v.node.opts.WALOptions
+		eng, rec, err := engine.Open(snap.Index(), eopts)
+		if err != nil {
+			return nil, err
+		}
+		if rec.Replayed > 0 {
+			v.node.logf("server: venue %s: replayed %d WAL records onto %s", v.name, rec.Replayed, sf.name)
+		}
+		return eng, nil
+	}
+	return engine.New(snap.Index(), eopts), nil
+}
+
+// quarantineFile records one load failure and schedules the retry.
+func (v *venue) quarantineFile(sf snapFile, err error) {
+	kind := snapshot.Classify(err)
+	v.mu.Lock()
+	q := v.quarantine[sf.name]
+	if q == nil {
+		q = &quarEntry{}
+		v.quarantine[sf.name] = q
+	}
+	q.Reason = kind
+	q.Err = err.Error()
+	q.Attempts++
+	backoff := v.node.opts.RetryBase << (q.Attempts - 1)
+	if backoff > v.node.opts.RetryMax || backoff <= 0 {
+		backoff = v.node.opts.RetryMax
+	}
+	q.NextRetry = time.Now().Add(backoff)
+	v.quarantines.Add(1)
+	v.mu.Unlock()
+	v.node.logf("server: venue %s: quarantined %s (%s, attempt %d, retry in %s): %v",
+		v.name, sf.name, kind, q.Attempts, backoff, err)
+}
+
+// shutdown retires the venue's engine for good: the pointer is swapped to
+// nil so acquire returns nil, in-flight batches drain, and the WAL flushes.
+func (v *venue) shutdown() error {
+	v.mu.Lock()
+	v.phase = StateStopped
+	v.mu.Unlock()
+	le := v.cur.Swap(nil)
+	if le == nil {
+		return nil
+	}
+	return retire(le)
+}
+
+// execute runs one admitted batch against the venue's live engine under the
+// request context, maintaining the per-venue counters. It returns the
+// engine's results and the serving epoch, or an error when the venue has no
+// live engine.
+func (v *venue) execute(ctx context.Context, queries []engine.Query) ([]engine.Result, uint64, error) {
+	le := v.acquire()
+	if le == nil {
+		return nil, 0, errNoEngine
+	}
+	defer le.release()
+	results := le.eng.ExecuteBatchContext(ctx, queries)
+	var panics, cancels int64
+	for i := range results {
+		var perr *engine.PanicError
+		switch {
+		case errors.As(results[i].Err, &perr):
+			panics++
+		case errors.Is(results[i].Err, engine.ErrCanceled):
+			cancels++
+		}
+	}
+	v.queries.Add(int64(len(queries)))
+	if panics > 0 {
+		v.panics.Add(panics)
+	}
+	if cancels > 0 {
+		v.canceled.Add(cancels)
+	}
+	return results, le.epoch, nil
+}
+
+// errNoEngine reports a query against a venue with no live engine.
+var errNoEngine = errors.New("server: venue has no live engine")
+
+// Health is a venue's point-in-time health.
+type Health struct {
+	State State `json:"state"`
+	// Healthy means queries are being served (reads at least).
+	Healthy bool `json:"healthy"`
+	// Durable and WALState mirror engine.Health for durable venues.
+	Durable  bool   `json:"durable,omitempty"`
+	WALState string `json:"wal_state,omitempty"`
+}
+
+// Health derives the venue's current health: the stored lifecycle phase,
+// with StateDegraded overriding StateServing while the engine's WAL is
+// unhealthy.
+func (v *venue) Health() Health {
+	v.mu.Lock()
+	phase := v.phase
+	v.mu.Unlock()
+	le := v.acquire()
+	if le == nil {
+		if phase != StateQuarantined && phase != StateStopped {
+			phase = StateLoading
+		}
+		return Health{State: phase, Healthy: false}
+	}
+	defer le.release()
+	h := le.eng.Health()
+	out := Health{State: phase, Healthy: true, Durable: h.Durable}
+	if h.Durable {
+		out.WALState = h.WAL.State.String()
+		if !h.Healthy() && (phase == StateServing || phase == StateSwapping) {
+			out.State = StateDegraded
+		}
+	}
+	return out
+}
+
+// QuarantineInfo is one quarantined snapshot file in Stats.
+type QuarantineInfo struct {
+	File      string               `json:"file"`
+	Reason    snapshot.FailureKind `json:"reason"`
+	Error     string               `json:"error"`
+	Attempts  int                  `json:"attempts"`
+	NextRetry time.Time            `json:"next_retry"`
+}
+
+// Stats is a venue's counter snapshot, the /statsz payload.
+type Stats struct {
+	State       State            `json:"state"`
+	Epoch       uint64           `json:"epoch"`
+	Snapshot    string           `json:"snapshot,omitempty"` // file currently served
+	Queries     int64            `json:"queries"`
+	Swaps       int64            `json:"swaps"`
+	Quarantines int64            `json:"quarantines"`
+	Panics      int64            `json:"panics"`
+	Shed        int64            `json:"shed"`
+	Canceled    int64            `json:"canceled"`
+	Quarantined []QuarantineInfo `json:"quarantined,omitempty"`
+}
+
+// Stats snapshots the venue's counters and quarantine ledger.
+func (v *venue) Stats() Stats {
+	s := Stats{
+		State:       v.Health().State,
+		Epoch:       v.epoch.Load(),
+		Queries:     v.queries.Load(),
+		Swaps:       v.swaps.Load(),
+		Quarantines: v.quarantines.Load(),
+		Panics:      v.panics.Load(),
+		Shed:        v.shed.Load(),
+		Canceled:    v.canceled.Load(),
+	}
+	if le := v.acquire(); le != nil {
+		s.Snapshot = le.file
+		le.release()
+	}
+	v.mu.Lock()
+	for file, q := range v.quarantine {
+		s.Quarantined = append(s.Quarantined, QuarantineInfo{
+			File: file, Reason: q.Reason, Error: q.Err,
+			Attempts: q.Attempts, NextRetry: q.NextRetry,
+		})
+	}
+	v.mu.Unlock()
+	sort.Slice(s.Quarantined, func(i, j int) bool { return s.Quarantined[i].File < s.Quarantined[j].File })
+	return s
+}

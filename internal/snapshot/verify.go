@@ -1,0 +1,136 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"math/rand"
+)
+
+// This file is the verify-before-swap hook of the serving node. A snapshot
+// that passed the container checks (magic, version, length, checksum) and
+// decoded cleanly can still be wrong — a build-box bug, a schema change that
+// gob happens to tolerate, an index encoded against a different venue.
+// Verify answers distance queries on the restored index and cross-checks
+// them against the exact door-to-door ground truth the venue itself carries,
+// so a serving node can refuse to swap in an index that would serve wrong
+// answers. Classify folds the whole failure surface (missing file, torn
+// file, checksum, version, decode, verify) into one small enum the node's
+// quarantine bookkeeping and operators key on.
+
+// FailureKind is the typed reason a snapshot was rejected, the quarantine
+// vocabulary of the serving node.
+type FailureKind string
+
+// The failure kinds Classify distinguishes.
+const (
+	// FailMissing: the file does not exist (yet) — e.g. a watcher racing a
+	// slow copy into the snapshot directory.
+	FailMissing FailureKind = "missing"
+	// FailNotSnapshot: the magic bytes are wrong; not a snapshot file.
+	FailNotSnapshot FailureKind = "not-snapshot"
+	// FailTruncated: the file is shorter than its header or declared
+	// payload — the signature of a torn copy.
+	FailTruncated FailureKind = "truncated"
+	// FailChecksum: the payload does not match its CRC-64 — bit rot or a
+	// torn-then-padded write.
+	FailChecksum FailureKind = "checksum"
+	// FailVersion: a container version this build cannot read.
+	FailVersion FailureKind = "version"
+	// FailUnknownKind: an index payload kind this build cannot restore.
+	FailUnknownKind FailureKind = "unknown-kind"
+	// FailVerify: the decoded index answered queries inconsistent with the
+	// venue's ground truth (Verify failed).
+	FailVerify FailureKind = "verify"
+	// FailIO: any other read/decode error (I/O failure, gob decode error).
+	FailIO FailureKind = "io"
+)
+
+// errVerify tags every Verify failure so Classify can recognise it.
+var errVerify = errors.New("snapshot: verification failed")
+
+// Classify maps an error from Load/Read/Verify to its FailureKind. It
+// unwraps through any decoration, so callers can classify errors that
+// crossed several layers. A nil error has no kind; Classify returns FailIO
+// for errors it does not recognise (the conservative bucket: retryable,
+// never trusted).
+func Classify(err error) FailureKind {
+	var verr *VersionError
+	var kerr *UnknownKindError
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return FailMissing
+	case errors.Is(err, ErrNotSnapshot):
+		return FailNotSnapshot
+	case errors.Is(err, ErrTruncated):
+		return FailTruncated
+	case errors.Is(err, ErrChecksum):
+		return FailChecksum
+	case errors.As(err, &verr):
+		return FailVersion
+	case errors.As(err, &kerr):
+		return FailUnknownKind
+	case errors.Is(err, errVerify):
+		return FailVerify
+	default:
+		return FailIO
+	}
+}
+
+// verifySamples is the number of random distance queries Verify cross-checks
+// against the exact ground truth. Each sample costs one Dijkstra expansion
+// on the venue's door-to-door graph plus one index query — enough to catch
+// a structurally broken index, cheap enough to run on every swap.
+const verifySamples = 32
+
+// verifyEps is the acceptable absolute error against the exact distance.
+// The tree indexes are exact, so this only absorbs floating-point
+// accumulation differences along equal-length paths.
+const verifyEps = 1e-6
+
+// Verify cross-checks the restored index against the venue's exact
+// door-to-door ground truth: a fixed-seed sample of random location pairs
+// must agree on distance within verifyEps, infinite/finite disagreements
+// included, and a panicking index is itself a verification failure (the
+// panic is recovered and reported, never propagated). The returned error
+// matches FailVerify under Classify. Verification is deterministic: the
+// same snapshot bytes always produce the same verdict.
+func (s *Snapshot) Verify() (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("%w: index panicked during verification: %v", errVerify, v)
+		}
+	}()
+	if s.Venue == nil {
+		return fmt.Errorf("%w: snapshot has no venue", errVerify)
+	}
+	ix := s.Index()
+	if ix == nil {
+		return fmt.Errorf("%w: snapshot has no index", errVerify)
+	}
+	rng := rand.New(rand.NewSource(1))
+	d2d := s.Venue.D2D()
+	for i := 0; i < verifySamples; i++ {
+		a, b := s.Venue.RandomLocation(rng), s.Venue.RandomLocation(rng)
+		got := ix.Distance(a, b)
+		want := d2d.LocationDist(a, b)
+		if math.IsInf(want, 1) != math.IsInf(got, 1) || (!math.IsInf(want, 1) && math.Abs(got-want) > verifyEps) {
+			return fmt.Errorf("%w: sample %d: index distance %v != exact %v (%v → %v)",
+				errVerify, i, got, want, a, b)
+		}
+	}
+	if s.Objects != nil {
+		// The embedded object index answers from the same tree; one kNN
+		// probe catches a corrupted object table (wrong IDs panic or return
+		// unsorted results).
+		q := s.Venue.RandomLocation(rng)
+		res := s.Objects.KNN(q, 3)
+		for i := 1; i < len(res); i++ {
+			if res[i].Dist < res[i-1].Dist {
+				return fmt.Errorf("%w: kNN results out of order at %d", errVerify, i)
+			}
+		}
+	}
+	return nil
+}

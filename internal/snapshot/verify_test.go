@@ -1,0 +1,117 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io/fs"
+	"math/rand"
+	"testing"
+
+	"viptree/internal/iptree"
+	"viptree/internal/model"
+	"viptree/internal/venuegen"
+)
+
+// TestVerifyAcceptsValidSnapshot: a clean round-trip must verify, with and
+// without an embedded object index.
+func TestVerifyAcceptsValidSnapshot(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{
+		Name: "verify", Floors: 2, RoomsPerHallway: 8, Seed: 3,
+	})
+	tree := iptree.MustBuildIPTree(v, iptree.Options{})
+	vip := iptree.NewVIPTree(tree)
+	rng := rand.New(rand.NewSource(9))
+	oi := tree.IndexObjects([]model.Location{v.RandomLocation(rng), v.RandomLocation(rng)})
+	for name, objects := range map[string]*iptree.ObjectIndex{"bare": nil, "objects": oi} {
+		s := roundTrip(t, v, vip, objects)
+		if err := s.Verify(); err != nil {
+			t.Errorf("%s: Verify() = %v, want nil", name, err)
+		}
+	}
+}
+
+// brokenIndex stands in for a decoded-but-wrong index: structurally valid
+// gob, wrong answers. We can't easily corrupt a real tree past the checksum,
+// so the test swaps the snapshot's venue instead — the index then answers
+// for a different building than the ground truth, which is exactly the
+// build-box mixup Verify exists to catch.
+func TestVerifyRejectsMismatchedIndex(t *testing.T) {
+	v1 := venuegen.MustBuilding(venuegen.BuildingConfig{Name: "a", Floors: 2, RoomsPerHallway: 8, Seed: 4})
+	v2 := venuegen.MustBuilding(venuegen.BuildingConfig{Name: "b", Floors: 3, RoomsPerHallway: 10, Seed: 5})
+	s := roundTrip(t, v1, iptree.NewVIPTree(iptree.MustBuildIPTree(v1, iptree.Options{})), nil)
+	s.Venue = v2
+	err := s.Verify()
+	if err == nil {
+		t.Fatal("Verify accepted an index answering for a different venue")
+	}
+	if Classify(err) != FailVerify {
+		t.Fatalf("Classify(%v) = %v, want FailVerify", err, Classify(err))
+	}
+}
+
+// TestVerifyRecoversPanics: a snapshot whose index panics on query must fail
+// verification, not kill the process.
+func TestVerifyRecoversPanics(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{Name: "p", Floors: 1, RoomsPerHallway: 8, Seed: 6})
+	s := &Snapshot{Venue: v} // Tree nil: Index() returns a typed-nil wrapper that panics on use
+	err := s.Verify()
+	if err == nil {
+		t.Fatal("Verify accepted a snapshot with no index")
+	}
+	if Classify(err) != FailVerify {
+		t.Fatalf("Classify(%v) = %v, want FailVerify", err, Classify(err))
+	}
+}
+
+// TestClassify pins the full error-to-kind mapping across the container
+// checks, decode failures and the filesystem.
+func TestClassify(t *testing.T) {
+	data := writeValid(t)
+	read := func(mutate func([]byte) []byte) error {
+		_, err := Read(bytes.NewReader(mutate(append([]byte(nil), data...))))
+		return err
+	}
+
+	cases := []struct {
+		name string
+		err  error
+		want FailureKind
+	}{
+		{"missing", errors.Join(errors.New("open"), fs.ErrNotExist), FailMissing},
+		{"magic", read(func(b []byte) []byte { b[0] ^= 0xFF; return b }), FailNotSnapshot},
+		{"truncated", read(func(b []byte) []byte { return b[:len(b)/2] }), FailTruncated},
+		{"checksum", read(func(b []byte) []byte { b[len(b)-1] ^= 1; return b }), FailChecksum},
+		{"version", read(func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[8:], FormatVersion+9)
+			return b
+		}), FailVersion},
+		{"verify", errVerify, FailVerify},
+		{"other", errors.New("disk on fire"), FailIO},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Fatalf("%s: expected an error from Read", c.name)
+		}
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("%s: Classify(%v) = %v, want %v", c.name, c.err, got, c.want)
+		}
+	}
+
+	// UnknownKindError comes from the decode path; build it directly.
+	if got := Classify(&UnknownKindError{Kind: "x"}); got != FailUnknownKind {
+		t.Errorf("Classify(UnknownKindError) = %v, want FailUnknownKind", got)
+	}
+}
+
+// TestVerifyDeterministic: the same snapshot must always produce the same
+// verdict (the serving node's quarantine logic relies on it).
+func TestVerifyDeterministic(t *testing.T) {
+	v := venuegen.MustBuilding(venuegen.BuildingConfig{Name: "det", Floors: 1, RoomsPerHallway: 8, Seed: 7})
+	s := roundTrip(t, v, iptree.NewVIPTree(iptree.MustBuildIPTree(v, iptree.Options{})), nil)
+	for i := 0; i < 3; i++ {
+		if err := s.Verify(); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+}

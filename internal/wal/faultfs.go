@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Fault errors injected by FaultFS. Exposed so tests can assert on them with
@@ -55,6 +57,8 @@ type FaultFS struct {
 	writeErr error
 	shortN   int64 // pending ShortWriteOnce byte count
 	short    bool
+
+	openDelay time.Duration // injected latency per Open (slow disk)
 }
 
 // NewFaultFS returns an empty fault-injecting in-memory filesystem with no
@@ -109,12 +113,21 @@ func (f *FaultFS) ShortWriteOnce(k int64) {
 	f.short, f.shortN = true, k
 }
 
-// ClearFaults clears sync and write failures (crash points are cleared by
-// Revive).
+// ClearFaults clears sync and write failures and open delays (crash points
+// are cleared by Revive).
 func (f *FaultFS) ClearFaults() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.syncErr, f.writeErr, f.short = nil, nil, false
+	f.openDelay = 0
+}
+
+// SlowOpen makes every Open sleep for d before returning, modelling a slow
+// or contended disk on the snapshot read path. Zero restores full speed.
+func (f *FaultFS) SlowOpen(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.openDelay = d
 }
 
 // BytesWritten returns the total bytes applied so far, which is how crash
@@ -171,15 +184,24 @@ func splitPath(p string) (dir, base string) {
 	return "", p
 }
 
-// Open implements FS.
+// Open implements FS. A missing file matches fs.ErrNotExist, like the real
+// filesystem, so callers classifying errors see the same kinds either way.
 func (f *FaultFS) Open(name string) (io.ReadCloser, error) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	delay := f.openDelay
 	buf, ok := f.files[name]
-	if !ok {
-		return nil, fmt.Errorf("walfault: open %s: no such file", name)
+	var data []byte
+	if ok {
+		data = bytes.Clone(buf.Bytes())
 	}
-	return io.NopCloser(bytes.NewReader(bytes.Clone(buf.Bytes()))), nil
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if !ok {
+		return nil, fmt.Errorf("walfault: open %s: %w", name, fs.ErrNotExist)
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
 }
 
 // OpenAppend implements FS.

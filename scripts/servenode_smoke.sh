@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving node against a real filesystem and a
+# real HTTP listener. It exercises the full robustness story the unit tests
+# cover in-process:
+#
+#   1. serve two venues from one snapshot directory
+#   2. hot swap: drop a newer snapshot mid-traffic — the epoch advances, the
+#      new object set answers, and not one request fails across the swap
+#   3. quarantine: drop a torn snapshot — /statsz shows it quarantined with
+#      the typed reason while the previous version keeps serving
+#   4. graceful drain: SIGTERM exits 0 with a drain summary
+#
+# Usage: scripts/servenode_smoke.sh [workdir]   (run from the repo root)
+set -euo pipefail
+
+WORK=${1:-$(mktemp -d)}
+SNAPS=$WORK/snaps
+mkdir -p "$SNAPS" "$WORK/wal"
+ADDR=127.0.0.1:${SERVENODE_PORT:-18080}
+BASE="http://$ADDR"
+
+echo "== build"
+go build -o "$WORK/servenode" ./cmd/servenode
+go build -o "$WORK/indexbuild" ./cmd/indexbuild
+
+echo "== publish initial snapshots (two venues)"
+"$WORK/indexbuild" -venue Men -scale tiny -index vip -objects 40 -out "$SNAPS/men@0001.snap"
+"$WORK/indexbuild" -venue MC -scale tiny -index vip -objects 30 -out "$SNAPS/mc@0001.snap"
+# The v2 snapshot (60 objects, vs 40 in v1) is built up-front so the
+# mid-traffic publish below is a single atomic rename.
+"$WORK/indexbuild" -venue Men -scale tiny -index vip -objects 60 -out "$WORK/men-v2.snap"
+
+echo "== start servenode on $ADDR"
+"$WORK/servenode" -snapshots "$SNAPS" -wal "$WORK/wal" -listen "$ADDR" -poll 100ms \
+  2>"$WORK/servenode.log" &
+NODE=$!
+cleanup() { kill "$NODE" 2>/dev/null || true; }
+trap cleanup EXIT
+
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/readyz" >/dev/null 2>&1 && break
+  kill -0 "$NODE" 2>/dev/null || { echo "servenode died:"; cat "$WORK/servenode.log"; exit 1; }
+  sleep 0.1
+done
+curl -fsS "$BASE/readyz" | jq -e '.ready == true' >/dev/null
+echo "ready"
+
+# A small batch: a kNN whose k exceeds every object count (so the result
+# count fingerprints the snapshot version) plus a distance query.
+Q='{"queries":[{"kind":"knn","s":{"partition":0,"x":1,"y":1},"k":100},{"kind":"distance","s":{"partition":0,"x":1,"y":1},"t":{"partition":1,"x":1,"y":1}}]}'
+query() { curl -fsS -X POST -d "$Q" "$BASE/query/$1"; }
+
+echo "== both venues answer"
+query men | jq -e '.epoch == 1 and (.results[0].objects | length) == 40 and (.results | map(.err // empty) | length) == 0' >/dev/null
+query mc | jq -e '.epoch == 1 and (.results[0].objects | length) == 30' >/dev/null
+curl -fsS "$BASE/healthz/men" | jq -e '.state == "serving" and .healthy and .durable' >/dev/null
+
+echo "== hot swap mid-traffic"
+: >"$WORK/failures"
+(
+  for _ in $(seq 1 150); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d "$Q" "$BASE/query/men")
+    [ "$code" = 200 ] || echo "$code" >>"$WORK/failures"
+  done
+) &
+TRAFFIC=$!
+sleep 0.3
+cp "$WORK/men-v2.snap" "$WORK/men-v2.tmp" && mv "$WORK/men-v2.tmp" "$SNAPS/men@0002.snap"
+wait "$TRAFFIC"
+if [ -s "$WORK/failures" ]; then
+  echo "requests failed across the swap:"; sort "$WORK/failures" | uniq -c; exit 1
+fi
+for _ in $(seq 1 100); do
+  query men | jq -e '.epoch == 2' >/dev/null 2>&1 && break
+  sleep 0.1
+done
+query men | jq -e '.epoch == 2 and (.results[0].objects | length) == 60' >/dev/null
+curl -fsS "$BASE/statsz" | jq -e '.venues.men.swaps == 2 and .venues.men.snapshot == "men@0002.snap"' >/dev/null
+echo "swapped to men@0002.snap with zero failed requests"
+
+echo "== torn snapshot is quarantined, old version keeps serving"
+head -c 1000 "$WORK/men-v2.snap" >"$SNAPS/men@0003.snap"
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/statsz" | jq -e '.venues.men.quarantined[0].reason == "truncated"' >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$BASE/statsz" | jq -e '
+  .venues.men.quarantined[0].file == "men@0003.snap"
+  and .venues.men.quarantined[0].reason == "truncated"
+  and .venues.men.snapshot == "men@0002.snap"' >/dev/null
+query men | jq -e '.epoch == 2 and (.results[0].objects | length) == 60' >/dev/null
+echo "quarantined with reason=truncated, men@0002.snap still serving"
+
+echo "== SIGTERM drains cleanly"
+kill -TERM "$NODE"
+if ! wait "$NODE"; then
+  echo "servenode exited non-zero on SIGTERM:"; cat "$WORK/servenode.log"; exit 1
+fi
+trap - EXIT
+grep -q "drained:" "$WORK/servenode.log" || { echo "no drain summary:"; cat "$WORK/servenode.log"; exit 1; }
+grep "drained:" "$WORK/servenode.log"
+
+echo "PASS"
